@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the load balancer itself: a scheduling decision
+//! must be nanoseconds-cheap, since the paper's remedies argue for *more*
+//! state inspection per decision, not less.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlb_core::prelude::*;
+use mlb_simkernel::time::{SimDuration, SimTime};
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balancer_select");
+    for &backends in &[2usize, 4, 16, 64] {
+        for policy in PolicyKind::all() {
+            let cfg = BalancerConfig::with(policy, MechanismKind::Original);
+            let mut lb = Balancer::new(cfg, backends).unwrap();
+            let exclude = vec![false; backends];
+            let now = SimTime::from_secs(1);
+            group.bench_function(BenchmarkId::new(policy.name(), backends), |b| {
+                b.iter(|| {
+                    let picked = lb.select(black_box(now), black_box(&exclude)).unwrap();
+                    lb.endpoint_acquired(now, picked);
+                    lb.response_received(now, picked, 2_048, SimDuration::from_millis(3));
+                    picked
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_full_request_cycle(c: &mut Criterion) {
+    // The complete per-request balancer work: select + assign + complete.
+    let mut group = c.benchmark_group("balancer_request_cycle");
+    for policy in PolicyKind::all() {
+        let cfg = BalancerConfig::with(policy, MechanismKind::SkipToBusy);
+        let mut lb = Balancer::new(cfg, 4).unwrap();
+        let now = SimTime::from_secs(1);
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                let picked = lb.select(now, &[false; 4]).unwrap();
+                lb.endpoint_acquired(now, picked);
+                lb.response_received(now, picked, black_box(16_384), SimDuration::from_millis(3));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_endpoint_failure_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balancer_endpoint_failed");
+    for mech in [MechanismKind::Original, MechanismKind::SkipToBusy] {
+        let cfg = BalancerConfig::with(PolicyKind::TotalRequest, mech);
+        let mut lb = Balancer::new(cfg, 4).unwrap();
+        group.bench_function(mech.name(), |b| {
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1;
+                let advice = lb.endpoint_failed(
+                    SimTime::from_micros(t),
+                    BackendId(0),
+                    black_box(SimDuration::ZERO),
+                );
+                lb.response_received(
+                    SimTime::from_micros(t),
+                    BackendId(0),
+                    1,
+                    SimDuration::from_millis(1),
+                );
+                advice
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_select,
+    bench_full_request_cycle,
+    bench_endpoint_failure_path
+);
+criterion_main!(benches);

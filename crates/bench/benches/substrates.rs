@@ -1,0 +1,145 @@
+//! Micro-benchmarks of the simulation substrates: the event queue, the CPU
+//! model and the page cache dominate the simulator's inner loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mlb_netmodel::accept_queue::AcceptQueue;
+use mlb_netmodel::pool::ConnectionPool;
+use mlb_osmodel::cpu::{CompletionOutcome, CpuModel, JobId};
+use mlb_osmodel::pagecache::{FlushTrigger, PageCache, PageCacheConfig};
+use mlb_simkernel::prelude::*;
+use mlb_simkernel::time::{SimDuration, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("push_pop_hot", |b| {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(1024);
+        // Keep a standing population of 512 events.
+        for i in 0..512u64 {
+            q.push(SimTime::from_micros(i), i);
+        }
+        let mut t = 512u64;
+        b.iter(|| {
+            let (when, e) = q.pop().unwrap();
+            t += 1;
+            q.push(when + SimDuration::from_micros(t % 97 + 1), e);
+            black_box(e)
+        })
+    });
+    group.finish();
+}
+
+fn bench_simulation_loop(c: &mut Criterion) {
+    // End-to-end kernel overhead: a self-rescheduling timer model.
+    struct Timer;
+    enum Ev {
+        Tick(u32),
+    }
+    impl Model for Timer {
+        type Event = Ev;
+        fn handle(&mut self, _now: SimTime, ev: Ev, sched: &mut Scheduler<'_, Ev>) {
+            let Ev::Tick(n) = ev;
+            if n > 0 {
+                sched.after(SimDuration::from_micros(10), Ev::Tick(n - 1));
+            }
+        }
+    }
+    let mut group = c.benchmark_group("simulation");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("10k_chained_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Timer);
+            sim.schedule(SimTime::ZERO, Ev::Tick(10_000));
+            sim.run_to_completion();
+            black_box(sim.events_processed())
+        })
+    });
+    group.finish();
+}
+
+fn bench_cpu_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_model");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("submit_complete_cycle", |b| {
+        let mut cpu = CpuModel::new(4);
+        let mut now = SimTime::ZERO;
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            let started = cpu
+                .submit(now, JobId(id), SimDuration::from_micros(100))
+                .expect("core free");
+            now = started.key.at;
+            match cpu.on_completion(now, started.key) {
+                CompletionOutcome::Finished { finished, .. } => black_box(finished),
+                CompletionOutcome::Stale => unreachable!(),
+            }
+        })
+    });
+    group.bench_function("freeze_unfreeze_with_4_running", |b| {
+        let mut cpu = CpuModel::new(4);
+        let mut now = SimTime::ZERO;
+        for i in 0..4 {
+            cpu.submit(now, JobId(i), SimDuration::from_secs(3_600));
+        }
+        b.iter(|| {
+            cpu.freeze(now);
+            now += SimDuration::from_micros(100);
+            black_box(cpu.unfreeze(now).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_page_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_cache");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("log_write", |b| {
+        let mut pc = PageCache::new(PageCacheConfig {
+            dirty_background_bytes: u64::MAX,
+            dirty_hard_limit_bytes: u64::MAX,
+            flush_interval: SimDuration::from_secs(5),
+        });
+        b.iter(|| pc.write(black_box(1_500)))
+    });
+    group.bench_function("flush_cycle", |b| {
+        let mut pc = PageCache::new(PageCacheConfig::testbed_default());
+        b.iter(|| {
+            pc.write(16 * 1024 * 1024);
+            let bytes = pc.begin_flush(FlushTrigger::Interval);
+            pc.complete_flush(bytes);
+            black_box(bytes)
+        })
+    });
+    group.finish();
+}
+
+fn bench_net_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netmodel");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("accept_queue_offer_pop", |b| {
+        let mut q = AcceptQueue::new(256);
+        b.iter(|| {
+            q.offer(black_box(1u64));
+            q.pop()
+        })
+    });
+    group.bench_function("pool_acquire_release", |b| {
+        let mut pool = ConnectionPool::new(50);
+        b.iter(|| {
+            pool.acquire();
+            pool.release();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_simulation_loop,
+    bench_cpu_model,
+    bench_page_cache,
+    bench_net_structures
+);
+criterion_main!(benches);

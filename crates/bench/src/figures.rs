@@ -1,0 +1,1175 @@
+//! Builders for every figure and table in the paper's evaluation.
+//!
+//! Each builder consumes the relevant [`ExperimentResult`]s and produces a
+//! [`Figure`]: terminal-renderable text (ASCII charts plus a shape check
+//! against the paper) and CSV tables for external re-plotting.
+
+use mlb_metrics::ascii::{bar_chart, line_chart};
+use mlb_metrics::csv::CsvTable;
+use mlb_metrics::series::{WindowedCounter, WindowedSeries};
+use mlb_metrics::summary::{render_table, TableRow};
+use mlb_ntier::experiment::ExperimentResult;
+use mlb_ntier::telemetry::Telemetry;
+use mlb_simkernel::time::SimDuration;
+
+use crate::runs::{RunCache, RunKey};
+
+/// One regenerated artifact: terminal text plus CSV tables.
+#[derive(Debug)]
+pub struct Figure {
+    /// Artifact id, e.g. `"fig6"` or `"table1"`.
+    pub id: &'static str,
+    /// Human title echoing the paper's caption.
+    pub title: String,
+    /// Terminal rendering (charts + shape check).
+    pub text: String,
+    /// CSV tables: (file stem, table).
+    pub csvs: Vec<(String, CsvTable)>,
+}
+
+/// The runs each artifact needs.
+pub fn required_runs(id: &str) -> Vec<RunKey> {
+    match id {
+        "fig1" => vec![RunKey::BaselineNoMb],
+        "fig2" => vec![RunKey::OneByOne],
+        "fig3" | "fig4" | "fig5" => vec![RunKey::TotalRequest, RunKey::TotalTraffic],
+        "fig6" | "fig10" => vec![RunKey::TotalRequest],
+        "fig7" | "fig11" => vec![RunKey::TotalTraffic],
+        "fig8" | "fig9" => vec![RunKey::TotalRequestFixed, RunKey::TotalRequest],
+        "fig12" | "fig13" => vec![RunKey::CurrentLoad],
+        "table1" => RunKey::all()
+            .into_iter()
+            .filter(|k| !matches!(k, RunKey::BaselineNoMb | RunKey::OneByOne))
+            .collect(),
+        other => panic!("unknown artifact id: {other}"),
+    }
+}
+
+/// All artifact ids, in paper order.
+pub fn all_artifacts() -> [&'static str; 14] {
+    [
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+        "fig12", "fig13", "table1",
+    ]
+}
+
+/// Builds one artifact from cached runs.
+///
+/// # Panics
+///
+/// Panics if `id` is unknown or a required run is missing from the cache.
+pub fn build(id: &str, cache: &RunCache) -> Figure {
+    match id {
+        "fig1" => fig1(cache.get(RunKey::BaselineNoMb)),
+        "fig2" => fig2(cache.get(RunKey::OneByOne)),
+        "fig3" => fig3(
+            cache.get(RunKey::TotalRequest),
+            cache.get(RunKey::TotalTraffic),
+        ),
+        "fig4" => fig4(
+            cache.get(RunKey::TotalRequest),
+            cache.get(RunKey::TotalTraffic),
+        ),
+        "fig5" => fig5(
+            cache.get(RunKey::TotalRequest),
+            cache.get(RunKey::TotalTraffic),
+        ),
+        "fig6" => instability_figure(
+            "fig6",
+            "Fig. 6: VLRT requests amplified by the total_request policy instability",
+            cache.get(RunKey::TotalRequest),
+        ),
+        "fig7" => instability_figure(
+            "fig7",
+            "Fig. 7: VLRT requests amplified by the total_traffic policy instability",
+            cache.get(RunKey::TotalTraffic),
+        ),
+        "fig8" => fig8(
+            cache.get(RunKey::TotalRequestFixed),
+            cache.get(RunKey::TotalRequest),
+        ),
+        "fig9" => distribution_figure(
+            "fig9",
+            "Fig. 9: modified get_endpoint avoids the candidate with the millibottleneck",
+            cache.get(RunKey::TotalRequestFixed),
+        ),
+        "fig10" => lb_value_figure(
+            "fig10",
+            "Fig. 10: policy limitation of total_request — lb_value inversion",
+            cache.get(RunKey::TotalRequest),
+        ),
+        "fig11" => lb_value_figure(
+            "fig11",
+            "Fig. 11: policy limitation of total_traffic — lb_value inversion",
+            cache.get(RunKey::TotalTraffic),
+        ),
+        "fig12" => fig12(cache.get(RunKey::CurrentLoad)),
+        "fig13" => distribution_figure(
+            "fig13",
+            "Fig. 13: current_load avoids the candidate with the millibottleneck",
+            cache.get(RunKey::CurrentLoad),
+        ),
+        "table1" => table1(cache),
+        other => panic!("unknown artifact id: {other}"),
+    }
+}
+
+// ---- helpers -----------------------------------------------------------
+
+const CHART_W: usize = 90;
+const CHART_H: usize = 12;
+
+fn window_secs(window: SimDuration) -> f64 {
+    window.as_secs_f64()
+}
+
+/// x-axis (seconds) for window indices `[lo, hi)`.
+fn xs_for(window: SimDuration, lo: usize, hi: usize) -> Vec<f64> {
+    let w = window_secs(window);
+    (lo..hi).map(|i| i as f64 * w).collect()
+}
+
+/// Window index of the global maximum of a series (mean view).
+fn peak_index(series: &WindowedSeries) -> usize {
+    let means = series.means(0.0);
+    means
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaNs in telemetry"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Window index of the counter's maximum.
+fn peak_index_counter(series: &WindowedCounter) -> usize {
+    series
+        .counts()
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Clamp a `[center-half, center+half]` zoom to `[0, len)`.
+fn zoom_bounds(center: usize, half: usize, len: usize) -> (usize, usize) {
+    let lo = center.saturating_sub(half);
+    let hi = (center + half + 1).min(len);
+    (lo, hi.max(lo + 1))
+}
+
+fn slice(values: &[f64], lo: usize, hi: usize) -> Vec<f64> {
+    (lo..hi)
+        .map(|i| values.get(i).copied().unwrap_or(0.0))
+        .collect()
+}
+
+/// The Tomcat with the deepest queue spike, and the spike's window index.
+fn deepest_tomcat_spike(t: &Telemetry) -> (usize, usize) {
+    let mut best = (0usize, 0usize, f64::NEG_INFINITY);
+    for (ti, q) in t.tomcat_queues.iter().enumerate() {
+        let idx = peak_index(q);
+        let v = q.means(0.0)[idx];
+        if v > best.2 {
+            best = (ti, idx, v);
+        }
+    }
+    (best.0, best.1)
+}
+
+/// A deep Tomcat queue spike that is *temporally isolated*: no comparable
+/// spike on any other Tomcat within ±1.5 s. The paper's zoomed figures all
+/// show such single-candidate millibottlenecks.
+fn find_isolated_spike(t: &Telemetry) -> (usize, usize) {
+    let qs: Vec<Vec<f64>> = t.tomcat_queues.iter().map(|q| q.means(0.0)).collect();
+    let global_peak = qs
+        .iter()
+        .flat_map(|v| v.iter().copied())
+        .fold(0.0f64, f64::max);
+    if global_peak <= 0.0 {
+        return (0, 0);
+    }
+    let mut best: Option<(usize, usize, f64)> = None;
+    for (ti, q) in qs.iter().enumerate() {
+        for (i, &v) in q.iter().enumerate() {
+            if v < global_peak * 0.6 {
+                continue;
+            }
+            let lo = i.saturating_sub(30);
+            let hi = i + 31;
+            let mut interference = 0.0f64;
+            for (tj, qj) in qs.iter().enumerate() {
+                if tj == ti {
+                    continue;
+                }
+                for &q in &qj[lo.min(qj.len())..hi.min(qj.len())] {
+                    interference = interference.max(q);
+                }
+            }
+            let score = v - interference;
+            if best.is_none_or(|(_, _, s)| score > s) {
+                best = Some((ti, i, score));
+            }
+        }
+    }
+    best.map_or_else(|| deepest_tomcat_spike(t), |(ti, i, _)| (ti, i))
+}
+
+/// Apache1's assignment share to `frozen` over windows `[lo, hi)`:
+/// returns `(overall_share_pct, max_single_window_share_pct)`.
+fn assignment_share(t: &Telemetry, frozen: usize, lo: usize, hi: usize) -> (f64, f64) {
+    let per_tomcat: Vec<Vec<f64>> = (0..t.tomcat_queues.len())
+        .map(|ti| slice(&t.distribution[0][ti].to_f64(), lo, hi))
+        .collect();
+    let mut tot_all = 0.0;
+    let mut tot_frozen = 0.0;
+    let mut max_share: f64 = 0.0;
+    for i in 0..(hi - lo) {
+        let all: f64 = per_tomcat.iter().map(|v| v[i]).sum();
+        let f = per_tomcat[frozen][i];
+        tot_all += all;
+        tot_frozen += f;
+        if all > 0.0 {
+            max_share = max_share.max(f / all * 100.0);
+        }
+    }
+    let overall = if tot_all > 0.0 {
+        tot_frozen / tot_all * 100.0
+    } else {
+        0.0
+    };
+    (overall, max_share)
+}
+
+/// Sum several windowed series into one per-window mean vector.
+fn tier_sum(series: &[WindowedSeries]) -> Vec<f64> {
+    let len = series.iter().map(|s| s.windows().len()).max().unwrap_or(0);
+    let mut out = vec![0.0; len];
+    for s in series {
+        for (i, v) in s.means(0.0).iter().enumerate() {
+            out[i] += v;
+        }
+    }
+    out
+}
+
+// ---- figures -----------------------------------------------------------
+
+fn fig1(r: &ExperimentResult) -> Figure {
+    let t = &r.telemetry;
+    let w = t.rt_trace.window();
+    let means = t.rt_trace.means(0.0);
+    let maxima = t.rt_trace.maxima(0.0);
+    let n = means.len();
+    let xs = xs_for(w, 0, n);
+    let chart = line_chart(
+        "Point-in-time response time (ms), total_request, no millibottlenecks",
+        &xs,
+        &[("mean rt", &means), ("max rt", &maxima)],
+        CHART_W,
+        CHART_H,
+    );
+    let mut text = chart;
+    text.push_str(&format!(
+        "\nShape check vs paper (Fig. 1 / Sec. II-B):\n\
+         - average response time: {:.2} ms   (paper: 3.2 ms)\n\
+         - VLRT (>1 s) requests: {} of {}    (paper: 13 of ~1.8 M)\n\
+         - point-in-time RT stays at ms level throughout: {}\n",
+        t.response.avg_ms(),
+        t.response.vlrt_count(),
+        t.response.total(),
+        if t.response.max() < SimDuration::from_millis(1_000) {
+            "yes"
+        } else {
+            "NO"
+        },
+    ));
+    let csv = CsvTable::from_series(
+        "time_s",
+        &xs,
+        &[("rt_mean_ms", &means[..]), ("rt_max_ms", &maxima[..])],
+    );
+    Figure {
+        id: "fig1",
+        title: "Fig. 1: point-in-time response time under total_request (no millibottlenecks)"
+            .into(),
+        text,
+        csvs: vec![("fig1_rt_trace".into(), csv)],
+    }
+}
+
+fn fig2(r: &ExperimentResult) -> Figure {
+    let t = &r.telemetry;
+    let w = t.vlrt_per_window.window();
+    let center = peak_index_counter(&t.vlrt_per_window);
+    let len = t.apache_queues[0].windows().len();
+    let (lo, hi) = zoom_bounds(center, 80, len); // ±4 s, like the paper's 8 s pane
+    let xs = xs_for(w, lo, hi);
+
+    let vlrt = slice(&t.vlrt_per_window.to_f64(), lo, hi);
+    let aq = slice(&t.apache_queues[0].means(0.0), lo, hi);
+    let tq = slice(&t.tomcat_queues[0].means(0.0), lo, hi);
+    let mq = slice(&t.mysql_queue.means(0.0), lo, hi);
+    let a_util: Vec<f64> = slice(&t.apache_util[0].means(0.0), lo, hi)
+        .iter()
+        .map(|v| v * 100.0)
+        .collect();
+    let t_util: Vec<f64> = slice(&t.tomcat_util[0].means(0.0), lo, hi)
+        .iter()
+        .map(|v| v * 100.0)
+        .collect();
+    let a_iow: Vec<f64> = slice(&t.apache_iowait[0].means(0.0), lo, hi)
+        .iter()
+        .map(|v| v * 100.0)
+        .collect();
+    let t_iow: Vec<f64> = slice(&t.tomcat_iowait[0].means(0.0), lo, hi)
+        .iter()
+        .map(|v| v * 100.0)
+        .collect();
+    let a_dirty: Vec<f64> = slice(&t.apache_dirty[0].means(0.0), lo, hi)
+        .iter()
+        .map(|v| v / (1024.0 * 1024.0))
+        .collect();
+    let t_dirty: Vec<f64> = slice(&t.tomcat_dirty[0].means(0.0), lo, hi)
+        .iter()
+        .map(|v| v / (1024.0 * 1024.0))
+        .collect();
+
+    let mut text = String::new();
+    text.push_str(&line_chart(
+        "(a) VLRT (>1s) requests per 50 ms window",
+        &xs,
+        &[("vlrt", &vlrt)],
+        CHART_W,
+        8,
+    ));
+    text.push('\n');
+    text.push_str(&line_chart(
+        "(b) queued requests per tier",
+        &xs,
+        &[("apache", &aq), ("tomcat", &tq), ("mysql", &mq)],
+        CHART_W,
+        CHART_H,
+    ));
+    text.push('\n');
+    text.push_str(&line_chart(
+        "(c) CPU utilization (%, incl. iowait)",
+        &xs,
+        &[("apache", &a_util), ("tomcat", &t_util)],
+        CHART_W,
+        8,
+    ));
+    text.push('\n');
+    text.push_str(&line_chart(
+        "(d) iowait (%)",
+        &xs,
+        &[("apache", &a_iow), ("tomcat", &t_iow)],
+        CHART_W,
+        8,
+    ));
+    text.push('\n');
+    text.push_str(&line_chart(
+        "(e) dirty page-cache size (MB)",
+        &xs,
+        &[("apache", &a_dirty), ("tomcat", &t_dirty)],
+        CHART_W,
+        8,
+    ));
+
+    let fast = t.histogram.count_below(SimDuration::from_millis(10));
+    text.push_str(&format!(
+        "\nShape check vs paper (Fig. 2 / Sec. III-B):\n\
+         - VLRT requests (>1 s): {}; requests <10 ms: {} (paper: 1222 vs 16722)\n\
+         - VLRT spikes coincide with queue peaks, queue peaks with iowait\n\
+           saturation, iowait with abrupt dirty-page drops (read the panels\n\
+           top to bottom at the same x).\n\
+         - millibottlenecks observed: {} (Apache: {}, Tomcat: {})\n",
+        t.response.vlrt_count(),
+        fast,
+        r.total_millibottlenecks(),
+        r.millibottlenecks_by_server
+            .iter()
+            .filter(|(n, _)| n.starts_with("apache"))
+            .map(|&(_, c)| c)
+            .sum::<u64>(),
+        r.millibottlenecks_by_server
+            .iter()
+            .filter(|(n, _)| n.starts_with("tomcat"))
+            .map(|&(_, c)| c)
+            .sum::<u64>(),
+    ));
+
+    let csv = CsvTable::from_series(
+        "time_s",
+        &xs,
+        &[
+            ("vlrt_per_window", &vlrt[..]),
+            ("apache_queue", &aq[..]),
+            ("tomcat_queue", &tq[..]),
+            ("mysql_queue", &mq[..]),
+            ("apache_util_pct", &a_util[..]),
+            ("tomcat_util_pct", &t_util[..]),
+            ("apache_iowait_pct", &a_iow[..]),
+            ("tomcat_iowait_pct", &t_iow[..]),
+            ("apache_dirty_mb", &a_dirty[..]),
+            ("tomcat_dirty_mb", &t_dirty[..]),
+        ],
+    );
+    Figure {
+        id: "fig2",
+        title: "Fig. 2: VLRT requests caused by flushing dirty pages (1/1/1, no LB choice)".into(),
+        text,
+        csvs: vec![("fig2_anatomy".into(), csv)],
+    }
+}
+
+fn fig3(tr: &ExperimentResult, tt: &ExperimentResult) -> Figure {
+    let w = tr.telemetry.rt_trace.window();
+    let hi = ((10.0 / window_secs(w)) as usize)
+        .min(tr.telemetry.rt_trace.windows().len())
+        .min(tt.telemetry.rt_trace.windows().len());
+    let xs = xs_for(w, 0, hi);
+    let tr_max = slice(&tr.telemetry.rt_trace.maxima(0.0), 0, hi);
+    let tt_max = slice(&tt.telemetry.rt_trace.maxima(0.0), 0, hi);
+    let mut text = line_chart(
+        "Point-in-time response time (max per 50 ms, ms) — first 10 s",
+        &xs,
+        &[("total_request", &tr_max), ("total_traffic", &tt_max)],
+        CHART_W,
+        CHART_H,
+    );
+    text.push_str(&format!(
+        "\nShape check vs paper (Fig. 3):\n\
+         - large second-scale fluctuations despite modest averages:\n\
+           total_request avg {:.1} ms (paper 41.0), total_traffic avg {:.1} ms (paper 55.5)\n\
+         - max point-in-time RT: {:.0} ms / {:.0} ms (paper: seconds-scale)\n",
+        tr.telemetry.response.avg_ms(),
+        tt.telemetry.response.avg_ms(),
+        tr_max.iter().fold(0.0f64, |a, &b| a.max(b)),
+        tt_max.iter().fold(0.0f64, |a, &b| a.max(b)),
+    ));
+    let csv = CsvTable::from_series(
+        "time_s",
+        &xs,
+        &[
+            ("total_request_rt_max_ms", &tr_max[..]),
+            ("total_traffic_rt_max_ms", &tt_max[..]),
+        ],
+    );
+    Figure {
+        id: "fig3",
+        title: "Fig. 3: point-in-time response time of total_request and total_traffic".into(),
+        text,
+        csvs: vec![("fig3_rt_fluctuation".into(), csv)],
+    }
+}
+
+fn fig4(tr: &ExperimentResult, tt: &ExperimentResult) -> Figure {
+    let mut text = String::new();
+    let mut csv_rows: Vec<(String, f64, f64)> = Vec::new();
+    for (label, r) in [("total_request", tr), ("total_traffic", tt)] {
+        text.push_str(&format!(
+            "Response-time frequency, {label} (log-scaled bars):\n"
+        ));
+        for (lomicros, hi, count) in r.telemetry.histogram.iter() {
+            if count == 0 {
+                continue;
+            }
+            let lo_ms = lomicros.as_millis_f64();
+            let hi_ms = if hi == SimDuration::MAX {
+                f64::INFINITY
+            } else {
+                hi.as_millis_f64()
+            };
+            let label_s = if hi_ms.is_infinite() {
+                format!(">= {lo_ms:.0} ms")
+            } else {
+                format!("{lo_ms:.0}-{hi_ms:.0} ms")
+            };
+            let bar = "#".repeat(((count as f64 + 1.0).log10() * 6.0).round() as usize);
+            text.push_str(&format!("  {label_s:>14} | {bar:<42} {count}\n"));
+            if label == "total_request" {
+                csv_rows.push((label_s, lo_ms, count as f64));
+            }
+        }
+        text.push('\n');
+    }
+    let sec = |r: &ExperimentResult, lo_s: u64| {
+        let h = &r.telemetry.histogram;
+        h.count_at_or_above(SimDuration::from_millis(lo_s * 1_000 - 250))
+            - h.count_at_or_above(SimDuration::from_millis(lo_s * 1_000 + 250))
+    };
+    text.push_str(&format!(
+        "Shape check vs paper (Fig. 4): three VLRT clusters at the TCP\n\
+         retransmission offsets (paper: 1 s, 2 s, 3 s):\n\
+         - total_request: ~1s: {}, ~2s: {}, ~3s: {}\n\
+         - total_traffic: ~1s: {}, ~2s: {}, ~3s: {}\n",
+        sec(tr, 1),
+        sec(tr, 2),
+        sec(tr, 3),
+        sec(tt, 1),
+        sec(tt, 2),
+        sec(tt, 3),
+    ));
+    let mut csv = CsvTable::with_columns(&["bucket_lower_ms", "count"]);
+    for (_, lo, c) in &csv_rows {
+        csv.push_row(vec![*lo, *c]);
+    }
+    Figure {
+        id: "fig4",
+        title: "Fig. 4: frequency of requests by response time".into(),
+        text,
+        csvs: vec![("fig4_histogram".into(), csv)],
+    }
+}
+
+fn fig5(tr: &ExperimentResult, tt: &ExperimentResult) -> Figure {
+    let mut text = String::new();
+    let mut csv = CsvTable::with_columns(&["server", "total_request_pct", "total_traffic_pct"]);
+    let mut bars = Vec::new();
+    let mut max_util: f64 = 0.0;
+    for (i, _) in tr.telemetry.apache_util.iter().enumerate() {
+        let a = Telemetry::mean_util(&tr.telemetry.apache_util[i]) * 100.0;
+        let b = Telemetry::mean_util(&tt.telemetry.apache_util[i]) * 100.0;
+        bars.push((format!("apache{}", i + 1), a));
+        csv.push_row(vec![i as f64, a, b]);
+        max_util = max_util.max(a).max(b);
+    }
+    for (i, _) in tr.telemetry.tomcat_util.iter().enumerate() {
+        let a = Telemetry::mean_util(&tr.telemetry.tomcat_util[i]) * 100.0;
+        let b = Telemetry::mean_util(&tt.telemetry.tomcat_util[i]) * 100.0;
+        bars.push((format!("tomcat{}", i + 1), a));
+        csv.push_row(vec![(10 + i) as f64, a, b]);
+        max_util = max_util.max(a).max(b);
+    }
+    let a = Telemetry::mean_util(&tr.telemetry.mysql_util) * 100.0;
+    let b = Telemetry::mean_util(&tt.telemetry.mysql_util) * 100.0;
+    bars.push(("mysql".into(), a));
+    csv.push_row(vec![20.0, a, b]);
+    max_util = max_util.max(a).max(b);
+
+    text.push_str(&bar_chart(
+        "Average CPU utilization (%), total_request run",
+        &bars,
+        50,
+    ));
+    text.push_str(&format!(
+        "\nShape check vs paper (Fig. 5): every server far from saturation —\n\
+         highest average CPU {max_util:.0}% (paper: 45%); VLRT requests appear anyway.\n",
+    ));
+    Figure {
+        id: "fig5",
+        title: "Fig. 5: average CPU usage among component servers".into(),
+        text,
+        csvs: vec![("fig5_cpu".into(), csv)],
+    }
+}
+
+/// Figs. 6 and 7: (a) VLRT per window, (b) the frozen Tomcat's CPU, (c)
+/// Apache1's workload distribution — zoomed on one millibottleneck.
+fn instability_figure(id: &'static str, title: &str, r: &ExperimentResult) -> Figure {
+    let t = &r.telemetry;
+    let w = t.vlrt_per_window.window();
+    let (frozen, center) = find_isolated_spike(t);
+    let len = t.tomcat_queues[frozen].windows().len();
+    let (lo, hi) = zoom_bounds(center, 20, len); // ±1 s
+    let xs = xs_for(w, lo, hi);
+
+    let vlrt = slice(&t.vlrt_per_window.to_f64(), lo, hi);
+    let util: Vec<f64> = slice(&t.tomcat_util[frozen].means(0.0), lo, hi)
+        .iter()
+        .map(|v| v * 100.0)
+        .collect();
+    let queue = slice(&t.tomcat_queues[frozen].means(0.0), lo, hi);
+
+    let mut text = String::new();
+    text.push_str(&line_chart(
+        "(a) VLRT (>1s) requests per 50 ms window",
+        &xs,
+        &[("vlrt", &vlrt)],
+        CHART_W,
+        8,
+    ));
+    text.push('\n');
+    text.push_str(&line_chart(
+        &format!("(b) tomcat{} CPU utilization (%) and queue", frozen + 1),
+        &xs,
+        &[("cpu%", &util), ("queue", &queue)],
+        CHART_W,
+        CHART_H,
+    ));
+    text.push('\n');
+
+    let dist: Vec<Vec<f64>> = (0..t.lb_values.len())
+        .map(|ti| slice(&t.distribution[0][ti].to_f64(), lo, hi))
+        .collect();
+    let series: Vec<(String, &[f64])> = dist
+        .iter()
+        .enumerate()
+        .map(|(ti, v)| (format!("tomcat{}", ti + 1), v.as_slice()))
+        .collect();
+    let series_refs: Vec<(&str, &[f64])> = series.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    text.push_str(&line_chart(
+        "(c) Apache1 workload distribution (assignments per 50 ms)",
+        &xs,
+        &series_refs,
+        CHART_W,
+        CHART_H,
+    ));
+
+    // Quantify the pile-on over the freeze (the queue's rising phase, i.e.
+    // the ~400 ms before the peak) and the worst single window.
+    let rise_lo = center.saturating_sub(8);
+    let (during, max_share) = assignment_share(t, frozen, rise_lo, (center + 1).min(len));
+    text.push_str(&format!(
+        "\nShape check vs paper ({}):\n\
+         - the VLRT cluster coincides with tomcat{}'s transient 100% CPU\n\
+         - while tomcat{}'s queue was building, {:.0}% of Apache1's assignments\n\
+           went to the frozen candidate (even share would be {:.0}%), peaking\n\
+           at {:.0}% in a single 50 ms window (paper: all requests routed to\n\
+           Tomcat1 in phase 2); in the recovery phase the distribution\n\
+           inverts, then returns to even.\n",
+        if id == "fig6" { "Fig. 6" } else { "Fig. 7" },
+        frozen + 1,
+        frozen + 1,
+        during,
+        100.0 / t.tomcat_queues.len() as f64,
+        max_share,
+    ));
+
+    let mut cols: Vec<(&str, &[f64])> = vec![
+        ("vlrt", &vlrt[..]),
+        ("tomcat_cpu_pct", &util[..]),
+        ("tomcat_queue", &queue[..]),
+    ];
+    for (n, v) in &series {
+        cols.push((n.as_str(), v));
+    }
+    let csv = CsvTable::from_series("time_s", &xs, &cols);
+    Figure {
+        id,
+        title: title.into(),
+        text,
+        csvs: vec![(format!("{id}_instability"), csv)],
+    }
+}
+
+fn fig8(fixed: &ExperimentResult, original: &ExperimentResult) -> Figure {
+    let t = &fixed.telemetry;
+    let w = t.vlrt_per_window.window();
+    let apache_tier = tier_sum(&t.apache_queues);
+    let tomcat_tier = tier_sum(&t.tomcat_queues);
+    let mysql_tier = t.mysql_queue.means(0.0);
+    let n = apache_tier
+        .len()
+        .min(tomcat_tier.len())
+        .min(mysql_tier.len());
+    let xs = xs_for(w, 0, n);
+    let (a, tc, m) = (
+        slice(&apache_tier, 0, n),
+        slice(&tomcat_tier, 0, n),
+        slice(&mysql_tier, 0, n),
+    );
+    let mut text = line_chart(
+        "Queued requests per tier, total_request + modified get_endpoint",
+        &xs,
+        &[("apache", &a), ("tomcat", &tc), ("mysql", &m)],
+        CHART_W,
+        CHART_H,
+    );
+
+    let orig_tomcat_peak = tier_sum(&original.telemetry.tomcat_queues)
+        .iter()
+        .fold(0.0f64, |acc, &v| acc.max(v));
+    let fixed_tomcat_peak = tc.iter().fold(0.0f64, |acc, &v| acc.max(v));
+    let orig_apache_peak = tier_sum(&original.telemetry.apache_queues)
+        .iter()
+        .fold(0.0f64, |acc, &v| acc.max(v));
+    let fixed_apache_peak = a.iter().fold(0.0f64, |acc, &v| acc.max(v));
+    let reduction = |orig: f64, fixed: f64| {
+        if orig > 0.0 {
+            (1.0 - fixed / orig) * 100.0
+        } else {
+            0.0
+        }
+    };
+    text.push_str(&format!(
+        "\nShape check vs paper (Fig. 8): the mechanism remedy shrinks the\n\
+         queue peaks (paper: queued requests reduced by 75%):\n\
+         - tomcat tier peak: {:.0} → {:.0}  ({:.0}% reduction)\n\
+         - apache tier peak: {:.0} → {:.0}  ({:.0}% reduction)\n",
+        orig_tomcat_peak,
+        fixed_tomcat_peak,
+        reduction(orig_tomcat_peak, fixed_tomcat_peak),
+        orig_apache_peak,
+        fixed_apache_peak,
+        reduction(orig_apache_peak, fixed_apache_peak),
+    ));
+    let csv = CsvTable::from_series(
+        "time_s",
+        &xs,
+        &[
+            ("apache_tier_queue", &a[..]),
+            ("tomcat_tier_queue", &tc[..]),
+            ("mysql_queue", &m[..]),
+        ],
+    );
+    Figure {
+        id: "fig8",
+        title: "Fig. 8: queued requests with modified get_endpoint (total_request)".into(),
+        text,
+        csvs: vec![("fig8_queues".into(), csv)],
+    }
+}
+
+/// Figs. 9 and 13: (a) Tomcat queues, (b) Apache1 workload distribution —
+/// the remedy avoids the frozen candidate.
+fn distribution_figure(id: &'static str, title: &str, r: &ExperimentResult) -> Figure {
+    let t = &r.telemetry;
+    let w = t.vlrt_per_window.window();
+    let (frozen, center) = find_isolated_spike(t);
+    let len = t.tomcat_queues[frozen].windows().len();
+    let (lo, hi) = zoom_bounds(center, 20, len);
+    let xs = xs_for(w, lo, hi);
+
+    let queues: Vec<Vec<f64>> = t
+        .tomcat_queues
+        .iter()
+        .map(|q| slice(&q.means(0.0), lo, hi))
+        .collect();
+    let qseries: Vec<(String, &[f64])> = queues
+        .iter()
+        .enumerate()
+        .map(|(ti, v)| (format!("tomcat{}", ti + 1), v.as_slice()))
+        .collect();
+    let qrefs: Vec<(&str, &[f64])> = qseries.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+
+    let mut text = String::new();
+    text.push_str(&line_chart(
+        "(a) queued requests per Tomcat",
+        &xs,
+        &qrefs,
+        CHART_W,
+        CHART_H,
+    ));
+    text.push('\n');
+
+    let dist: Vec<Vec<f64>> = (0..t.tomcat_queues.len())
+        .map(|ti| slice(&t.distribution[0][ti].to_f64(), lo, hi))
+        .collect();
+    let dseries: Vec<(String, &[f64])> = dist
+        .iter()
+        .enumerate()
+        .map(|(ti, v)| (format!("tomcat{}", ti + 1), v.as_slice()))
+        .collect();
+    let drefs: Vec<(&str, &[f64])> = dseries.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    text.push_str(&line_chart(
+        "(b) Apache1 workload distribution (assignments per 50 ms)",
+        &xs,
+        &drefs,
+        CHART_W,
+        CHART_H,
+    ));
+
+    let peak = queues[frozen].iter().fold(0.0f64, |a, &b| a.max(b));
+    let rise_lo = center.saturating_sub(8);
+    let (share, _) = assignment_share(t, frozen, rise_lo, (center + 1).min(len));
+    // In the heart of the millibottleneck the remedy should route
+    // (almost) nothing to the frozen candidate.
+    let min_share = {
+        let (blo, bhi) = zoom_bounds(center, 4, len);
+        let per_tomcat: Vec<Vec<f64>> = (0..t.tomcat_queues.len())
+            .map(|ti| slice(&t.distribution[0][ti].to_f64(), blo, bhi))
+            .collect();
+        let mut min = 100.0f64;
+        for i in 0..(bhi - blo) {
+            let all: f64 = per_tomcat.iter().map(|v| v[i]).sum();
+            if all > 0.0 {
+                min = min.min(per_tomcat[frozen][i] / all * 100.0);
+            }
+        }
+        min
+    };
+    text.push_str(&format!(
+        "\nShape check vs paper ({}):\n\
+         - tomcat{}'s queue peak stays small: {:.0} requests\n\
+           (paper: ~200 with the mechanism remedy, <40 under current_load,\n\
+            vs ~800 unremedied)\n\
+         - around the millibottleneck only {:.0}% of Apache1's assignments\n\
+           went to the frozen candidate (even share: {:.0}%), dropping to\n\
+           {:.0}% at the height of the bottleneck — requests were routed to\n\
+           the healthy Tomcats.\n",
+        if id == "fig9" { "Fig. 9" } else { "Fig. 13" },
+        frozen + 1,
+        peak,
+        share,
+        100.0 / t.tomcat_queues.len() as f64,
+        min_share,
+    ));
+
+    let mut cols: Vec<(&str, &[f64])> = Vec::new();
+    for (n, v) in &qseries {
+        cols.push((n.as_str(), v));
+    }
+    let dnames: Vec<String> = (0..dist.len())
+        .map(|ti| format!("assign_tomcat{}", ti + 1))
+        .collect();
+    for (i, v) in dist.iter().enumerate() {
+        cols.push((dnames[i].as_str(), v.as_slice()));
+    }
+    let csv = CsvTable::from_series("time_s", &xs, &cols);
+    Figure {
+        id,
+        title: title.into(),
+        text,
+        csvs: vec![(format!("{id}_distribution"), csv)],
+    }
+}
+
+/// Figs. 10 and 11: Tomcat queues plus the lb_value inversion.
+fn lb_value_figure(id: &'static str, title: &str, r: &ExperimentResult) -> Figure {
+    let t = &r.telemetry;
+    let w = t.vlrt_per_window.window();
+    let (frozen, center) = find_isolated_spike(t);
+    let len = t.tomcat_queues[frozen].windows().len();
+    let (lo, hi) = zoom_bounds(center, 20, len);
+    let xs = xs_for(w, lo, hi);
+
+    let queues: Vec<Vec<f64>> = t
+        .tomcat_queues
+        .iter()
+        .map(|q| slice(&q.means(0.0), lo, hi))
+        .collect();
+    let qseries: Vec<(String, &[f64])> = queues
+        .iter()
+        .enumerate()
+        .map(|(ti, v)| (format!("tomcat{}", ti + 1), v.as_slice()))
+        .collect();
+    let qrefs: Vec<(&str, &[f64])> = qseries.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let mut text = String::new();
+    text.push_str(&line_chart(
+        "(a) queued requests per Tomcat",
+        &xs,
+        &qrefs,
+        CHART_W,
+        CHART_H,
+    ));
+    text.push('\n');
+
+    // Plot lb_value *deviation from the per-window minimum* so the
+    // inversion is visible against the unbounded cumulative growth.
+    let raw: Vec<Vec<f64>> = t
+        .lb_values
+        .iter()
+        .map(|s| slice(&s.means(0.0), lo, hi))
+        .collect();
+    let n = xs.len();
+    let mut dev: Vec<Vec<f64>> = vec![vec![0.0; n]; raw.len()];
+    for i in 0..n {
+        let min = raw.iter().map(|s| s[i]).fold(f64::INFINITY, f64::min);
+        for (ti, s) in raw.iter().enumerate() {
+            dev[ti][i] = s[i] - min;
+        }
+    }
+    let dseries: Vec<(String, &[f64])> = dev
+        .iter()
+        .enumerate()
+        .map(|(ti, v)| (format!("tomcat{}", ti + 1), v.as_slice()))
+        .collect();
+    let drefs: Vec<(&str, &[f64])> = dseries.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    text.push_str(&line_chart(
+        "(b) lb_value deviation from the window minimum (Apache1's view)",
+        &xs,
+        &drefs,
+        CHART_W,
+        CHART_H,
+    ));
+
+    // The inversion check: during the bottleneck the frozen backend is at
+    // the minimum; right after recovery it is at the maximum.
+    let at_min_during = {
+        let (blo, bhi) = zoom_bounds(center, 2, len);
+        let mut hits = 0;
+        let mut windows = 0;
+        for i in blo..bhi {
+            let vals: Vec<f64> = t.lb_values.iter().map(|s| s.means(0.0)[i]).collect();
+            let min = vals.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+            windows += 1;
+            if (vals[frozen] - min).abs() < 1e-9 {
+                hits += 1;
+            }
+        }
+        (hits, windows)
+    };
+    text.push_str(&format!(
+        "\nShape check vs paper ({}):\n\
+         - during the millibottleneck, tomcat{}'s lb_value was the minimum in\n\
+           {}/{} sampled windows (paper: lowest throughout phase 2 — this is\n\
+           why every request was sent to it);\n\
+         - in the recovery phase its lb_value rises above the others (the\n\
+           red-peak inversion of Fig. 10b/11b) as it drains its backlog.\n",
+        if id == "fig10" { "Fig. 10" } else { "Fig. 11" },
+        frozen + 1,
+        at_min_during.0,
+        at_min_during.1,
+    ));
+
+    let mut cols: Vec<(&str, &[f64])> = Vec::new();
+    for (n, v) in &qseries {
+        cols.push((n.as_str(), v));
+    }
+    let lbnames: Vec<String> = (0..raw.len())
+        .map(|ti| format!("lb_value_tomcat{}", ti + 1))
+        .collect();
+    for (i, v) in raw.iter().enumerate() {
+        cols.push((lbnames[i].as_str(), v.as_slice()));
+    }
+    let csv = CsvTable::from_series("time_s", &xs, &cols);
+    Figure {
+        id,
+        title: title.into(),
+        text,
+        csvs: vec![(format!("{id}_lb_values"), csv)],
+    }
+}
+
+fn fig12(r: &ExperimentResult) -> Figure {
+    let t = &r.telemetry;
+    let w = t.vlrt_per_window.window();
+    let apache_tier = tier_sum(&t.apache_queues);
+    let tomcat_tier = tier_sum(&t.tomcat_queues);
+    let mysql_tier = t.mysql_queue.means(0.0);
+    let n = apache_tier
+        .len()
+        .min(tomcat_tier.len())
+        .min(mysql_tier.len());
+    let xs = xs_for(w, 0, n);
+    let (a, tc, m) = (
+        slice(&apache_tier, 0, n),
+        slice(&tomcat_tier, 0, n),
+        slice(&mysql_tier, 0, n),
+    );
+    let mut text = line_chart(
+        "Queued requests per tier, current_load policy",
+        &xs,
+        &[("apache", &a), ("tomcat", &tc), ("mysql", &m)],
+        CHART_W,
+        CHART_H,
+    );
+    let tomcat_peak = tc.iter().fold(0.0f64, |acc, &v| acc.max(v));
+    text.push_str(&format!(
+        "\nShape check vs paper (Fig. 12): no huge queue spikes despite {}\n\
+         millibottlenecks during the run — tomcat tier peak {:.0} requests.\n\
+         The queue amplification from Tomcat into Apache disappears.\n",
+        r.total_millibottlenecks(),
+        tomcat_peak,
+    ));
+    let csv = CsvTable::from_series(
+        "time_s",
+        &xs,
+        &[
+            ("apache_tier_queue", &a[..]),
+            ("tomcat_tier_queue", &tc[..]),
+            ("mysql_queue", &m[..]),
+        ],
+    );
+    Figure {
+        id: "fig12",
+        title: "Fig. 12: queued requests under the current_load policy".into(),
+        text,
+        csvs: vec![("fig12_queues".into(), csv)],
+    }
+}
+
+fn table1(cache: &RunCache) -> Figure {
+    let order = [
+        RunKey::TotalRequest,
+        RunKey::TotalTraffic,
+        RunKey::CurrentLoad,
+        RunKey::TotalRequestFixed,
+        RunKey::TotalTrafficFixed,
+        RunKey::CurrentLoadFixed,
+    ];
+    let rows: Vec<TableRow> = order
+        .iter()
+        .map(|&k| {
+            let r = cache.get(k);
+            TableRow::new(r.label.clone(), r.telemetry.response.clone())
+        })
+        .collect();
+    let mut text = render_table(&rows);
+
+    let avg = |k: RunKey| cache.get(k).telemetry.response.avg_ms();
+    let vlrt = |k: RunKey| cache.get(k).telemetry.response.pct_vlrt();
+    let imp_cl = avg(RunKey::TotalRequest) / avg(RunKey::CurrentLoad).max(1e-9);
+    let imp_tt = avg(RunKey::TotalTraffic) / avg(RunKey::CurrentLoad).max(1e-9);
+    let imp_mech = avg(RunKey::TotalRequest) / avg(RunKey::TotalRequestFixed).max(1e-9);
+    text.push_str(&format!(
+        "\nShape check vs paper (Table I):\n\
+         - current_load improves avg RT by {imp_cl:.1}x over total_request (paper: 12x)\n\
+         - current_load improves avg RT by {imp_tt:.1}x over total_traffic (paper: 15x)\n\
+         - the mechanism remedy alone improves total_request by {imp_mech:.1}x (paper: ~8x)\n\
+         - VLRT fractions: {:.2}% / {:.2}% unremedied (paper 5.33%/6.89%),\n\
+           {:.2}% / {:.2}% / {:.2}% remedied (paper 0.21%/0.55%/0.76%)\n\
+         - combining both remedies ({:.2} ms) gains nothing further over\n\
+           current_load alone ({:.2} ms) — they close the same loophole.\n",
+        vlrt(RunKey::TotalRequest),
+        vlrt(RunKey::TotalTraffic),
+        vlrt(RunKey::CurrentLoad),
+        vlrt(RunKey::TotalRequestFixed),
+        vlrt(RunKey::TotalTrafficFixed),
+        avg(RunKey::CurrentLoadFixed),
+        avg(RunKey::CurrentLoad),
+    ));
+
+    text.push_str(
+        "\nWhere the time goes (mean per request — the instability lives in\n\
+         retransmission and routing, not in backend service):\n",
+    );
+    for key in [RunKey::TotalRequest, RunKey::CurrentLoad] {
+        let r = cache.get(key);
+        text.push_str(&format!(
+            "\n{}:\n{}",
+            r.label,
+            r.telemetry.phase_breakdown.render()
+        ));
+    }
+
+    let mut csv = CsvTable::with_columns(&[
+        "row",
+        "total_requests",
+        "avg_rt_ms",
+        "pct_vlrt",
+        "pct_normal",
+    ]);
+    for (i, row) in rows.iter().enumerate() {
+        csv.push_row(vec![
+            i as f64,
+            row.stats.total() as f64,
+            row.stats.avg_ms(),
+            row.stats.pct_vlrt(),
+            row.stats.pct_normal(),
+        ]);
+    }
+    Figure {
+        id: "table1",
+        title: "Table I: performance of the policies and remedies".into(),
+        text,
+        csvs: vec![("table1_summary".into(), csv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_simkernel::time::SimTime;
+
+    fn synthetic_telemetry() -> Telemetry {
+        // 2 apaches × 4 tomcats, 50 ms windows, 10 s of samples.
+        let mut t = Telemetry::new(2, 4, SimDuration::from_millis(50));
+        for w in 0..200u64 {
+            let at = SimTime::from_millis(w * 50 + 10);
+            for q in t.tomcat_queues.iter_mut() {
+                q.record(at, 5.0);
+            }
+        }
+        // One isolated spike on tomcat 2 around t = 4 s...
+        for w in 78..=82u64 {
+            t.tomcat_queues[2].record(SimTime::from_millis(w * 50 + 10), 300.0);
+        }
+        // ...and two overlapping spikes on tomcats 0 and 1 around t = 8 s.
+        for w in 158..=162u64 {
+            t.tomcat_queues[0].record(SimTime::from_millis(w * 50 + 10), 400.0);
+            t.tomcat_queues[1].record(SimTime::from_millis(w * 50 + 10), 380.0);
+        }
+        t
+    }
+
+    #[test]
+    fn zoom_bounds_clamps_to_series() {
+        assert_eq!(zoom_bounds(50, 20, 200), (30, 71));
+        assert_eq!(zoom_bounds(5, 20, 200), (0, 26));
+        assert_eq!(zoom_bounds(195, 20, 200), (175, 200));
+        assert_eq!(zoom_bounds(0, 0, 1), (0, 1));
+    }
+
+    #[test]
+    fn slice_pads_past_the_end() {
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(slice(&v, 1, 5), vec![2.0, 3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn xs_for_converts_windows_to_seconds() {
+        let xs = xs_for(SimDuration::from_millis(50), 20, 23);
+        assert_eq!(xs, vec![1.0, 1.05, 1.1]);
+    }
+
+    #[test]
+    fn deepest_spike_finds_the_global_maximum() {
+        let t = synthetic_telemetry();
+        let (tomcat, idx) = deepest_tomcat_spike(&t);
+        assert_eq!(tomcat, 0, "tomcat 0 has the 400-deep spike");
+        assert!((158..=162).contains(&idx));
+    }
+
+    #[test]
+    fn isolated_spike_prefers_the_lone_bottleneck() {
+        let t = synthetic_telemetry();
+        let (tomcat, idx) = find_isolated_spike(&t);
+        assert_eq!(
+            tomcat, 2,
+            "the isolated 300-deep spike beats the overlapping 400s"
+        );
+        assert!(
+            (78..=82).contains(&idx),
+            "spike at windows 78..=82, got {idx}"
+        );
+    }
+
+    #[test]
+    fn isolated_spike_falls_back_when_everything_overlaps() {
+        let mut t = Telemetry::new(1, 2, SimDuration::from_millis(50));
+        for w in 0..40u64 {
+            let at = SimTime::from_millis(w * 50 + 10);
+            t.tomcat_queues[0].record(at, 100.0);
+            t.tomcat_queues[1].record(at, 100.0);
+        }
+        let (tomcat, _) = find_isolated_spike(&t);
+        assert!(tomcat < 2);
+    }
+
+    #[test]
+    fn tier_sum_adds_per_window() {
+        let t = synthetic_telemetry();
+        let sum = tier_sum(&t.tomcat_queues);
+        // Plateau windows: 4 tomcats × 5 each.
+        assert!((sum[10] - 20.0).abs() < 1e-9);
+        // The isolated spike window: 3 × 5 + (5 + 300)/2 mean? No — each
+        // window holds two samples for tomcat 2 (5.0 and 300.0), so its
+        // mean is 152.5 and the tier sum is 15 + 152.5.
+        assert!((sum[80] - (15.0 + 152.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assignment_share_counts_the_frozen_backend() {
+        let mut t = Telemetry::new(1, 2, SimDuration::from_millis(50));
+        for i in 0..10u64 {
+            let at = SimTime::from_millis(i * 10);
+            t.record_assignment(at, 0, 0);
+        }
+        t.record_assignment(SimTime::from_millis(5), 0, 1);
+        let (overall, max_single) = assignment_share(&t, 0, 0, 2);
+        assert!(overall > 80.0 && overall < 95.0);
+        assert!(max_single >= overall);
+    }
+
+    #[test]
+    fn peak_index_counter_finds_the_max_window() {
+        let mut c = WindowedCounter::new(SimDuration::from_millis(50));
+        c.add(SimTime::from_millis(10), 1);
+        c.add(SimTime::from_millis(120), 9);
+        c.add(SimTime::from_millis(300), 2);
+        assert_eq!(peak_index_counter(&c), 2);
+    }
+}

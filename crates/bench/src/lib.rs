@@ -1,0 +1,32 @@
+//! # mlb-bench — the reproduction harness
+//!
+//! Regenerates every table and figure of the paper's evaluation from the
+//! simulated testbed, and hosts the criterion micro-benchmarks.
+//!
+//! * [`runs`] — the eight distinct experiment configurations behind the
+//!   paper's artifacts, executed in parallel and cached.
+//! * [`figures`] — one builder per artifact (`fig1`–`fig13`, `table1`):
+//!   ASCII charts + shape checks on the terminal, CSV series on disk.
+//!
+//! The `repro` binary drives it:
+//!
+//! ```text
+//! cargo run --release -p mlb-bench --bin repro -- all
+//! cargo run --release -p mlb-bench --bin repro -- fig6 table1 --secs 60
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablations;
+pub mod extensions;
+pub mod figures;
+pub mod robustness;
+pub mod runs;
+
+pub use ablations::{all_ablations, build_ablation};
+pub use extensions::{all_extensions, build_extension};
+pub use figures::{all_artifacts, build, required_runs, Figure};
+pub use robustness::build_robustness;
+pub use runs::{RunCache, RunKey};

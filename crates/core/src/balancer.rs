@@ -1,0 +1,534 @@
+//! The balancer facade: mod_jk's two-level scheduler.
+//!
+//! [`Balancer`] combines a policy ([`LbValues`]), the 3-state backend
+//! model ([`BackendState`]) and a mechanism
+//! ([`MechanismKind`](crate::mechanism::MechanismKind)) behind the small
+//! set of callbacks an event-driven server model needs:
+//!
+//! 1. [`Balancer::select`] — pick the Available candidate with minimum
+//!    lb_value (round-robin among ties);
+//! 2. the driver attempts a pool acquisition for the chosen candidate;
+//! 3. on failure, [`Balancer::endpoint_failed`] returns the mechanism's
+//!    advice — keep polling (original) or mark Busy and reselect (remedy);
+//! 4. on success, [`Balancer::endpoint_acquired`]; when the response
+//!    arrives, [`Balancer::response_received`].
+//!
+//! The balancer is deliberately free of any simulator dependency: it is
+//! pure decision logic, driven entirely through these callbacks, which is
+//! what makes the paper's instability analyzable in isolation (see the
+//! crate-level example).
+
+use crate::config::BalancerConfig;
+use crate::mechanism::{advice, EndpointAdvice};
+use crate::policy::LbValues;
+use crate::state::{BackendState, WorkerState};
+use crate::types::BackendId;
+use mlb_simkernel::time::{SimDuration, SimTime};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`BalancerConfig`] fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfigError {
+    message: String,
+}
+
+impl fmt::Display for InvalidConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid balancer config: {}", self.message)
+    }
+}
+
+impl Error for InvalidConfigError {}
+
+/// Lifetime counters of one balancer instance.
+#[derive(Debug, Clone)]
+pub struct BalancerStats {
+    /// Successful selections.
+    pub selections: u64,
+    /// Selections that found no eligible candidate.
+    pub no_candidate: u64,
+    /// Endpoint acquisitions per backend.
+    pub assignments: Vec<u64>,
+    /// Responses received per backend.
+    pub completions: Vec<u64>,
+    /// Failed acquisitions answered with "retry" (original mechanism).
+    pub retries_advised: u64,
+    /// Failed acquisitions answered with "give up" (→ Busy mark).
+    pub giveups: u64,
+    /// Requests aborted after assignment (e.g. retransmitted).
+    pub aborts: u64,
+    /// CPing probes that timed out (ProbeFirst mechanism).
+    pub probe_failures: u64,
+}
+
+impl BalancerStats {
+    fn new(backends: usize) -> Self {
+        BalancerStats {
+            selections: 0,
+            no_candidate: 0,
+            assignments: vec![0; backends],
+            completions: vec![0; backends],
+            retries_advised: 0,
+            giveups: 0,
+            aborts: 0,
+            probe_failures: 0,
+        }
+    }
+}
+
+/// One Apache worker process's load balancer over a set of Tomcat
+/// backends.
+///
+/// # Examples
+///
+/// The millibottleneck instability in eight lines — backend 0 freezes,
+/// and under `total_request` every subsequent pick lands on it:
+///
+/// ```
+/// use mlb_core::prelude::*;
+/// use mlb_simkernel::time::{SimDuration, SimTime};
+///
+/// let cfg = BalancerConfig::with(PolicyKind::TotalRequest, MechanismKind::Original);
+/// let mut lb = Balancer::new(cfg, 4).unwrap();
+/// let now = SimTime::ZERO;
+///
+/// // Healthy traffic: backends 1-3 complete requests, backend 0 is frozen
+/// // by a millibottleneck and completes nothing.
+/// for b in 1..4 {
+///     lb.endpoint_acquired(now, BackendId(b));
+///     lb.response_received(now, BackendId(b), 1_000, SimDuration::from_millis(3));
+/// }
+/// // Every new selection now lands on the frozen backend — the instability.
+/// for _ in 0..5 {
+///     assert_eq!(lb.select(now, &[false; 4]), Some(BackendId(0)));
+///     lb.endpoint_acquired(now, BackendId(0));
+///     // ...no response ever arrives while it is frozen...
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Balancer {
+    config: BalancerConfig,
+    lb: LbValues,
+    states: Vec<BackendState>,
+    rr_cursor: usize,
+    last_decay: SimTime,
+    stats: BalancerStats,
+}
+
+impl Balancer {
+    /// Creates a balancer over `backends` candidates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidConfigError`] if the configuration fails
+    /// [`BalancerConfig::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` is zero.
+    pub fn new(config: BalancerConfig, backends: usize) -> Result<Self, InvalidConfigError> {
+        config
+            .validate()
+            .map_err(|message| InvalidConfigError { message })?;
+        assert!(backends > 0, "need at least one backend");
+        if let Some(w) = &config.weights {
+            if w.len() != backends {
+                return Err(InvalidConfigError {
+                    message: format!("{} weights configured for {} backends", w.len(), backends),
+                });
+            }
+        }
+        let mut lb = LbValues::with_seed(config.policy, backends, config.lb_mult, config.seed);
+        if let Some(w) = &config.weights {
+            lb.set_weights(w);
+        }
+        Ok(Balancer {
+            lb,
+            states: vec![BackendState::new(); backends],
+            rr_cursor: 0,
+            last_decay: SimTime::ZERO,
+            stats: BalancerStats::new(backends),
+            config,
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &BalancerConfig {
+        &self.config
+    }
+
+    /// Number of backends.
+    pub fn backends(&self) -> usize {
+        self.lb.len()
+    }
+
+    /// Current lb_value per backend (index = backend index).
+    pub fn lb_values(&self) -> &[u64] {
+        self.lb.values()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &BalancerStats {
+        &self.stats
+    }
+
+    /// The 3-state view of one backend at `now`.
+    pub fn state_of(&self, now: SimTime, b: BackendId) -> WorkerState {
+        self.states[b.0].effective(now, &self.config)
+    }
+
+    /// Picks the next candidate: the Available backend with minimum
+    /// lb_value, round-robin among ties, skipping any backend marked
+    /// `true` in `exclude` (candidates this request already gave up on).
+    ///
+    /// Returns `None` when every backend is Busy/Error/excluded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exclude.len()` differs from the backend count.
+    pub fn select(&mut self, now: SimTime, exclude: &[bool]) -> Option<BackendId> {
+        assert_eq!(exclude.len(), self.lb.len(), "exclude mask size mismatch");
+        self.maybe_decay(now);
+        let eligible: Vec<bool> = (0..self.lb.len())
+            .map(|i| {
+                !exclude[i] && self.states[i].effective(now, &self.config) == WorkerState::Available
+            })
+            .collect();
+        match self.lb.select_min(&eligible, self.rr_cursor) {
+            Some(b) => {
+                self.rr_cursor = (b.0 + 1) % self.lb.len();
+                self.stats.selections += 1;
+                Some(b)
+            }
+            None => {
+                self.stats.no_candidate += 1;
+                None
+            }
+        }
+    }
+
+    /// Reports a failed endpoint acquisition for `b` after `elapsed` of
+    /// waiting (zero on the first attempt) and returns the mechanism's
+    /// advice. A [`EndpointAdvice::GiveUp`] answer marks the backend Busy
+    /// (escalating to Error after repeated streaks).
+    pub fn endpoint_failed(
+        &mut self,
+        now: SimTime,
+        b: BackendId,
+        elapsed: SimDuration,
+    ) -> EndpointAdvice {
+        let a = advice(
+            self.config.mechanism,
+            elapsed,
+            self.config.cache_acquire_timeout,
+            self.config.retry_sleep,
+        );
+        match a {
+            EndpointAdvice::RetryAfter(_) => self.stats.retries_advised += 1,
+            EndpointAdvice::GiveUp => {
+                self.stats.giveups += 1;
+                self.states[b.0].mark_failed(now, &self.config);
+            }
+        }
+        a
+    }
+
+    /// Reports a successful endpoint acquisition: the request is being
+    /// sent to `b`. Clears any Busy/Error mark (proof of life) and applies
+    /// the policy's assignment hook.
+    pub fn endpoint_acquired(&mut self, _now: SimTime, b: BackendId) {
+        self.states[b.0].mark_alive();
+        self.lb.on_assign(b, 0);
+        self.stats.assignments[b.0] += 1;
+    }
+
+    /// Reports a completed response from `b` carrying `traffic_bytes`
+    /// total message size (request + response), observed `latency` after
+    /// its assignment (feeds the latency-aware extension policies).
+    pub fn response_received(
+        &mut self,
+        _now: SimTime,
+        b: BackendId,
+        traffic_bytes: u64,
+        latency: SimDuration,
+    ) {
+        self.states[b.0].mark_alive();
+        self.lb.on_complete(b, traffic_bytes, latency);
+        self.stats.completions[b.0] += 1;
+    }
+
+    /// Reports a CPing probe timeout on `b` (ProbeFirst mechanism): the
+    /// backend is marked Busy exactly as a failed acquisition would, and
+    /// the outstanding count from the aborted assignment is released.
+    pub fn probe_failed(&mut self, now: SimTime, b: BackendId) {
+        self.stats.probe_failures += 1;
+        self.states[b.0].mark_failed(now, &self.config);
+        self.lb.on_abort(b);
+    }
+
+    /// The CPing probe budget configured for this balancer.
+    pub fn probe_timeout(&self) -> SimDuration {
+        self.config.probe_timeout
+    }
+
+    /// `true` if the driver must probe the backend after acquiring an
+    /// endpoint and before sending (ProbeFirst mechanism).
+    pub fn probes_before_send(&self) -> bool {
+        self.config.mechanism.probes_before_send()
+    }
+
+    /// Reports that a request assigned to `b` was aborted before any
+    /// response (e.g. the client gave up and retransmitted). Releases the
+    /// outstanding count under `current_load`.
+    pub fn request_aborted(&mut self, b: BackendId) {
+        self.lb.on_abort(b);
+        self.stats.aborts += 1;
+    }
+
+    fn maybe_decay(&mut self, now: SimTime) {
+        if let Some(interval) = self.config.decay_interval {
+            while now.saturating_since(self.last_decay) >= interval {
+                self.lb.decay();
+                self.last_decay += interval;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // intentional: mutate one knob at a time
+mod tests {
+    use super::*;
+    use crate::mechanism::MechanismKind;
+    use crate::policy::PolicyKind;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn balancer(policy: PolicyKind, mech: MechanismKind, n: usize) -> Balancer {
+        Balancer::new(BalancerConfig::with(policy, mech), n).unwrap()
+    }
+
+    const NOEX: [bool; 4] = [false; 4];
+
+    /// Drive one complete request through the balancer.
+    fn complete_one(lb: &mut Balancer, now: SimTime, b: BackendId, bytes: u64) {
+        lb.endpoint_acquired(now, b);
+        lb.response_received(now, b, bytes, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn invalid_config_is_an_error() {
+        let mut cfg = BalancerConfig::default();
+        cfg.lb_mult = 0;
+        let err = Balancer::new(cfg, 4).unwrap_err();
+        assert!(err.to_string().contains("lb_mult"));
+    }
+
+    #[test]
+    fn total_request_balances_evenly_when_healthy() {
+        let mut lb = balancer(PolicyKind::TotalRequest, MechanismKind::Original, 4);
+        let mut counts = [0u64; 4];
+        for i in 0..400 {
+            let now = t(i);
+            let b = lb.select(now, &NOEX).unwrap();
+            counts[b.0] += 1;
+            complete_one(&mut lb, now, b, 1_000);
+        }
+        assert_eq!(counts, [100, 100, 100, 100]);
+        // The paper's observation: healthy lb_values differ by at most 1.
+        let values = lb.lb_values();
+        let min = values.iter().min().unwrap();
+        let max = values.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn total_request_pile_on_during_millibottleneck() {
+        // Backend 0 freezes: it still accepts assignments but never
+        // completes. Every selection must land on it.
+        let mut lb = balancer(PolicyKind::TotalRequest, MechanismKind::Original, 4);
+        for i in 0..40 {
+            let now = t(i);
+            let b = lb.select(now, &NOEX).unwrap();
+            if b.0 == 0 {
+                lb.endpoint_acquired(now, b); // frozen: no response
+            } else {
+                complete_one(&mut lb, now, b, 1_000);
+            }
+        }
+        // After warmup the frozen backend's lb_value is pinned at the
+        // minimum, so the pile-on is total.
+        let picked: Vec<usize> = (40..60)
+            .map(|i| {
+                let b = lb.select(t(i), &NOEX).unwrap();
+                lb.endpoint_acquired(t(i), b);
+                b.0
+            })
+            .collect();
+        assert!(picked.iter().all(|&p| p == 0), "picks were {picked:?}");
+    }
+
+    #[test]
+    fn current_load_avoids_frozen_backend() {
+        let mut lb = balancer(PolicyKind::CurrentLoad, MechanismKind::Original, 4);
+        // Freeze backend 0 after it absorbs a few requests.
+        for i in 0..12 {
+            let now = t(i);
+            let b = lb.select(now, &NOEX).unwrap();
+            lb.endpoint_acquired(now, b);
+            if b.0 != 0 {
+                lb.response_received(now, b, 1_000, SimDuration::from_millis(2));
+            }
+        }
+        // Backend 0's outstanding count exceeds everyone else's; no new
+        // request should pick it.
+        for i in 12..40 {
+            let b = lb.select(t(i), &NOEX).unwrap();
+            assert_ne!(b.0, 0, "current_load picked the frozen backend");
+            lb.endpoint_acquired(t(i), b);
+            lb.response_received(t(i), b, 1_000, SimDuration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn total_traffic_follows_bytes() {
+        let mut lb = balancer(PolicyKind::TotalTraffic, MechanismKind::Original, 2);
+        // Backend 0 serves one huge response; backend 1 small ones.
+        complete_one(&mut lb, t(0), BackendId(0), 1_000_000);
+        complete_one(&mut lb, t(1), BackendId(1), 100);
+        // Selection prefers the low-traffic backend until it catches up.
+        for i in 2..10 {
+            assert_eq!(lb.select(t(i), &[false, false]), Some(BackendId(1)));
+            complete_one(&mut lb, t(i), BackendId(1), 100);
+        }
+    }
+
+    #[test]
+    fn giveup_marks_busy_and_select_skips_it() {
+        let mut lb = balancer(PolicyKind::TotalRequest, MechanismKind::SkipToBusy, 4);
+        let b = lb.select(t(0), &NOEX).unwrap();
+        assert_eq!(
+            lb.endpoint_failed(t(0), b, SimDuration::ZERO),
+            EndpointAdvice::GiveUp
+        );
+        assert_eq!(lb.state_of(t(1), b), WorkerState::Busy);
+        // Reselect excludes it naturally (it is Busy).
+        let b2 = lb.select(t(1), &NOEX).unwrap();
+        assert_ne!(b2, b);
+    }
+
+    #[test]
+    fn original_mechanism_advises_retries_first() {
+        let mut lb = balancer(PolicyKind::TotalRequest, MechanismKind::Original, 4);
+        let b = BackendId(0);
+        assert!(matches!(
+            lb.endpoint_failed(t(0), b, SimDuration::ZERO),
+            EndpointAdvice::RetryAfter(_)
+        ));
+        // Backend stays Available during the polling loop — the mechanism
+        // limitation.
+        assert_eq!(lb.state_of(t(50), b), WorkerState::Available);
+        assert_eq!(
+            lb.endpoint_failed(t(300), b, SimDuration::from_millis(300)),
+            EndpointAdvice::GiveUp
+        );
+        assert_eq!(lb.state_of(t(301), b), WorkerState::Busy);
+        assert_eq!(lb.stats().retries_advised, 1);
+        assert_eq!(lb.stats().giveups, 1);
+    }
+
+    #[test]
+    fn busy_expires_and_backend_returns() {
+        let mut lb = balancer(PolicyKind::TotalRequest, MechanismKind::SkipToBusy, 2);
+        lb.endpoint_failed(t(0), BackendId(0), SimDuration::ZERO);
+        assert_eq!(lb.state_of(t(50), BackendId(0)), WorkerState::Busy);
+        assert_eq!(lb.state_of(t(150), BackendId(0)), WorkerState::Available);
+    }
+
+    #[test]
+    fn response_clears_busy() {
+        let mut lb = balancer(PolicyKind::TotalRequest, MechanismKind::SkipToBusy, 2);
+        lb.endpoint_failed(t(0), BackendId(0), SimDuration::ZERO);
+        lb.response_received(t(10), BackendId(0), 100, SimDuration::from_millis(2));
+        assert_eq!(lb.state_of(t(11), BackendId(0)), WorkerState::Available);
+    }
+
+    #[test]
+    fn all_busy_yields_none() {
+        let mut lb = balancer(PolicyKind::TotalRequest, MechanismKind::SkipToBusy, 2);
+        lb.endpoint_failed(t(0), BackendId(0), SimDuration::ZERO);
+        lb.endpoint_failed(t(0), BackendId(1), SimDuration::ZERO);
+        assert_eq!(lb.select(t(1), &[false, false]), None);
+        assert_eq!(lb.stats().no_candidate, 1);
+    }
+
+    #[test]
+    fn exclusion_mask_is_respected() {
+        let mut lb = balancer(PolicyKind::TotalRequest, MechanismKind::Original, 4);
+        let picked = lb.select(t(0), &[true, true, true, false]).unwrap();
+        assert_eq!(picked, BackendId(3));
+    }
+
+    #[test]
+    fn repeated_streaks_escalate_to_error_and_recover() {
+        let mut cfg = BalancerConfig::with(PolicyKind::TotalRequest, MechanismKind::SkipToBusy);
+        cfg.error_threshold = 2;
+        cfg.error_recover = SimDuration::from_secs(1);
+        let mut lb = Balancer::new(cfg, 2).unwrap();
+        lb.endpoint_failed(t(0), BackendId(0), SimDuration::ZERO);
+        lb.endpoint_failed(t(200), BackendId(0), SimDuration::ZERO);
+        assert_eq!(lb.state_of(t(300), BackendId(0)), WorkerState::Error);
+        assert_eq!(lb.state_of(t(1_300), BackendId(0)), WorkerState::Available);
+    }
+
+    #[test]
+    fn abort_releases_current_load() {
+        let mut lb = balancer(PolicyKind::CurrentLoad, MechanismKind::Original, 2);
+        lb.endpoint_acquired(t(0), BackendId(0));
+        assert_eq!(lb.lb_values(), &[1, 0]);
+        lb.request_aborted(BackendId(0));
+        assert_eq!(lb.lb_values(), &[0, 0]);
+        assert_eq!(lb.stats().aborts, 1);
+    }
+
+    #[test]
+    fn decay_halves_on_schedule() {
+        let mut cfg = BalancerConfig::with(PolicyKind::TotalRequest, MechanismKind::Original);
+        cfg.decay_interval = Some(SimDuration::from_secs(1));
+        let mut lb = Balancer::new(cfg, 2).unwrap();
+        for _ in 0..8 {
+            complete_one(&mut lb, t(0), BackendId(0), 0);
+        }
+        assert_eq!(lb.lb_values()[0], 8);
+        lb.select(SimTime::from_secs(1), &[false, false]);
+        assert_eq!(lb.lb_values()[0], 4);
+        lb.select(SimTime::from_secs(3), &[false, false]);
+        assert_eq!(lb.lb_values()[0], 1);
+    }
+
+    #[test]
+    fn stats_track_per_backend_counts() {
+        let mut lb = balancer(PolicyKind::TotalRequest, MechanismKind::Original, 4);
+        complete_one(&mut lb, t(0), BackendId(2), 10);
+        complete_one(&mut lb, t(1), BackendId(2), 10);
+        assert_eq!(lb.stats().assignments[2], 2);
+        assert_eq!(lb.stats().completions[2], 2);
+        assert_eq!(lb.stats().assignments[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exclude mask size mismatch")]
+    fn wrong_exclude_size_panics() {
+        let mut lb = balancer(PolicyKind::TotalRequest, MechanismKind::Original, 4);
+        lb.select(t(0), &[false; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backend")]
+    fn zero_backends_panics() {
+        let _ = Balancer::new(BalancerConfig::default(), 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Balancer configuration.
+//!
+//! Defaults mirror mod_jk 1.2.32 as configured in the paper's testbed:
+//! `cache_acquire_timeout = 300 ms`, `retry_sleep = 100 ms`
+//! (`JK_SLEEP_DEF`), `lb_mult = 1`. The six rows of the paper's Table I
+//! are the cross product exposed by [`BalancerConfig::table1_rows`].
+
+use crate::mechanism::MechanismKind;
+use crate::policy::PolicyKind;
+use mlb_simkernel::time::SimDuration;
+
+/// Full configuration of one load balancer instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BalancerConfig {
+    /// The lb_value policy.
+    pub policy: PolicyKind,
+    /// The endpoint-acquisition mechanism.
+    pub mechanism: MechanismKind,
+    /// lb_value increment unit (mod_jk `lbfactor` normalization).
+    pub lb_mult: u64,
+    /// Original mechanism: total budget for polling one candidate.
+    pub cache_acquire_timeout: SimDuration,
+    /// Original mechanism: sleep between polls (`JK_SLEEP_DEF`).
+    pub retry_sleep: SimDuration,
+    /// How long a Busy mark keeps a candidate out of selection.
+    pub busy_hold: SimDuration,
+    /// Consecutive failed acquisitions that escalate Busy → Error.
+    pub error_threshold: u32,
+    /// How long an Error mark keeps a candidate out of selection.
+    pub error_recover: SimDuration,
+    /// Optional mod_jk-style aging: halve all lb_values at this period.
+    pub decay_interval: Option<SimDuration>,
+    /// `ProbeFirst` mechanism: how long to wait for a CPing reply before
+    /// declaring the backend Busy.
+    pub probe_timeout: SimDuration,
+    /// Seed for the balancer's own random stream (the `Random` policy).
+    pub seed: u64,
+    /// Optional per-backend capacity weights (mod_jk `lbfactor`). A
+    /// backend with twice the weight receives twice the share under the
+    /// counting policies. `None` means equal weights.
+    pub weights: Option<Vec<u64>>,
+    /// mod_jk `sticky_session`: once a client's first request is served by
+    /// a backend, all its later requests go to the same backend, bypassing
+    /// the policy. Failover to a fresh selection only happens when the
+    /// pinned backend cannot hand out an endpoint (GiveUp) or is in Error.
+    pub sticky_sessions: bool,
+}
+
+impl BalancerConfig {
+    /// mod_jk defaults with the paper's default policy (`total_request`)
+    /// and the original mechanism.
+    pub fn mod_jk_default() -> Self {
+        BalancerConfig {
+            policy: PolicyKind::TotalRequest,
+            mechanism: MechanismKind::Original,
+            lb_mult: 1,
+            cache_acquire_timeout: SimDuration::from_millis(300),
+            retry_sleep: SimDuration::from_millis(100),
+            busy_hold: SimDuration::from_millis(100),
+            error_threshold: 10,
+            error_recover: SimDuration::from_secs(60),
+            decay_interval: None,
+            probe_timeout: SimDuration::from_millis(10),
+            seed: 0x6A6B, // "jk"
+            weights: None,
+            sticky_sessions: false,
+        }
+    }
+
+    /// Same defaults with a chosen policy/mechanism pair.
+    pub fn with(policy: PolicyKind, mechanism: MechanismKind) -> Self {
+        BalancerConfig {
+            policy,
+            mechanism,
+            ..BalancerConfig::mod_jk_default()
+        }
+    }
+
+    /// A short label like `"total_request + modified get_endpoint"`.
+    pub fn label(&self) -> String {
+        let base = self.base_label();
+        if self.sticky_sessions {
+            format!("{base} (sticky)")
+        } else {
+            base
+        }
+    }
+
+    fn base_label(&self) -> String {
+        match self.mechanism {
+            MechanismKind::Original => format!("Original {}", self.policy.name()),
+            MechanismKind::SkipToBusy => {
+                format!("{} with modified get_endpoint", self.policy.name())
+            }
+            MechanismKind::ProbeFirst => {
+                format!("{} with cping/cpong probe", self.policy.name())
+            }
+        }
+    }
+
+    /// The six policy/mechanism combinations of the paper's Table I, in
+    /// row order.
+    pub fn table1_rows() -> Vec<BalancerConfig> {
+        vec![
+            BalancerConfig::with(PolicyKind::TotalRequest, MechanismKind::Original),
+            BalancerConfig::with(PolicyKind::TotalTraffic, MechanismKind::Original),
+            BalancerConfig::with(PolicyKind::CurrentLoad, MechanismKind::Original),
+            BalancerConfig::with(PolicyKind::TotalRequest, MechanismKind::SkipToBusy),
+            BalancerConfig::with(PolicyKind::TotalTraffic, MechanismKind::SkipToBusy),
+            BalancerConfig::with(PolicyKind::CurrentLoad, MechanismKind::SkipToBusy),
+        ]
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.lb_mult == 0 {
+            return Err("lb_mult must be positive".into());
+        }
+        if self.retry_sleep.is_zero() {
+            return Err("retry_sleep must be positive".into());
+        }
+        if self.cache_acquire_timeout < self.retry_sleep {
+            return Err(format!(
+                "cache_acquire_timeout ({}) < retry_sleep ({})",
+                self.cache_acquire_timeout, self.retry_sleep
+            ));
+        }
+        if self.error_threshold == 0 {
+            return Err("error_threshold must be at least 1".into());
+        }
+        if let Some(d) = self.decay_interval {
+            if d.is_zero() {
+                return Err("decay_interval must be positive when set".into());
+            }
+        }
+        if self.mechanism == MechanismKind::ProbeFirst && self.probe_timeout.is_zero() {
+            return Err("probe_timeout must be positive for the ProbeFirst mechanism".into());
+        }
+        if let Some(w) = &self.weights {
+            if w.is_empty() || w.contains(&0) {
+                return Err("weights must be non-empty and positive".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for BalancerConfig {
+    fn default() -> Self {
+        BalancerConfig::mod_jk_default()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // intentional: mutate one knob at a time
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_mod_jk() {
+        let c = BalancerConfig::default();
+        assert_eq!(c.cache_acquire_timeout, SimDuration::from_millis(300));
+        assert_eq!(c.retry_sleep, SimDuration::from_millis(100));
+        assert_eq!(c.policy, PolicyKind::TotalRequest);
+        assert_eq!(c.mechanism, MechanismKind::Original);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn table1_has_six_unique_rows() {
+        let rows = BalancerConfig::table1_rows();
+        assert_eq!(rows.len(), 6);
+        let mut labels: Vec<String> = rows.iter().map(BalancerConfig::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn labels_read_like_the_paper() {
+        let c = BalancerConfig::with(PolicyKind::TotalRequest, MechanismKind::Original);
+        assert_eq!(c.label(), "Original total_request");
+        let c = BalancerConfig::with(PolicyKind::CurrentLoad, MechanismKind::SkipToBusy);
+        assert_eq!(c.label(), "current_load with modified get_endpoint");
+    }
+
+    #[test]
+    fn probe_label_and_validation() {
+        let mut c = BalancerConfig::with(PolicyKind::CurrentLoad, MechanismKind::ProbeFirst);
+        assert_eq!(c.label(), "current_load with cping/cpong probe");
+        assert!(c.validate().is_ok());
+        c.probe_timeout = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut c = BalancerConfig::default();
+        c.lb_mult = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = BalancerConfig::default();
+        c.retry_sleep = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = BalancerConfig::default();
+        c.cache_acquire_timeout = SimDuration::from_millis(50);
+        assert!(c.validate().is_err());
+
+        let mut c = BalancerConfig::default();
+        c.error_threshold = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = BalancerConfig::default();
+        c.decay_interval = Some(SimDuration::ZERO);
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! # mlb-core — load balancing under millibottlenecks
+//!
+//! The primary contribution of the reproduced paper, *"Limitations of Load
+//! Balancing Mechanisms for N-Tier Systems in the Presence of
+//! Millibottlenecks"* (ICDCS 2017): a faithful model of Apache mod_jk's
+//! two-level load balancer, the instability it exhibits when a backend
+//! suffers a millibottleneck, and the paper's two remedies.
+//!
+//! ## The problem
+//!
+//! A **millibottleneck** is a full resource saturation lasting only tens
+//! to hundreds of milliseconds (e.g. a dirty-page flush freezing a Tomcat
+//! server). mod_jk's policies rank backends by *cumulative* counters
+//! (requests or bytes **served**), so a frozen backend — which serves
+//! nothing — keeps the minimum lb_value and attracts **all** new requests
+//! exactly while it can handle none. Its mechanism (`get_endpoint`)
+//! compounds this by blocking the Apache worker in a 300 ms polling loop
+//! while the backend stays *Available*. The result: worker exhaustion,
+//! accept-queue overflow, dropped packets, and second-scale response
+//! times.
+//!
+//! ## The remedies
+//!
+//! * **Mechanism level** ([`MechanismKind::SkipToBusy`]) — treat a failed
+//!   endpoint acquisition as Busy immediately and reselect.
+//! * **Policy level** ([`PolicyKind::CurrentLoad`]) — rank by *currently
+//!   outstanding* requests; a frozen backend's rank rises within a few
+//!   requests and it stops being picked.
+//!
+//! ## Example
+//!
+//! ```
+//! use mlb_core::prelude::*;
+//! use mlb_simkernel::time::SimTime;
+//!
+//! // The paper's policy remedy with mod_jk's default mechanism.
+//! let cfg = BalancerConfig::with(PolicyKind::CurrentLoad, MechanismKind::Original);
+//! let mut lb = Balancer::new(cfg, 4)?;
+//!
+//! let now = SimTime::ZERO;
+//! let backend = lb.select(now, &[false; 4]).expect("all backends available");
+//! lb.endpoint_acquired(now, backend);
+//! lb.response_received(now, backend, 2_048, mlb_simkernel::time::SimDuration::from_millis(3));
+//! assert_eq!(lb.lb_values()[backend.index()], 0); // outstanding count back to 0
+//! # Ok::<(), mlb_core::balancer::InvalidConfigError>(())
+//! ```
+//!
+//! This crate is pure decision logic with no simulator dependency; the
+//! `mlb-ntier` crate drives it inside the full 3-tier discrete-event
+//! simulation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod balancer;
+pub mod config;
+pub mod mechanism;
+pub mod policy;
+pub mod state;
+pub mod types;
+
+pub use balancer::{Balancer, BalancerStats, InvalidConfigError};
+pub use config::BalancerConfig;
+pub use mechanism::{EndpointAdvice, MechanismKind};
+pub use policy::{LbValues, PolicyKind};
+pub use state::{BackendState, WorkerState};
+pub use types::BackendId;
+
+/// Convenient glob-import surface: `use mlb_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::balancer::{Balancer, BalancerStats};
+    pub use crate::config::BalancerConfig;
+    pub use crate::mechanism::{EndpointAdvice, MechanismKind};
+    pub use crate::policy::{LbValues, PolicyKind};
+    pub use crate::state::WorkerState;
+    pub use crate::types::BackendId;
+}

@@ -1,0 +1,173 @@
+//! The `get_endpoint` mechanism (paper Section IV, Algorithm 1) and its
+//! remedy.
+//!
+//! After the policy picks a candidate, the balancer must obtain an
+//! *endpoint* — a free connection from the worker's pool to that backend.
+//! The two mechanisms differ in what happens when no endpoint is free:
+//!
+//! * [`MechanismKind::Original`] — Algorithm 1: poll the same candidate
+//!   every `retry_sleep` (default 100 ms, `JK_SLEEP_DEF`) until
+//!   `cache_acquire_timeout` (default 300 ms) elapses, **while the backend
+//!   stays Available and the Apache worker thread stays blocked**. Good
+//!   for a permanent failure (the wait is short relative to the final
+//!   Error verdict), disastrous for a millibottleneck (the wait is the
+//!   whole bottleneck, and every other worker piles onto the same
+//!   candidate meanwhile).
+//! * [`MechanismKind::SkipToBusy`] — the paper's remedy: a single
+//!   attempt; on failure the candidate is immediately marked Busy and the
+//!   worker reselects among the remaining candidates.
+
+use mlb_simkernel::time::SimDuration;
+
+/// Which endpoint-acquisition mechanism a balancer runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MechanismKind {
+    /// Algorithm 1: blocking poll loop with the 3-state assumption intact.
+    Original,
+    /// The mechanism remedy: treat millibottleneck as Busy immediately.
+    SkipToBusy,
+    /// Extension: mod_jk's CPing/CPong health probe — after acquiring an
+    /// endpoint, ping the backend and only send the request if it answers
+    /// within [`BalancerConfig::probe_timeout`]. A frozen backend fails
+    /// the probe even when its pool has free endpoints, so this mechanism
+    /// detects millibottlenecks that `SkipToBusy` (which only reacts to
+    /// pool exhaustion) lets through — at the price of one extra round
+    /// trip per request.
+    ///
+    /// [`BalancerConfig::probe_timeout`]: crate::config::BalancerConfig::probe_timeout
+    ProbeFirst,
+}
+
+impl MechanismKind {
+    /// Human-readable name used in tables and labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            MechanismKind::Original => "original get_endpoint",
+            MechanismKind::SkipToBusy => "modified get_endpoint",
+            MechanismKind::ProbeFirst => "cping/cpong probe",
+        }
+    }
+
+    /// `true` if the driver must probe the backend after acquiring an
+    /// endpoint and before sending the request.
+    pub fn probes_before_send(self) -> bool {
+        self == MechanismKind::ProbeFirst
+    }
+}
+
+/// What a worker should do after a failed endpoint acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndpointAdvice {
+    /// Sleep for the given duration, then try the same candidate again
+    /// (the candidate remains Available; the worker remains blocked).
+    RetryAfter(SimDuration),
+    /// Stop waiting: mark the candidate Busy and reselect a different one.
+    GiveUp,
+}
+
+/// Computes the post-failure advice for a mechanism.
+///
+/// `elapsed` is how long this worker has already been waiting on this
+/// candidate (zero on the first failure).
+///
+/// # Examples
+///
+/// ```
+/// use mlb_core::mechanism::{advice, EndpointAdvice, MechanismKind};
+/// use mlb_simkernel::time::SimDuration;
+///
+/// let timeout = SimDuration::from_millis(300);
+/// let sleep = SimDuration::from_millis(100);
+///
+/// // Original: poll at 0/100/200 ms, give up at 300 ms.
+/// assert_eq!(
+///     advice(MechanismKind::Original, SimDuration::ZERO, timeout, sleep),
+///     EndpointAdvice::RetryAfter(sleep)
+/// );
+/// assert_eq!(
+///     advice(MechanismKind::Original, SimDuration::from_millis(200), timeout, sleep),
+///     EndpointAdvice::RetryAfter(sleep)
+/// );
+/// assert_eq!(
+///     advice(MechanismKind::Original, timeout, timeout, sleep),
+///     EndpointAdvice::GiveUp
+/// );
+///
+/// // The remedy never waits.
+/// assert_eq!(
+///     advice(MechanismKind::SkipToBusy, SimDuration::ZERO, timeout, sleep),
+///     EndpointAdvice::GiveUp
+/// );
+/// ```
+pub fn advice(
+    kind: MechanismKind,
+    elapsed: SimDuration,
+    cache_acquire_timeout: SimDuration,
+    retry_sleep: SimDuration,
+) -> EndpointAdvice {
+    match kind {
+        // Neither remedy ever blocks a worker on an exhausted pool.
+        MechanismKind::SkipToBusy | MechanismKind::ProbeFirst => EndpointAdvice::GiveUp,
+        MechanismKind::Original => {
+            // Algorithm 1: `while (retry * JK_SLEEP_DEF) < cache_acquire_timeout`.
+            if elapsed.saturating_add(retry_sleep) <= cache_acquire_timeout {
+                EndpointAdvice::RetryAfter(retry_sleep)
+            } else {
+                EndpointAdvice::GiveUp
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TIMEOUT: SimDuration = SimDuration::from_millis(300);
+    const SLEEP: SimDuration = SimDuration::from_millis(100);
+
+    fn orig(elapsed_ms: u64) -> EndpointAdvice {
+        advice(
+            MechanismKind::Original,
+            SimDuration::from_millis(elapsed_ms),
+            TIMEOUT,
+            SLEEP,
+        )
+    }
+
+    #[test]
+    fn original_polls_three_times_then_gives_up() {
+        assert_eq!(orig(0), EndpointAdvice::RetryAfter(SLEEP));
+        assert_eq!(orig(100), EndpointAdvice::RetryAfter(SLEEP));
+        assert_eq!(orig(200), EndpointAdvice::RetryAfter(SLEEP));
+        assert_eq!(orig(300), EndpointAdvice::GiveUp);
+        assert_eq!(orig(1_000), EndpointAdvice::GiveUp);
+    }
+
+    #[test]
+    fn original_with_odd_elapsed_gives_up_past_budget() {
+        assert_eq!(orig(201), EndpointAdvice::GiveUp);
+        assert_eq!(orig(199), EndpointAdvice::RetryAfter(SLEEP));
+    }
+
+    #[test]
+    fn skip_to_busy_never_waits() {
+        for elapsed in [0u64, 1, 100, 500] {
+            assert_eq!(
+                advice(
+                    MechanismKind::SkipToBusy,
+                    SimDuration::from_millis(elapsed),
+                    TIMEOUT,
+                    SLEEP
+                ),
+                EndpointAdvice::GiveUp
+            );
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(MechanismKind::Original.name(), "original get_endpoint");
+        assert_eq!(MechanismKind::SkipToBusy.name(), "modified get_endpoint");
+    }
+}

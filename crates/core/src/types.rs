@@ -1,0 +1,46 @@
+//! Shared identifier types.
+
+use std::fmt;
+
+/// Index of a backend (Tomcat) server within one balancer's candidate set.
+///
+/// # Examples
+///
+/// ```
+/// use mlb_core::types::BackendId;
+///
+/// let b = BackendId(2);
+/// assert_eq!(b.index(), 2);
+/// assert_eq!(b.to_string(), "backend#2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BackendId(pub usize);
+
+impl BackendId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for BackendId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "backend#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(BackendId(7).index(), 7);
+        assert_eq!(BackendId(7).to_string(), "backend#7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(BackendId(1) < BackendId(2));
+    }
+}

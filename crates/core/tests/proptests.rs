@@ -1,0 +1,268 @@
+//! Property tests for the load balancer's invariants.
+
+use mlb_core::prelude::*;
+use mlb_core::types::BackendId;
+use mlb_simkernel::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// An arbitrary paper policy.
+fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::TotalRequest),
+        Just(PolicyKind::TotalTraffic),
+        Just(PolicyKind::CurrentLoad),
+    ]
+}
+
+/// Any of the seven policies (paper + extensions).
+fn any_policy_strategy() -> impl Strategy<Value = PolicyKind> {
+    proptest::sample::select(PolicyKind::all_extended().to_vec())
+}
+
+/// An arbitrary mechanism.
+fn mechanism_strategy() -> impl Strategy<Value = MechanismKind> {
+    prop_oneof![
+        Just(MechanismKind::Original),
+        Just(MechanismKind::SkipToBusy),
+        Just(MechanismKind::ProbeFirst),
+    ]
+}
+
+/// A random interaction script against one balancer: each step assigns to
+/// or completes on a backend, or reports a failed acquisition.
+#[derive(Debug, Clone)]
+enum Step {
+    AssignComplete { backend: usize, bytes: u16 },
+    AssignOnly { backend: usize },
+    Fail { backend: usize },
+    CompleteLate { bytes: u16 },
+}
+
+fn step_strategy(backends: usize) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..backends, any::<u16>())
+            .prop_map(|(backend, bytes)| Step::AssignComplete { backend, bytes }),
+        (0..backends).prop_map(|backend| Step::AssignOnly { backend }),
+        (0..backends).prop_map(|backend| Step::Fail { backend }),
+        any::<u16>().prop_map(|bytes| Step::CompleteLate { bytes }),
+    ]
+}
+
+proptest! {
+    /// select_min always returns an eligible backend with the minimum
+    /// lb_value among eligible backends.
+    #[test]
+    fn select_min_is_correct(
+        policy in policy_strategy(),
+        values in proptest::collection::vec(0u64..100, 2..8),
+        eligible in proptest::collection::vec(any::<bool>(), 2..8),
+        cursor in 0usize..16,
+    ) {
+        let n = values.len().min(eligible.len());
+        let values = &values[..n];
+        let eligible = &eligible[..n];
+        let mut lb = LbValues::new(policy, n, 1);
+        // Load the values through the public completion hook.
+        for (i, &v) in values.iter().enumerate() {
+            for _ in 0..v {
+                lb.on_assign(BackendId(i), 1);
+            }
+            if policy != PolicyKind::CurrentLoad {
+                for _ in 0..v {
+                    lb.on_complete(BackendId(i), 1, SimDuration::ZERO);
+                }
+            }
+        }
+        match lb.select_min(eligible, cursor) {
+            Some(b) => {
+                prop_assert!(eligible[b.index()], "selected ineligible backend");
+                let min = lb.values().iter().zip(eligible)
+                    .filter(|&(_, &e)| e)
+                    .map(|(&v, _)| v)
+                    .min()
+                    .unwrap();
+                prop_assert_eq!(lb.value(b), min, "did not pick the minimum");
+            }
+            None => prop_assert!(eligible.iter().all(|&e| !e)),
+        }
+    }
+
+    /// current_load's lb_value always equals assignments minus
+    /// completions/aborts (never underflowing), i.e. outstanding requests.
+    #[test]
+    fn current_load_counts_outstanding(
+        script in proptest::collection::vec(step_strategy(4), 0..200)
+    ) {
+        let cfg = BalancerConfig::with(PolicyKind::CurrentLoad, MechanismKind::Original);
+        let mut lb = Balancer::new(cfg, 4).unwrap();
+        let mut outstanding = [0i64; 4];
+        let now = SimTime::ZERO;
+        let mut pending: Vec<usize> = Vec::new();
+        for step in script {
+            match step {
+                Step::AssignComplete { backend, bytes } => {
+                    lb.endpoint_acquired(now, BackendId(backend));
+                    lb.response_received(now, BackendId(backend), u64::from(bytes), SimDuration::from_millis(1));
+                }
+                Step::AssignOnly { backend } => {
+                    lb.endpoint_acquired(now, BackendId(backend));
+                    outstanding[backend] += 1;
+                    pending.push(backend);
+                }
+                Step::Fail { backend } => {
+                    let _ = lb.endpoint_failed(now, BackendId(backend), SimDuration::ZERO);
+                }
+                Step::CompleteLate { bytes } => {
+                    if let Some(backend) = pending.pop() {
+                        lb.response_received(now, BackendId(backend), u64::from(bytes), SimDuration::from_millis(1));
+                        outstanding[backend] -= 1;
+                    }
+                }
+            }
+        }
+        for (i, &o) in outstanding.iter().enumerate() {
+            prop_assert_eq!(lb.lb_values()[i] as i64, o.max(0), "backend {}", i);
+        }
+    }
+
+    /// Cumulative policies never decrease (monotone counters).
+    #[test]
+    fn cumulative_policies_are_monotone(
+        policy in prop_oneof![Just(PolicyKind::TotalRequest), Just(PolicyKind::TotalTraffic)],
+        script in proptest::collection::vec(step_strategy(3), 0..150)
+    ) {
+        let cfg = BalancerConfig::with(policy, MechanismKind::Original);
+        let mut lb = Balancer::new(cfg, 3).unwrap();
+        let mut prev = lb.lb_values().to_vec();
+        let now = SimTime::ZERO;
+        for step in script {
+            match step {
+                Step::AssignComplete { backend, bytes } => {
+                    lb.endpoint_acquired(now, BackendId(backend));
+                    lb.response_received(now, BackendId(backend), u64::from(bytes), SimDuration::from_millis(1));
+                }
+                Step::AssignOnly { backend } => lb.endpoint_acquired(now, BackendId(backend)),
+                Step::Fail { backend } => {
+                    let _ = lb.endpoint_failed(now, BackendId(backend), SimDuration::ZERO);
+                }
+                Step::CompleteLate { bytes } => {
+                    lb.response_received(now, BackendId(0), u64::from(bytes), SimDuration::from_millis(1));
+                }
+            }
+            let cur = lb.lb_values().to_vec();
+            for (p, c) in prev.iter().zip(&cur) {
+                prop_assert!(c >= p, "cumulative lb_value decreased");
+            }
+            prev = cur;
+        }
+    }
+
+    /// Whatever the script, select() never returns a Busy/Error backend.
+    #[test]
+    fn select_never_returns_unavailable(
+        policy in any_policy_strategy(),
+        mechanism in mechanism_strategy(),
+        fails in proptest::collection::vec(0usize..4, 0..20),
+        at_ms in 0u64..1_000,
+    ) {
+        let cfg = BalancerConfig::with(policy, mechanism);
+        let mut lb = Balancer::new(cfg, 4).unwrap();
+        for (i, &b) in fails.iter().enumerate() {
+            // Elapsed beyond the timeout forces GiveUp (Busy mark) under
+            // both mechanisms.
+            let _ = lb.endpoint_failed(
+                SimTime::from_millis(i as u64),
+                BackendId(b),
+                SimDuration::from_secs(1),
+            );
+        }
+        let now = SimTime::from_millis(at_ms);
+        if let Some(b) = lb.select(now, &[false; 4]) {
+            prop_assert_eq!(lb.state_of(now, b), WorkerState::Available);
+        }
+    }
+
+    /// For every policy, the outstanding counter equals
+    /// assigns − completes − aborts, clamped at zero.
+    #[test]
+    fn outstanding_is_maintained_for_all_policies(
+        policy in any_policy_strategy(),
+        script in proptest::collection::vec(step_strategy(3), 0..150),
+    ) {
+        let mut lb = LbValues::new(policy, 3, 1);
+        let mut expected = [0i64; 3];
+        let mut pending: Vec<usize> = Vec::new();
+        for step in script {
+            match step {
+                Step::AssignComplete { backend, bytes } => {
+                    lb.on_assign(BackendId(backend), u64::from(bytes));
+                    lb.on_complete(BackendId(backend), u64::from(bytes), SimDuration::from_millis(1));
+                }
+                Step::AssignOnly { backend } => {
+                    lb.on_assign(BackendId(backend), 0);
+                    expected[backend] += 1;
+                    pending.push(backend);
+                }
+                Step::Fail { backend } => {
+                    if let Some(i) = pending.pop() {
+                        let _ = backend;
+                        lb.on_abort(BackendId(i));
+                        expected[i] -= 1;
+                    }
+                }
+                Step::CompleteLate { bytes } => {
+                    if let Some(i) = pending.pop() {
+                        lb.on_complete(BackendId(i), u64::from(bytes), SimDuration::from_millis(1));
+                        expected[i] -= 1;
+                    }
+                }
+            }
+            for (i, &exp) in expected.iter().enumerate() {
+                prop_assert_eq!(
+                    lb.outstanding(BackendId(i)) as i64,
+                    exp.max(0),
+                    "policy {} backend {}",
+                    policy.name(),
+                    i
+                );
+            }
+        }
+    }
+
+    /// C3's rank is monotone in the outstanding count for a fixed EWMA.
+    #[test]
+    fn c3_rank_is_monotone_in_outstanding(
+        latency_ms in 1u64..1_000,
+        assigns in 1usize..50,
+    ) {
+        let mut lb = LbValues::new(PolicyKind::C3, 1, 1);
+        lb.on_assign(BackendId(0), 0);
+        lb.on_complete(BackendId(0), 0, SimDuration::from_millis(latency_ms));
+        let mut prev = lb.value(BackendId(0));
+        for _ in 0..assigns {
+            lb.on_assign(BackendId(0), 0);
+            let cur = lb.value(BackendId(0));
+            prop_assert!(cur >= prev, "rank decreased as load grew");
+            prev = cur;
+        }
+    }
+
+    /// Selection with all-zero values and no exclusions is perfectly fair
+    /// over any number of rounds (round-robin tie-break).
+    #[test]
+    fn tie_breaking_is_fair(rounds in 1usize..50, backends in 2usize..8) {
+        let cfg = BalancerConfig::with(PolicyKind::CurrentLoad, MechanismKind::Original);
+        let mut lb = Balancer::new(cfg, backends).unwrap();
+        let mut counts = vec![0u64; backends];
+        let noex = vec![false; backends];
+        for _ in 0..rounds * backends {
+            let b = lb.select(SimTime::ZERO, &noex).unwrap();
+            counts[b.index()] += 1;
+            lb.endpoint_acquired(SimTime::ZERO, b);
+            lb.response_received(SimTime::ZERO, b, 1, SimDuration::from_millis(1));
+        }
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "unfair tie-breaking: {:?}", counts);
+    }
+}

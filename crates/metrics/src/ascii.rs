@@ -1,0 +1,241 @@
+//! Terminal rendering of experiment figures.
+//!
+//! The `repro` harness prints each paper figure as an ASCII chart so the
+//! qualitative shape (queue spikes, VLRT clusters, workload-distribution
+//! phases) is visible without leaving the terminal. CSV files carry the
+//! exact numbers; these charts carry the story.
+
+/// Renders one or more y-series over a shared x-axis as an ASCII line
+/// chart.
+///
+/// Each series gets a distinct glyph (`*`, `o`, `+`, `x`, …). The y-axis
+/// is auto-scaled to the data; the x-axis is labelled with the first and
+/// last x values.
+///
+/// # Examples
+///
+/// ```
+/// use mlb_metrics::ascii::line_chart;
+///
+/// let xs: Vec<f64> = (0..40).map(|i| i as f64).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| (x / 6.0).sin() + 1.0).collect();
+/// let chart = line_chart("sine", &xs, &[("wave", &ys)], 60, 10);
+/// assert!(chart.contains("sine"));
+/// assert!(chart.contains('*'));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `xs` is empty, any series length differs from `xs`, or
+/// `width`/`height` are too small to draw into.
+pub fn line_chart(
+    title: &str,
+    xs: &[f64],
+    series: &[(&str, &[f64])],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(!xs.is_empty(), "cannot chart an empty x-axis");
+    assert!(width >= 16 && height >= 4, "chart area too small");
+    for (name, ys) in series {
+        assert_eq!(ys.len(), xs.len(), "series {name} length mismatch");
+    }
+
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+    let mut y_min = f64::INFINITY;
+    let mut y_max = f64::NEG_INFINITY;
+    for (_, ys) in series {
+        for &y in ys.iter().filter(|y| y.is_finite()) {
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+    }
+    if !y_min.is_finite() {
+        y_min = 0.0;
+        y_max = 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+    // Anchor at zero when the data is non-negative, like the paper's plots.
+    if y_min > 0.0 && y_min / y_max < 0.5 {
+        y_min = 0.0;
+    }
+
+    let x_min = xs[0];
+    let x_max = xs[xs.len() - 1];
+    let x_span = if (x_max - x_min).abs() < f64::EPSILON {
+        1.0
+    } else {
+        x_max - x_min
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (&x, &y) in xs.iter().zip(ys.iter()) {
+            if !y.is_finite() {
+                continue;
+            }
+            let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let row_f = (y - y_min) / (y_max - y_min) * (height - 1) as f64;
+            let row = height - 1 - row_f.round().min((height - 1) as f64) as usize;
+            grid[row][col.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", GLYPHS[i % GLYPHS.len()], name))
+        .collect();
+    if !legend.is_empty() {
+        out.push_str(&format!("  [{}]\n", legend.join("  ")));
+    }
+    let y_label_w = 10;
+    for (ri, row) in grid.iter().enumerate() {
+        let y_val = y_max - (y_max - y_min) * ri as f64 / (height - 1) as f64;
+        out.push_str(&format!("{:>y_label_w$.2} |", y_val));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>y_label_w$} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>y_label_w$}  {:<w2$}{:>w2$}\n",
+        "",
+        format_x(x_min),
+        format_x(x_max),
+        w2 = width / 2
+    ));
+    out
+}
+
+/// Renders a histogram as a horizontal bar chart with one row per bucket.
+///
+/// # Examples
+///
+/// ```
+/// use mlb_metrics::ascii::bar_chart;
+///
+/// let out = bar_chart("rt", &[("<10ms".into(), 90.0), (">1s".into(), 10.0)], 40);
+/// assert!(out.contains("<10ms"));
+/// assert!(out.contains('#'));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width` is too small.
+pub fn bar_chart(title: &str, buckets: &[(String, f64)], width: usize) -> String {
+    assert!(width >= 8, "bar chart too narrow");
+    let label_w = buckets.iter().map(|(l, _)| l.len()).max().unwrap_or(4);
+    let max = buckets
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0_f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (label, v) in buckets {
+        let bar_len = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{:>label_w$} | {:<width$} {}\n",
+            label,
+            "#".repeat(bar_len),
+            format_x(*v)
+        ));
+    }
+    out
+}
+
+fn format_x(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_contains_title_legend_and_axes() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 1.0, 4.0, 9.0];
+        let out = line_chart("squares", &xs, &[("y", &ys)], 40, 8);
+        assert!(out.contains("squares"));
+        assert!(out.contains("* y"));
+        assert!(out.contains('|'));
+        assert!(out.contains('+'));
+    }
+
+    #[test]
+    fn multi_series_use_distinct_glyphs() {
+        let xs = [0.0, 1.0];
+        let a = [1.0, 2.0];
+        let b = [2.0, 1.0];
+        let out = line_chart("two", &xs, &[("a", &a), ("b", &b)], 30, 6);
+        assert!(out.contains('*'));
+        assert!(out.contains('o'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [5.0, 5.0, 5.0];
+        let out = line_chart("flat", &xs, &[("c", &ys)], 30, 6);
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn single_point_chart() {
+        let out = line_chart("dot", &[1.0], &[("p", &[2.0][..])], 20, 5);
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn nan_values_are_skipped() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [1.0, f64::NAN, 3.0];
+        let out = line_chart("gap", &xs, &[("y", &ys)], 30, 6);
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let out = bar_chart(
+            "h",
+            &[("a".into(), 10.0), ("b".into(), 5.0), ("c".into(), 0.0)],
+            20,
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        let count_hashes = |s: &str| s.chars().filter(|&c| c == '#').count();
+        assert_eq!(count_hashes(lines[1]), 20);
+        assert_eq!(count_hashes(lines[2]), 10);
+        assert_eq!(count_hashes(lines[3]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty x-axis")]
+    fn empty_x_panics() {
+        line_chart("t", &[], &[], 30, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_panics() {
+        line_chart("t", &[0.0, 1.0], &[("y", &[1.0][..])], 30, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_chart_panics() {
+        line_chart("t", &[0.0], &[], 2, 2);
+    }
+}

@@ -1,0 +1,210 @@
+//! Minimal CSV emission for experiment series.
+//!
+//! Every figure harness writes its series to `results/*.csv` so they can be
+//! re-plotted with external tooling. The format is deliberately plain:
+//! a header row, then one numeric row per record.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A rectangular table of named numeric columns.
+///
+/// # Examples
+///
+/// ```
+/// use mlb_metrics::csv::CsvTable;
+///
+/// let mut t = CsvTable::new(vec!["time_s".into(), "queue".into()]);
+/// t.push_row(vec![0.05, 3.0]);
+/// t.push_row(vec![0.10, 7.0]);
+/// let text = t.to_csv_string();
+/// assert!(text.starts_with("time_s,queue\n"));
+/// assert!(text.contains("0.1,7\n"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsvTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl CsvTable {
+    /// Creates an empty table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "a CSV table needs at least one column");
+        CsvTable {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn with_columns(headers: &[&str]) -> Self {
+        CsvTable::new(headers.iter().map(|s| (*s).to_owned()).collect())
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != column count {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Builds a table from a shared x-axis and several y-series (all the
+    /// same length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any series length differs from the x-axis length.
+    pub fn from_series(x_name: &str, xs: &[f64], series: &[(&str, &[f64])]) -> Self {
+        let mut headers = vec![x_name.to_owned()];
+        headers.extend(series.iter().map(|(n, _)| (*n).to_owned()));
+        let mut table = CsvTable::new(headers);
+        for (i, &x) in xs.iter().enumerate() {
+            let mut row = vec![x];
+            for (name, ys) in series {
+                assert_eq!(
+                    ys.len(),
+                    xs.len(),
+                    "series {name} length {} != x-axis length {}",
+                    ys.len(),
+                    xs.len()
+                );
+                row.push(ys[i]);
+            }
+            table.push_row(row);
+        }
+        table
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Serializes to CSV text. Numbers print with up to 6 significant
+    /// decimals, trailing zeros trimmed.
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let mut first = true;
+            for &v in row {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "{}", format_number(v));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from directory creation or the write.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv_string())
+    }
+}
+
+fn format_number(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.6}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_then_rows() {
+        let mut t = CsvTable::with_columns(&["a", "b"]);
+        t.push_row(vec![1.0, 2.5]);
+        assert_eq!(t.to_csv_string(), "a,b\n1,2.5\n");
+    }
+
+    #[test]
+    fn integers_print_without_decimals() {
+        assert_eq!(format_number(3.0), "3");
+        assert_eq!(format_number(-2.0), "-2");
+    }
+
+    #[test]
+    fn fractions_trim_trailing_zeros() {
+        assert_eq!(format_number(0.05), "0.05");
+        assert_eq!(format_number(1.234567891), "1.234568");
+    }
+
+    #[test]
+    fn from_series_zips_columns() {
+        let xs = [0.0, 1.0];
+        let ya = [10.0, 11.0];
+        let yb = [20.0, 21.0];
+        let t = CsvTable::from_series("t", &xs, &[("a", &ya), ("b", &yb)]);
+        assert_eq!(t.headers(), &["t", "a", "b"]);
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.to_csv_string(), "t,a,b\n0,10,20\n1,11,21\n");
+    }
+
+    #[test]
+    fn write_creates_directories() {
+        let dir = std::env::temp_dir().join(format!("mlbcsv-{}", std::process::id()));
+        let path = dir.join("nested/out.csv");
+        let mut t = CsvTable::with_columns(&["x"]);
+        t.push_row(vec![1.0]);
+        t.write_to(&path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, "x\n1\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = CsvTable::with_columns(&["a"]);
+        t.push_row(vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panic() {
+        CsvTable::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn from_series_length_mismatch_panics() {
+        let _ = CsvTable::from_series("t", &[0.0, 1.0], &[("a", &[1.0][..])]);
+    }
+}

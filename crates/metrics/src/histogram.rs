@@ -1,0 +1,308 @@
+//! Response-time histogram (Fig. 4).
+//!
+//! A fixed-edge histogram over durations, with edges chosen to resolve both
+//! the millisecond-scale body and the paper's VLRT clusters at 1 s / 2 s /
+//! 3 s. Exact count/sum/max are kept alongside the buckets so means are
+//! not bucket-approximated.
+
+use mlb_simkernel::time::SimDuration;
+
+/// A histogram over response times with explicit bucket edges.
+///
+/// Bucket `i` covers `[edge[i-1], edge[i])` (bucket 0 covers
+/// `[0, edge[0])`); one final overflow bucket covers everything at or above
+/// the last edge.
+///
+/// # Examples
+///
+/// ```
+/// use mlb_metrics::histogram::ResponseTimeHistogram;
+/// use mlb_simkernel::time::SimDuration;
+///
+/// let mut h = ResponseTimeHistogram::paper_buckets();
+/// h.record(SimDuration::from_millis(3));
+/// h.record(SimDuration::from_millis(1_050)); // a VLRT request
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.count_at_or_above(SimDuration::from_secs(1)), 1);
+/// assert_eq!(h.count_below(SimDuration::from_millis(10)), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResponseTimeHistogram {
+    edges: Vec<SimDuration>,
+    buckets: Vec<u64>,
+    count: u64,
+    sum_micros: u64,
+    max: SimDuration,
+}
+
+impl ResponseTimeHistogram {
+    /// Creates a histogram with the given ascending bucket edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty or not strictly ascending.
+    pub fn new(edges: Vec<SimDuration>) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly ascending"
+        );
+        let n = edges.len();
+        ResponseTimeHistogram {
+            edges,
+            buckets: vec![0; n + 1],
+            count: 0,
+            sum_micros: 0,
+            max: SimDuration::ZERO,
+        }
+    }
+
+    /// Edges resolving both the paper's millisecond body and the 1–3 s
+    /// retransmission clusters: 1, 2, 5, 10, 20, 50, 100, 200, 500 ms,
+    /// then 250 ms steps up to 4 s, then 8 s.
+    pub fn paper_buckets() -> Self {
+        let mut edges: Vec<SimDuration> = [1u64, 2, 5, 10, 20, 50, 100, 200, 500]
+            .iter()
+            .map(|&ms| SimDuration::from_millis(ms))
+            .collect();
+        let mut ms = 750;
+        while ms <= 4_000 {
+            edges.push(SimDuration::from_millis(ms));
+            ms += 250;
+        }
+        edges.push(SimDuration::from_secs(8));
+        ResponseTimeHistogram::new(edges)
+    }
+
+    /// Records one response time.
+    pub fn record(&mut self, rt: SimDuration) {
+        let idx = self.edges.partition_point(|&e| e <= rt);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_micros = self.sum_micros.saturating_add(rt.as_micros());
+        self.max = self.max.max(rt);
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean response time, or `None` if empty.
+    pub fn mean(&self) -> Option<SimDuration> {
+        (self.count > 0).then(|| SimDuration::from_micros(self.sum_micros / self.count))
+    }
+
+    /// Largest recorded response time.
+    pub fn max(&self) -> SimDuration {
+        self.max
+    }
+
+    /// Bucket edges.
+    pub fn edges(&self) -> &[SimDuration] {
+        &self.edges
+    }
+
+    /// Bucket counts (`edges().len() + 1` entries, last = overflow).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Iterator of `(lower, upper, count)` per bucket; the overflow
+    /// bucket's upper bound is [`SimDuration::MAX`].
+    pub fn iter(&self) -> impl Iterator<Item = (SimDuration, SimDuration, u64)> + '_ {
+        let lowers = std::iter::once(SimDuration::ZERO).chain(self.edges.iter().copied());
+        let uppers = self
+            .edges
+            .iter()
+            .copied()
+            .chain(std::iter::once(SimDuration::MAX));
+        lowers
+            .zip(uppers)
+            .zip(self.buckets.iter().copied())
+            .map(|((lo, hi), c)| (lo, hi, c))
+    }
+
+    /// Samples with `rt >= threshold` (exact only when `threshold` is a
+    /// bucket edge; otherwise rounded to the containing bucket).
+    pub fn count_at_or_above(&self, threshold: SimDuration) -> u64 {
+        // First bucket whose range lies entirely at or above `threshold`
+        // (exact when `threshold` is an edge).
+        let idx = self.edges.partition_point(|&e| e <= threshold);
+        self.buckets[idx..].iter().sum()
+    }
+
+    /// Samples with `rt < threshold` (same edge-alignment caveat).
+    pub fn count_below(&self, threshold: SimDuration) -> u64 {
+        self.count - self.count_at_or_above(threshold)
+    }
+
+    /// Approximate quantile (by bucket upper edge). `q` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(if i < self.edges.len() {
+                    self.edges[i]
+                } else {
+                    self.max
+                });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram with identical edges into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge vectors differ.
+    pub fn merge(&mut self, other: &ResponseTimeHistogram) {
+        assert_eq!(
+            self.edges, other.edges,
+            "cannot merge histograms with different edges"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_micros = self.sum_micros.saturating_add(other.sum_micros);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn small() -> ResponseTimeHistogram {
+        ResponseTimeHistogram::new(vec![ms(10), ms(100), ms(1_000)])
+    }
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let mut h = small();
+        h.record(ms(5)); // [0, 10)
+        h.record(ms(10)); // [10, 100)  — edge belongs to upper bucket
+        h.record(ms(99)); // [10, 100)
+        h.record(ms(500)); // [100, 1000)
+        h.record(ms(5_000)); // overflow
+        assert_eq!(h.buckets(), &[1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn mean_and_max_exact() {
+        let mut h = small();
+        h.record(ms(10));
+        h.record(ms(30));
+        assert_eq!(h.mean(), Some(ms(20)));
+        assert_eq!(h.max(), ms(30));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = small();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn count_above_and_below_at_edges() {
+        let mut h = small();
+        for v in [1, 5, 9, 10, 50, 200, 1_500] {
+            h.record(ms(v));
+        }
+        assert_eq!(h.count_below(ms(10)), 3);
+        assert_eq!(h.count_at_or_above(ms(1_000)), 1);
+        assert_eq!(h.count_at_or_above(ms(10)), 4);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let mut h = small();
+        for _ in 0..90 {
+            h.record(ms(5));
+        }
+        for _ in 0..10 {
+            h.record(ms(2_000));
+        }
+        assert_eq!(h.quantile(0.5), Some(ms(10))); // bucket upper edge
+        assert_eq!(h.quantile(0.95), Some(ms(2_000))); // overflow → max
+        assert_eq!(h.quantile(1.0), Some(ms(2_000)));
+    }
+
+    #[test]
+    fn paper_buckets_resolve_retransmission_clusters() {
+        let h = ResponseTimeHistogram::paper_buckets();
+        for target in [1_000u64, 2_000, 3_000] {
+            assert!(
+                h.edges().contains(&ms(target)),
+                "paper buckets must have an edge at {target} ms"
+            );
+        }
+    }
+
+    #[test]
+    fn iter_covers_all_buckets() {
+        let mut h = small();
+        h.record(ms(5));
+        let v: Vec<_> = h.iter().collect();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[0], (SimDuration::ZERO, ms(10), 1));
+        assert_eq!(v[3].1, SimDuration::MAX);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = small();
+        let mut b = small();
+        a.record(ms(5));
+        b.record(ms(5));
+        b.record(ms(500));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets(), &[2, 0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different edges")]
+    fn merge_mismatched_edges_panics() {
+        let mut a = small();
+        let b = ResponseTimeHistogram::new(vec![ms(1)]);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_edges_panic() {
+        ResponseTimeHistogram::new(vec![ms(10), ms(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one edge")]
+    fn empty_edges_panic() {
+        ResponseTimeHistogram::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn bad_quantile_panics() {
+        let h = small();
+        let _ = h.quantile(1.5);
+    }
+}

@@ -1,0 +1,29 @@
+//! # mlb-metrics — measurement substrate
+//!
+//! Everything the figure/table harness needs to regenerate the paper's
+//! evaluation artifacts:
+//!
+//! * [`series`] — fixed-window (50 ms) counters and float series for queue
+//!   lengths, VLRT counts, CPU utilization, dirty-page size, workload
+//!   distribution and lb_value traces.
+//! * [`histogram`] — the response-time histogram behind Fig. 4.
+//! * [`summary`] — Table I statistics: total requests, average RT, % VLRT,
+//!   % normal, plus table rendering.
+//! * [`csv`] — plain CSV emission for external re-plotting.
+//! * [`ascii`] — terminal line/bar charts so every figure is visible
+//!   directly in the harness output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ascii;
+pub mod csv;
+pub mod histogram;
+pub mod series;
+pub mod summary;
+
+pub use csv::CsvTable;
+pub use histogram::ResponseTimeHistogram;
+pub use series::{WindowAggregate, WindowedCounter, WindowedSeries};
+pub use summary::{render_table, ResponseStats, TableRow, NORMAL_THRESHOLD, VLRT_THRESHOLD};

@@ -1,0 +1,271 @@
+//! Experiment summary statistics — the rows of the paper's Table I.
+//!
+//! Table I reports, per policy/mechanism combination: total requests,
+//! average response time, % VLRT requests (> 1000 ms), % normal requests
+//! (< 10 ms). [`ResponseStats`] accumulates exactly those, plus a couple
+//! of tail quantile helpers.
+
+use mlb_simkernel::time::SimDuration;
+use std::fmt;
+
+/// The VLRT threshold used throughout the paper.
+pub const VLRT_THRESHOLD: SimDuration = SimDuration::from_millis(1_000);
+/// The "normal request" threshold used in Table I.
+pub const NORMAL_THRESHOLD: SimDuration = SimDuration::from_millis(10);
+
+/// Streaming response-time statistics for one experiment.
+///
+/// # Examples
+///
+/// ```
+/// use mlb_metrics::summary::ResponseStats;
+/// use mlb_simkernel::time::SimDuration;
+///
+/// let mut s = ResponseStats::new();
+/// s.record(SimDuration::from_millis(3));
+/// s.record(SimDuration::from_millis(4));
+/// s.record(SimDuration::from_millis(1_500)); // VLRT
+/// assert_eq!(s.total(), 3);
+/// assert_eq!(s.vlrt_count(), 1);
+/// assert!((s.pct_vlrt() - 33.33).abs() < 0.01);
+/// assert!((s.pct_normal() - 66.66).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ResponseStats {
+    count: u64,
+    sum_micros: u64,
+    vlrt: u64,
+    normal: u64,
+    max: SimDuration,
+}
+
+impl ResponseStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        ResponseStats::default()
+    }
+
+    /// Records one completed request's response time.
+    pub fn record(&mut self, rt: SimDuration) {
+        self.count += 1;
+        self.sum_micros = self.sum_micros.saturating_add(rt.as_micros());
+        if rt > VLRT_THRESHOLD {
+            self.vlrt += 1;
+        }
+        if rt < NORMAL_THRESHOLD {
+            self.normal += 1;
+        }
+        self.max = self.max.max(rt);
+    }
+
+    /// Total completed requests.
+    pub fn total(&self) -> u64 {
+        self.count
+    }
+
+    /// Average response time in milliseconds (0 if empty).
+    pub fn avg_ms(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum_micros as f64 / self.count as f64 / 1_000.0
+    }
+
+    /// Requests slower than [`VLRT_THRESHOLD`].
+    pub fn vlrt_count(&self) -> u64 {
+        self.vlrt
+    }
+
+    /// Requests faster than [`NORMAL_THRESHOLD`].
+    pub fn normal_count(&self) -> u64 {
+        self.normal
+    }
+
+    /// Percentage of VLRT requests (0–100).
+    pub fn pct_vlrt(&self) -> f64 {
+        percentage(self.vlrt, self.count)
+    }
+
+    /// Percentage of normal requests (0–100).
+    pub fn pct_normal(&self) -> f64 {
+        percentage(self.normal, self.count)
+    }
+
+    /// Largest response time observed.
+    pub fn max(&self) -> SimDuration {
+        self.max
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &ResponseStats) {
+        self.count += other.count;
+        self.sum_micros = self.sum_micros.saturating_add(other.sum_micros);
+        self.vlrt += other.vlrt;
+        self.normal += other.normal;
+        self.max = self.max.max(other.max);
+    }
+}
+
+fn percentage(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / whole as f64
+    }
+}
+
+/// One labelled row of a Table I-style comparison.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// Configuration label, e.g. `"Original total_request"`.
+    pub label: String,
+    /// The statistics backing the row.
+    pub stats: ResponseStats,
+}
+
+impl TableRow {
+    /// Creates a labelled row.
+    pub fn new(label: impl Into<String>, stats: ResponseStats) -> Self {
+        TableRow {
+            label: label.into(),
+            stats,
+        }
+    }
+}
+
+/// Renders rows in the paper's Table I format.
+///
+/// # Examples
+///
+/// ```
+/// use mlb_metrics::summary::{render_table, ResponseStats, TableRow};
+/// use mlb_simkernel::time::SimDuration;
+///
+/// let mut s = ResponseStats::new();
+/// s.record(SimDuration::from_millis(5));
+/// let out = render_table(&[TableRow::new("Current_load", s)]);
+/// assert!(out.contains("Current_load"));
+/// assert!(out.contains("% VLRT"));
+/// ```
+pub fn render_table(rows: &[TableRow]) -> String {
+    let label_w = rows
+        .iter()
+        .map(|r| r.label.len())
+        .max()
+        .unwrap_or(6)
+        .max("Policy".len());
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<label_w$} | {:>14} | {:>18} | {:>22} | {:>22}\n",
+        "Policy", "# Total Req", "Avg RT (ms)", "% VLRT (>1000 ms)", "% Normal (<10 ms)"
+    ));
+    out.push_str(&format!(
+        "{}-+-{}-+-{}-+-{}-+-{}\n",
+        "-".repeat(label_w),
+        "-".repeat(14),
+        "-".repeat(18),
+        "-".repeat(22),
+        "-".repeat(22)
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<label_w$} | {:>14} | {:>18.2} | {:>21.2}% | {:>21.2}%\n",
+            row.label,
+            row.stats.total(),
+            row.stats.avg_ms(),
+            row.stats.pct_vlrt(),
+            row.stats.pct_normal()
+        ));
+    }
+    out
+}
+
+impl fmt::Display for ResponseStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} avg={:.2}ms vlrt={:.2}% normal={:.2}% max={}",
+            self.count,
+            self.avg_ms(),
+            self.pct_vlrt(),
+            self.pct_normal(),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn thresholds_are_exclusive_like_the_paper() {
+        let mut s = ResponseStats::new();
+        s.record(ms(1_000)); // exactly 1000 ms is NOT a VLRT (">1000 ms")
+        s.record(ms(10)); // exactly 10 ms is NOT normal ("<10 ms")
+        assert_eq!(s.vlrt_count(), 0);
+        assert_eq!(s.normal_count(), 0);
+        s.record(ms(1_001));
+        s.record(ms(9));
+        assert_eq!(s.vlrt_count(), 1);
+        assert_eq!(s.normal_count(), 1);
+    }
+
+    #[test]
+    fn average_is_exact() {
+        let mut s = ResponseStats::new();
+        s.record(SimDuration::from_micros(1_500));
+        s.record(SimDuration::from_micros(2_500));
+        assert!((s.avg_ms() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = ResponseStats::new();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.avg_ms(), 0.0);
+        assert_eq!(s.pct_vlrt(), 0.0);
+        assert_eq!(s.pct_normal(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = ResponseStats::new();
+        a.record(ms(5));
+        let mut b = ResponseStats::new();
+        b.record(ms(2_000));
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.vlrt_count(), 1);
+        assert_eq!(a.max(), ms(2_000));
+    }
+
+    #[test]
+    fn table_renders_all_columns() {
+        let mut s = ResponseStats::new();
+        for _ in 0..95 {
+            s.record(ms(5));
+        }
+        for _ in 0..5 {
+            s.record(ms(1_500));
+        }
+        let out = render_table(&[TableRow::new("Original total_request", s)]);
+        assert!(out.contains("Original total_request"));
+        assert!(out.contains("100")); // total requests
+        assert!(out.contains("5.00%")); // vlrt pct
+        assert!(out.contains("95.00%")); // normal pct
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut s = ResponseStats::new();
+        s.record(ms(4));
+        let txt = s.to_string();
+        assert!(txt.contains("n=1"));
+        assert!(txt.contains("avg=4.00ms"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Bounded accept queues.
+//!
+//! Every tier in the paper admits requests through a kernel listen/accept
+//! queue. When the queue is full the kernel silently drops the incoming
+//! packet — the origin of the paper's VLRT requests (Section III-B:
+//! "dropped request messages create VLRT requests" via Cross-Tier Queue
+//! Overflow).
+//!
+//! [`AcceptQueue`] keeps full drop and depth statistics so experiments can
+//! regenerate the paper's queue-length figures.
+
+use std::collections::VecDeque;
+
+/// Result of offering an item to a bounded queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// The item was enqueued.
+    Accepted,
+    /// The queue was full; the item was dropped (the caller still owns it —
+    /// typically it becomes a TCP retransmission).
+    Dropped,
+}
+
+/// A bounded FIFO queue with drop and high-watermark accounting.
+///
+/// # Examples
+///
+/// ```
+/// use mlb_netmodel::accept_queue::{AcceptQueue, Offer};
+///
+/// let mut q = AcceptQueue::new(2);
+/// assert_eq!(q.offer("a"), Offer::Accepted);
+/// assert_eq!(q.offer("b"), Offer::Accepted);
+/// assert_eq!(q.offer("c"), Offer::Dropped); // full: c is dropped
+/// assert_eq!(q.pop(), Some("a"));
+/// assert_eq!(q.drops(), 1);
+/// assert_eq!(q.peak_len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AcceptQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    drops: u64,
+    accepted: u64,
+    peak_len: usize,
+}
+
+impl<T> AcceptQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "accept queue capacity must be positive");
+        AcceptQueue {
+            items: VecDeque::new(),
+            capacity,
+            drops: 0,
+            accepted: 0,
+            peak_len: 0,
+        }
+    }
+
+    /// Offers an item; full queues drop it.
+    pub fn offer(&mut self, item: T) -> Offer {
+        if self.items.len() >= self.capacity {
+            self.drops += 1;
+            return Offer::Dropped;
+        }
+        self.items.push_back(item);
+        self.accepted += 1;
+        self.peak_len = self.peak_len.max(self.items.len());
+        Offer::Accepted
+    }
+
+    /// Removes the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `true` if at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items dropped because the queue was full.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Items successfully enqueued over the queue's lifetime.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = AcceptQueue::new(10);
+        q.offer(1);
+        q.offer(2);
+        q.offer(3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drops_when_full_and_counts() {
+        let mut q = AcceptQueue::new(1);
+        assert_eq!(q.offer("x"), Offer::Accepted);
+        assert_eq!(q.offer("y"), Offer::Dropped);
+        assert_eq!(q.offer("z"), Offer::Dropped);
+        assert_eq!(q.drops(), 2);
+        assert_eq!(q.accepted(), 1);
+        q.pop();
+        assert_eq!(q.offer("w"), Offer::Accepted);
+    }
+
+    #[test]
+    fn peak_tracks_high_watermark() {
+        let mut q = AcceptQueue::new(5);
+        q.offer(());
+        q.offer(());
+        q.pop();
+        q.offer(());
+        assert_eq!(q.peak_len(), 2);
+    }
+
+    #[test]
+    fn is_full_and_is_empty() {
+        let mut q = AcceptQueue::new(2);
+        assert!(q.is_empty());
+        assert!(!q.is_full());
+        q.offer(());
+        q.offer(());
+        assert!(q.is_full());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        AcceptQueue::<()>::new(0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # mlb-netmodel — simulated network substrate
+//!
+//! The networking pieces of the `millibalance` workspace (a reproduction of
+//! the ICDCS 2017 millibottleneck load-balancing paper):
+//!
+//! * [`accept_queue`] — bounded kernel accept queues whose overflow drops
+//!   are the first link in the VLRT causal chain.
+//! * [`retransmit`] — the TCP retransmission (RTO) schedule that turns
+//!   drops into the paper's 1 s / 2 s / 3 s response-time clusters.
+//! * [`pool`] — AJP-style persistent connection pools between Apache and
+//!   Tomcat, the resource `get_endpoint` acquires.
+//! * [`link`] — small, jittered per-message LAN latency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accept_queue;
+pub mod link;
+pub mod pool;
+pub mod retransmit;
+
+pub use accept_queue::{AcceptQueue, Offer};
+pub use link::Link;
+pub use pool::{Acquire, ConnectionPool};
+pub use retransmit::{RetransmitState, RtoSchedule};

@@ -1,0 +1,106 @@
+//! Network links.
+//!
+//! The testbed's 1 Gbps LAN contributes a small, lightly jittered
+//! per-message latency. [`Link`] samples that latency deterministically
+//! from a caller-provided RNG stream.
+
+use mlb_simkernel::rng::uniform_duration;
+use mlb_simkernel::time::SimDuration;
+use rand::RngCore;
+
+/// A point-to-point link with base latency plus uniform jitter.
+///
+/// # Examples
+///
+/// ```
+/// use mlb_netmodel::link::Link;
+/// use mlb_simkernel::rng::SeedSequence;
+/// use mlb_simkernel::time::SimDuration;
+///
+/// let link = Link::new(SimDuration::from_micros(150), SimDuration::from_micros(50));
+/// let mut rng = SeedSequence::new(3).stream("lan");
+/// let d = link.sample(&mut rng);
+/// assert!(d >= SimDuration::from_micros(150));
+/// assert!(d <= SimDuration::from_micros(200));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    base: SimDuration,
+    jitter: SimDuration,
+}
+
+impl Link {
+    /// Creates a link with `base` latency and up to `jitter` additional
+    /// uniform delay per message.
+    pub fn new(base: SimDuration, jitter: SimDuration) -> Self {
+        Link { base, jitter }
+    }
+
+    /// The testbed's 1 Gbps LAN: ~150 us base, 50 us jitter.
+    pub fn lan_1gbps() -> Self {
+        Link::new(SimDuration::from_micros(150), SimDuration::from_micros(50))
+    }
+
+    /// A zero-latency link (useful in unit tests).
+    pub fn instant() -> Self {
+        Link::new(SimDuration::ZERO, SimDuration::ZERO)
+    }
+
+    /// Base latency.
+    pub fn base(&self) -> SimDuration {
+        self.base
+    }
+
+    /// Maximum jitter.
+    pub fn jitter(&self) -> SimDuration {
+        self.jitter
+    }
+
+    /// Samples one message's latency.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> SimDuration {
+        if self.jitter.is_zero() {
+            return self.base;
+        }
+        uniform_duration(rng, self.base, self.base + self.jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_simkernel::rng::SeedSequence;
+
+    #[test]
+    fn sample_within_bounds() {
+        let link = Link::new(SimDuration::from_micros(100), SimDuration::from_micros(20));
+        let mut rng = SeedSequence::new(1).stream("t");
+        for _ in 0..1_000 {
+            let d = link.sample(&mut rng);
+            assert!(d >= SimDuration::from_micros(100));
+            assert!(d <= SimDuration::from_micros(120));
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_constant() {
+        let link = Link::new(SimDuration::from_micros(42), SimDuration::ZERO);
+        let mut rng = SeedSequence::new(1).stream("t");
+        assert_eq!(link.sample(&mut rng), SimDuration::from_micros(42));
+    }
+
+    #[test]
+    fn instant_link_is_zero() {
+        let mut rng = SeedSequence::new(1).stream("t");
+        assert_eq!(Link::instant().sample(&mut rng), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_given_same_stream() {
+        let link = Link::lan_1gbps();
+        let mut a = SeedSequence::new(9).stream("lan");
+        let mut b = SeedSequence::new(9).stream("lan");
+        for _ in 0..100 {
+            assert_eq!(link.sample(&mut a), link.sample(&mut b));
+        }
+    }
+}

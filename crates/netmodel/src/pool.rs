@@ -1,0 +1,173 @@
+//! AJP-style connection pools.
+//!
+//! Each Apache worker process keeps a fixed-size pool of persistent
+//! connections ("endpoints" in mod_jk terminology) to every Tomcat. The
+//! load balancer's `get_endpoint` step is an acquisition from this pool —
+//! and the pool is exactly where millibottlenecks bite: a frozen Tomcat
+//! never returns responses, so its connections never free, so acquisition
+//! stalls while the balancer still believes the backend is *Available*.
+
+/// Result of a pool acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquire {
+    /// A connection was checked out.
+    Ok,
+    /// All connections are in flight.
+    Exhausted,
+}
+
+/// A fixed-size connection pool to one backend.
+///
+/// # Examples
+///
+/// ```
+/// use mlb_netmodel::pool::{Acquire, ConnectionPool};
+///
+/// let mut pool = ConnectionPool::new(2);
+/// assert_eq!(pool.acquire(), Acquire::Ok);
+/// assert_eq!(pool.acquire(), Acquire::Ok);
+/// assert_eq!(pool.acquire(), Acquire::Exhausted);
+/// pool.release();
+/// assert_eq!(pool.acquire(), Acquire::Ok);
+/// assert_eq!(pool.in_use(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConnectionPool {
+    capacity: usize,
+    in_use: usize,
+    acquisitions: u64,
+    exhaustions: u64,
+    peak_in_use: usize,
+}
+
+impl ConnectionPool {
+    /// Creates a pool of `capacity` connections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "connection pool capacity must be positive");
+        ConnectionPool {
+            capacity,
+            in_use: 0,
+            acquisitions: 0,
+            exhaustions: 0,
+            peak_in_use: 0,
+        }
+    }
+
+    /// Attempts to check out a connection.
+    pub fn acquire(&mut self) -> Acquire {
+        if self.in_use >= self.capacity {
+            self.exhaustions += 1;
+            return Acquire::Exhausted;
+        }
+        self.in_use += 1;
+        self.acquisitions += 1;
+        self.peak_in_use = self.peak_in_use.max(self.in_use);
+        Acquire::Ok
+    }
+
+    /// Returns a connection to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no connection is checked out — a release/acquire imbalance
+    /// is always a driver bug.
+    pub fn release(&mut self) {
+        assert!(
+            self.in_use > 0,
+            "release on a pool with no connection in use"
+        );
+        self.in_use -= 1;
+    }
+
+    /// Connections currently checked out.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Free connections.
+    pub fn available(&self) -> usize {
+        self.capacity - self.in_use
+    }
+
+    /// `true` if every connection is checked out.
+    pub fn is_exhausted(&self) -> bool {
+        self.in_use >= self.capacity
+    }
+
+    /// Configured size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Successful acquisitions over the pool's lifetime.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Failed acquisitions (pool exhausted) over the pool's lifetime.
+    pub fn exhaustions(&self) -> u64 {
+        self.exhaustions
+    }
+
+    /// Highest concurrent checkout ever observed.
+    pub fn peak_in_use(&self) -> usize {
+        self.peak_in_use
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut p = ConnectionPool::new(3);
+        assert_eq!(p.available(), 3);
+        p.acquire();
+        p.acquire();
+        assert_eq!(p.in_use(), 2);
+        assert_eq!(p.available(), 1);
+        p.release();
+        assert_eq!(p.in_use(), 1);
+    }
+
+    #[test]
+    fn exhaustion_counted() {
+        let mut p = ConnectionPool::new(1);
+        p.acquire();
+        assert!(p.is_exhausted());
+        assert_eq!(p.acquire(), Acquire::Exhausted);
+        assert_eq!(p.acquire(), Acquire::Exhausted);
+        assert_eq!(p.exhaustions(), 2);
+        assert_eq!(p.acquisitions(), 1);
+    }
+
+    #[test]
+    fn peak_in_use_tracked() {
+        let mut p = ConnectionPool::new(5);
+        p.acquire();
+        p.acquire();
+        p.acquire();
+        p.release();
+        p.release();
+        p.acquire();
+        assert_eq!(p.peak_in_use(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no connection in use")]
+    fn unbalanced_release_panics() {
+        let mut p = ConnectionPool::new(1);
+        p.release();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        ConnectionPool::new(0);
+    }
+}

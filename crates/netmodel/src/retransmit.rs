@@ -1,0 +1,233 @@
+//! TCP retransmission timing.
+//!
+//! When an accept queue drops a request packet, the client's TCP stack
+//! retransmits after a retransmission timeout (RTO). The paper's response
+//! time histogram (Fig. 4) shows VLRT clusters at exactly 1 s, 2 s and
+//! 3 s — the images of the kernel's retransmission schedule. [`RtoSchedule`]
+//! makes that schedule an explicit, sweepable parameter.
+
+use mlb_simkernel::time::SimDuration;
+
+/// A retransmission timeout schedule: the wait before attempt *n+1* after
+/// drop *n*.
+///
+/// # Examples
+///
+/// ```
+/// use mlb_netmodel::retransmit::RtoSchedule;
+/// use mlb_simkernel::time::SimDuration;
+///
+/// // The schedule matching the paper's 1 s / 2 s / 3 s VLRT clusters.
+/// let rto = RtoSchedule::paper_clusters();
+/// assert_eq!(rto.delay_after_drop(0), Some(SimDuration::from_secs(1)));
+/// assert_eq!(rto.delay_after_drop(1), Some(SimDuration::from_secs(1)));
+/// assert_eq!(rto.delay_after_drop(2), Some(SimDuration::from_secs(1)));
+/// assert_eq!(rto.delay_after_drop(3), None); // retries exhausted
+/// assert_eq!(rto.max_attempts(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtoSchedule {
+    delays: Vec<SimDuration>,
+}
+
+impl RtoSchedule {
+    /// Builds a schedule from explicit per-drop delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays` is empty or contains a zero delay (a zero RTO
+    /// would retransmit into the same full queue instant).
+    pub fn new(delays: Vec<SimDuration>) -> Self {
+        assert!(
+            !delays.is_empty(),
+            "an RTO schedule needs at least one delay"
+        );
+        assert!(
+            delays.iter().all(|d| !d.is_zero()),
+            "RTO delays must be positive"
+        );
+        RtoSchedule { delays }
+    }
+
+    /// Three retransmissions, 1 s apart — reproduces the paper's VLRT
+    /// clusters at 1 s, 2 s and 3 s (Fig. 4).
+    pub fn paper_clusters() -> Self {
+        RtoSchedule::new(vec![
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(1),
+        ])
+    }
+
+    /// Classic exponential backoff: `base`, 2·`base`, 4·`base`, … for
+    /// `retries` attempts (Linux SYN-style with `base = 1 s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero or `retries` is zero.
+    pub fn exponential(base: SimDuration, retries: usize) -> Self {
+        assert!(retries > 0, "need at least one retry");
+        let delays = (0..retries)
+            .map(|i| base.saturating_mul(1u64 << i.min(16)))
+            .collect();
+        RtoSchedule::new(delays)
+    }
+
+    /// The wait before the next attempt after the `drops`-th drop
+    /// (0-indexed), or `None` when retries are exhausted.
+    pub fn delay_after_drop(&self, drops: usize) -> Option<SimDuration> {
+        self.delays.get(drops).copied()
+    }
+
+    /// Total send attempts a request may make (1 initial + retries).
+    pub fn max_attempts(&self) -> usize {
+        self.delays.len() + 1
+    }
+
+    /// Cumulative extra latency if the first `n` attempts all drop.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mlb_netmodel::retransmit::RtoSchedule;
+    /// use mlb_simkernel::time::SimDuration;
+    ///
+    /// let rto = RtoSchedule::paper_clusters();
+    /// assert_eq!(rto.cumulative_delay(2), SimDuration::from_secs(2));
+    /// ```
+    pub fn cumulative_delay(&self, n: usize) -> SimDuration {
+        self.delays
+            .iter()
+            .take(n)
+            .fold(SimDuration::ZERO, |acc, &d| acc.saturating_add(d))
+    }
+
+    /// The per-drop delays.
+    pub fn delays(&self) -> &[SimDuration] {
+        &self.delays
+    }
+}
+
+impl Default for RtoSchedule {
+    fn default() -> Self {
+        RtoSchedule::paper_clusters()
+    }
+}
+
+/// Per-request retransmission state.
+///
+/// # Examples
+///
+/// ```
+/// use mlb_netmodel::retransmit::{RetransmitState, RtoSchedule};
+///
+/// let rto = RtoSchedule::paper_clusters();
+/// let mut state = RetransmitState::new();
+/// // First drop: wait 1 s, then attempt #2.
+/// let delay = state.on_drop(&rto).expect("retries remain");
+/// assert_eq!(delay.as_secs_f64(), 1.0);
+/// assert_eq!(state.attempts(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetransmitState {
+    drops: usize,
+}
+
+impl RetransmitState {
+    /// Fresh state: no drops yet, next send is attempt #1.
+    pub fn new() -> Self {
+        RetransmitState { drops: 0 }
+    }
+
+    /// Records a drop. Returns the RTO to wait before the next attempt, or
+    /// `None` if the schedule is exhausted (the request fails for good).
+    pub fn on_drop(&mut self, schedule: &RtoSchedule) -> Option<SimDuration> {
+        let delay = schedule.delay_after_drop(self.drops);
+        self.drops += 1;
+        delay
+    }
+
+    /// Number of drops so far.
+    pub fn drops(&self) -> usize {
+        self.drops
+    }
+
+    /// The attempt number of the *next* send (1-based).
+    pub fn attempts(&self) -> usize {
+        self.drops + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schedule_produces_1_2_3_second_clusters() {
+        let rto = RtoSchedule::paper_clusters();
+        assert_eq!(rto.cumulative_delay(1), SimDuration::from_secs(1));
+        assert_eq!(rto.cumulative_delay(2), SimDuration::from_secs(2));
+        assert_eq!(rto.cumulative_delay(3), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn exponential_doubles() {
+        let rto = RtoSchedule::exponential(SimDuration::from_millis(200), 3);
+        assert_eq!(
+            rto.delays(),
+            &[
+                SimDuration::from_millis(200),
+                SimDuration::from_millis(400),
+                SimDuration::from_millis(800),
+            ]
+        );
+        assert_eq!(rto.max_attempts(), 4);
+    }
+
+    #[test]
+    fn state_walks_the_schedule() {
+        let rto = RtoSchedule::new(vec![SimDuration::from_secs(1), SimDuration::from_secs(2)]);
+        let mut st = RetransmitState::new();
+        assert_eq!(st.on_drop(&rto), Some(SimDuration::from_secs(1)));
+        assert_eq!(st.on_drop(&rto), Some(SimDuration::from_secs(2)));
+        assert_eq!(st.on_drop(&rto), None);
+        assert_eq!(st.drops(), 3);
+    }
+
+    #[test]
+    fn cumulative_beyond_schedule_saturates() {
+        let rto = RtoSchedule::paper_clusters();
+        assert_eq!(rto.cumulative_delay(99), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn attempts_is_one_based() {
+        let st = RetransmitState::new();
+        assert_eq!(st.attempts(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one delay")]
+    fn empty_schedule_panics() {
+        RtoSchedule::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_delay_panics() {
+        RtoSchedule::new(vec![SimDuration::ZERO]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one retry")]
+    fn exponential_zero_retries_panics() {
+        RtoSchedule::exponential(SimDuration::from_secs(1), 0);
+    }
+
+    #[test]
+    fn exponential_shift_is_capped() {
+        // Huge retry counts must not overflow the shift.
+        let rto = RtoSchedule::exponential(SimDuration::from_micros(1), 40);
+        assert_eq!(rto.max_attempts(), 41);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests: conservation laws of the network substrate.
+
+use mlb_netmodel::accept_queue::{AcceptQueue, Offer};
+use mlb_netmodel::pool::{Acquire, ConnectionPool};
+use mlb_netmodel::retransmit::{RetransmitState, RtoSchedule};
+use mlb_simkernel::time::SimDuration;
+use proptest::prelude::*;
+
+proptest! {
+    /// offered = accepted + dropped, and pops never exceed accepted.
+    #[test]
+    fn accept_queue_conserves_items(
+        capacity in 1usize..32,
+        script in proptest::collection::vec(any::<bool>(), 1..300), // true = offer, false = pop
+    ) {
+        let mut q = AcceptQueue::new(capacity);
+        let mut offered = 0u64;
+        let mut popped = 0u64;
+        for op in script {
+            if op {
+                offered += 1;
+                q.offer(offered);
+            } else if q.pop().is_some() {
+                popped += 1;
+            }
+            prop_assert!(q.len() <= capacity, "queue exceeded capacity");
+            prop_assert_eq!(q.accepted() + q.drops(), offered);
+            prop_assert_eq!(q.accepted() - popped, q.len() as u64);
+        }
+    }
+
+    /// The queue behaves exactly like a bounded VecDeque reference model.
+    #[test]
+    fn accept_queue_matches_reference_model(
+        capacity in 1usize..16,
+        script in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut q = AcceptQueue::new(capacity);
+        let mut model: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+        for (i, op) in script.into_iter().enumerate() {
+            let item = i as u32;
+            if op {
+                let outcome = q.offer(item);
+                if model.len() < capacity {
+                    model.push_back(item);
+                    prop_assert_eq!(outcome, Offer::Accepted);
+                } else {
+                    prop_assert_eq!(outcome, Offer::Dropped);
+                }
+            } else {
+                prop_assert_eq!(q.pop(), model.pop_front());
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_empty(), model.is_empty());
+        }
+    }
+
+    /// in_use never exceeds capacity and equals acquisitions - releases.
+    #[test]
+    fn pool_accounting_is_exact(
+        capacity in 1usize..64,
+        script in proptest::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let mut pool = ConnectionPool::new(capacity);
+        let mut releases = 0u64;
+        for op in script {
+            if op {
+                pool.acquire();
+            } else if pool.in_use() > 0 {
+                pool.release();
+                releases += 1;
+            }
+            prop_assert!(pool.in_use() <= capacity);
+            prop_assert_eq!(pool.in_use() as u64, pool.acquisitions() - releases);
+            prop_assert_eq!(pool.available(), capacity - pool.in_use());
+        }
+    }
+
+    /// A full pool always reports Exhausted; a non-full pool always Ok.
+    #[test]
+    fn pool_acquire_matches_fullness(capacity in 1usize..16) {
+        let mut pool = ConnectionPool::new(capacity);
+        for i in 0..capacity * 2 {
+            let expected = if i < capacity { Acquire::Ok } else { Acquire::Exhausted };
+            prop_assert_eq!(pool.acquire(), expected);
+        }
+        prop_assert_eq!(pool.exhaustions(), capacity as u64);
+        prop_assert_eq!(pool.peak_in_use(), capacity);
+    }
+
+    /// Walking any schedule: total extra latency equals the cumulative
+    /// delay, and the walk ends after exactly `delays.len()` drops.
+    #[test]
+    fn retransmit_walk_matches_cumulative(
+        delays_ms in proptest::collection::vec(1u64..5_000, 1..8),
+    ) {
+        let schedule = RtoSchedule::new(
+            delays_ms.iter().map(|&ms| SimDuration::from_millis(ms)).collect()
+        );
+        let mut state = RetransmitState::new();
+        let mut total = SimDuration::ZERO;
+        let mut drops = 0;
+        while let Some(d) = state.on_drop(&schedule) {
+            total = total.saturating_add(d);
+            drops += 1;
+        }
+        prop_assert_eq!(drops, delays_ms.len());
+        prop_assert_eq!(total, schedule.cumulative_delay(delays_ms.len()));
+        prop_assert_eq!(state.drops(), delays_ms.len() + 1); // the final fatal drop
+        prop_assert_eq!(schedule.max_attempts(), delays_ms.len() + 1);
+    }
+
+    /// cumulative_delay is monotone in n.
+    #[test]
+    fn cumulative_delay_is_monotone(
+        delays_ms in proptest::collection::vec(1u64..1_000, 1..10),
+        n in 0usize..15,
+    ) {
+        let schedule = RtoSchedule::new(
+            delays_ms.iter().map(|&ms| SimDuration::from_millis(ms)).collect()
+        );
+        prop_assert!(schedule.cumulative_delay(n) <= schedule.cumulative_delay(n + 1));
+    }
+}

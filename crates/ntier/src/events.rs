@@ -1,0 +1,156 @@
+//! The event alphabet of the n-tier simulation.
+
+use mlb_osmodel::cpu::CompletionKey;
+use mlb_workload::clients::ClientId;
+
+use crate::request::RequestId;
+
+/// A server of the simulated testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServerRef {
+    /// The `i`-th Apache server.
+    Apache(usize),
+    /// The `i`-th Tomcat server.
+    Tomcat(usize),
+    /// The single MySQL server.
+    MySql,
+}
+
+impl std::fmt::Display for ServerRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerRef::Apache(i) => write!(f, "apache{}", i + 1),
+            ServerRef::Tomcat(i) => write!(f, "tomcat{}", i + 1),
+            ServerRef::MySql => write!(f, "mysql"),
+        }
+    }
+}
+
+/// Every event the [`NTierSystem`](crate::system::NTierSystem) handles.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A client issues its next request.
+    ClientIssue {
+        /// The issuing client.
+        client: ClientId,
+    },
+    /// A previously dropped request is retransmitted by the client's TCP
+    /// stack.
+    ClientRetransmit {
+        /// The retransmitted request.
+        request: RequestId,
+    },
+    /// A request packet reaches its Apache.
+    ArriveApache {
+        /// The arriving request.
+        request: RequestId,
+    },
+    /// An Apache CPU burst completed.
+    ApacheCpuDone {
+        /// Which Apache.
+        apache: usize,
+        /// Completion handle (may be stale across freezes).
+        key: CompletionKey,
+    },
+    /// The load balancer routes (or re-routes) a request.
+    RouteRequest {
+        /// The request being routed.
+        request: RequestId,
+    },
+    /// The original get_endpoint mechanism re-polls its candidate.
+    EndpointRetry {
+        /// The waiting request.
+        request: RequestId,
+    },
+    /// A request reaches its Tomcat over an AJP connection.
+    ArriveTomcat {
+        /// The arriving request.
+        request: RequestId,
+    },
+    /// A CPing probe reaches its Tomcat (ProbeFirst mechanism).
+    ArriveProbe {
+        /// The probing request.
+        request: RequestId,
+    },
+    /// A CPong reply reaches the Apache.
+    ProbeReply {
+        /// The probing request.
+        request: RequestId,
+    },
+    /// The probe budget elapsed without a reply.
+    ProbeTimeout {
+        /// The probing request.
+        request: RequestId,
+    },
+    /// A Tomcat servlet CPU burst completed.
+    TomcatCpuDone {
+        /// Which Tomcat.
+        tomcat: usize,
+        /// Completion handle (may be stale across freezes).
+        key: CompletionKey,
+    },
+    /// A request issues its next MySQL query (or finishes at Tomcat).
+    DbDispatch {
+        /// The request at the Tomcat.
+        request: RequestId,
+    },
+    /// A query reaches MySQL.
+    ArriveMysql {
+        /// The owning request.
+        request: RequestId,
+    },
+    /// A MySQL CPU burst completed.
+    MysqlCpuDone {
+        /// Completion handle (may be stale across freezes).
+        key: CompletionKey,
+    },
+    /// A query result returns to the Tomcat.
+    DbReply {
+        /// The owning request.
+        request: RequestId,
+    },
+    /// The Tomcat response reaches the Apache.
+    ApacheReply {
+        /// The responding request.
+        request: RequestId,
+    },
+    /// The response reaches the client.
+    ClientDone {
+        /// The completed request.
+        request: RequestId,
+    },
+    /// Periodic pdflush wakeup on one server.
+    PdflushWake {
+        /// The server whose pdflush woke.
+        server: ServerRef,
+    },
+    /// A dirty-page flush (millibottleneck) finished.
+    FlushEnd {
+        /// The server that was flushing.
+        server: ServerRef,
+    },
+    /// A stop-the-world GC pause begins on one server.
+    GcStart {
+        /// The collecting server.
+        server: ServerRef,
+    },
+    /// A stop-the-world GC pause ends.
+    GcEnd {
+        /// The server that was collecting.
+        server: ServerRef,
+    },
+    /// Periodic telemetry sampling tick.
+    MonitorSample,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_ref_display_is_one_based_like_the_paper() {
+        assert_eq!(ServerRef::Apache(0).to_string(), "apache1");
+        assert_eq!(ServerRef::Tomcat(3).to_string(), "tomcat4");
+        assert_eq!(ServerRef::MySql.to_string(), "mysql");
+    }
+}

@@ -1,0 +1,200 @@
+//! Running experiments and packaging their results.
+
+use mlb_simkernel::sim::Simulation;
+use mlb_simkernel::time::SimTime;
+
+use crate::config::SystemConfig;
+use crate::system::{InvalidSystemConfigError, NTierSystem};
+use crate::telemetry::Telemetry;
+
+/// Everything a finished experiment leaves behind.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// The balancer label, e.g. `"Original total_request"`.
+    pub label: String,
+    /// All collected series and counters.
+    pub telemetry: Telemetry,
+    /// Events the simulator processed.
+    pub events_processed: u64,
+    /// Experiment duration in simulated seconds.
+    pub duration_secs: f64,
+    /// Accept-queue drops per Apache.
+    pub apache_drops: Vec<u64>,
+    /// Peak concurrent worker usage per Apache.
+    pub apache_worker_peaks: Vec<usize>,
+    /// Deepest request queue per Tomcat.
+    pub tomcat_queue_peaks: Vec<usize>,
+    /// Millibottlenecks experienced per server (label, count).
+    pub millibottlenecks_by_server: Vec<(String, u64)>,
+    /// Pool-exhaustion events per Apache (summed over its Tomcat pools).
+    pub pool_exhaustions: Vec<u64>,
+    /// Requests in flight when the horizon was reached.
+    pub inflight_at_end: usize,
+    /// Total logical requests issued by clients during the run.
+    pub requests_issued: u64,
+}
+
+impl ExperimentResult {
+    /// Completed requests per simulated second.
+    pub fn throughput_rps(&self) -> f64 {
+        self.telemetry.response.total() as f64 / self.duration_secs
+    }
+
+    /// Total millibottlenecks across all servers.
+    pub fn total_millibottlenecks(&self) -> u64 {
+        self.millibottlenecks_by_server
+            .iter()
+            .map(|&(_, c)| c)
+            .sum()
+    }
+}
+
+/// Builds and runs one experiment to its configured horizon.
+///
+/// # Errors
+///
+/// Returns [`InvalidSystemConfigError`] if the configuration is
+/// inconsistent.
+///
+/// # Examples
+///
+/// ```
+/// use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
+/// use mlb_ntier::config::SystemConfig;
+/// use mlb_ntier::experiment::run_experiment;
+///
+/// let balancer = BalancerConfig::with(PolicyKind::CurrentLoad, MechanismKind::Original);
+/// let result = run_experiment(SystemConfig::smoke(balancer))?;
+/// assert!(result.telemetry.response.total() > 0);
+/// # Ok::<(), mlb_ntier::system::InvalidSystemConfigError>(())
+/// ```
+pub fn run_experiment(cfg: SystemConfig) -> Result<ExperimentResult, InvalidSystemConfigError> {
+    let horizon = SimTime::ZERO + cfg.duration;
+    let mut sim: Simulation<NTierSystem> = NTierSystem::build_simulation(cfg)?;
+    sim.run_until(horizon);
+    let events_processed = sim.events_processed();
+    let system = sim.into_model();
+    Ok(package(system, events_processed))
+}
+
+fn package(system: NTierSystem, events_processed: u64) -> ExperimentResult {
+    let label = system.config().balancer.label();
+    let duration_secs = system.config().duration.as_secs_f64();
+    let apache_drops = system
+        .apaches()
+        .iter()
+        .map(|a| a.accept_queue.drops())
+        .collect();
+    let apache_worker_peaks = system.apaches().iter().map(|a| a.workers_peak()).collect();
+    let tomcat_queue_peaks = system.tomcats().iter().map(|t| t.queue_peak()).collect();
+    let pool_exhaustions = system
+        .apaches()
+        .iter()
+        .map(|a| a.pools.iter().map(|p| p.exhaustions()).sum())
+        .collect();
+    let mut millibottlenecks_by_server = Vec::new();
+    for (i, a) in system.apaches().iter().enumerate() {
+        millibottlenecks_by_server.push((
+            format!("apache{}", i + 1),
+            a.machine.millibottleneck_count(),
+        ));
+    }
+    for (i, t) in system.tomcats().iter().enumerate() {
+        millibottlenecks_by_server.push((
+            format!("tomcat{}", i + 1),
+            t.machine.millibottleneck_count(),
+        ));
+    }
+    millibottlenecks_by_server.push((
+        "mysql".to_owned(),
+        system.mysql().machine.millibottleneck_count(),
+    ));
+    let inflight_at_end = system.inflight();
+    let requests_issued = system.requests_issued();
+    ExperimentResult {
+        label,
+        events_processed,
+        duration_secs,
+        apache_drops,
+        apache_worker_peaks,
+        tomcat_queue_peaks,
+        millibottlenecks_by_server,
+        pool_exhaustions,
+        inflight_at_end,
+        requests_issued,
+        telemetry: system.into_telemetry(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
+
+    fn smoke(policy: PolicyKind, mech: MechanismKind) -> ExperimentResult {
+        run_experiment(SystemConfig::smoke(BalancerConfig::with(policy, mech))).unwrap()
+    }
+
+    #[test]
+    fn smoke_run_completes_requests() {
+        let r = smoke(PolicyKind::TotalRequest, MechanismKind::Original);
+        assert!(
+            r.telemetry.response.total() > 1_000,
+            "only {} requests completed",
+            r.telemetry.response.total()
+        );
+        assert!(r.events_processed > 10_000);
+        assert!(r.throughput_rps() > 100.0);
+    }
+
+    #[test]
+    fn smoke_run_has_millibottlenecks() {
+        let r = smoke(PolicyKind::TotalRequest, MechanismKind::Original);
+        assert!(
+            r.total_millibottlenecks() > 0,
+            "smoke config must produce millibottlenecks"
+        );
+    }
+
+    #[test]
+    fn identical_seeds_are_bit_reproducible() {
+        let a = smoke(PolicyKind::TotalRequest, MechanismKind::Original);
+        let b = smoke(PolicyKind::TotalRequest, MechanismKind::Original);
+        assert_eq!(a.telemetry.response.total(), b.telemetry.response.total());
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.telemetry.drops, b.telemetry.drops);
+        assert!((a.telemetry.response.avg_ms() - b.telemetry.response.avg_ms()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requests_are_conserved() {
+        // Every issued request is either completed, terminally failed, or
+        // still in flight at the horizon — none vanish.
+        for (policy, mech) in [
+            (PolicyKind::TotalRequest, MechanismKind::Original),
+            (PolicyKind::CurrentLoad, MechanismKind::SkipToBusy),
+        ] {
+            let r = smoke(policy, mech);
+            let accounted = r.telemetry.response.total()
+                + r.telemetry.failed_requests
+                + r.inflight_at_end as u64;
+            assert_eq!(
+                r.requests_issued,
+                accounted,
+                "{}: issued {} != completed {} + failed {} + inflight {}",
+                r.label,
+                r.requests_issued,
+                r.telemetry.response.total(),
+                r.telemetry.failed_requests,
+                r.inflight_at_end
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = SystemConfig::smoke(BalancerConfig::default());
+        cfg.apaches = 0;
+        assert!(run_experiment(cfg).is_err());
+    }
+}

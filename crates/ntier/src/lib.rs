@@ -1,0 +1,56 @@
+//! # mlb-ntier — the full n-tier testbed simulator
+//!
+//! Composes every substrate of the `millibalance` workspace into the
+//! paper's testbed: 4 Apache servers (each running a `mlb-core` mod_jk
+//! balancer), 4 Tomcat servers (whose log writes feed the dirty-page
+//! millibottleneck generator), one MySQL server, a 1 Gbps LAN with bounded
+//! accept queues and TCP retransmission, and 70 000 closed-loop RUBBoS
+//! clients — all inside a deterministic discrete-event simulation.
+//!
+//! Entry points:
+//!
+//! * [`config::SystemConfig`] — the testbed description, with presets for
+//!   each of the paper's configurations (`paper_4x4`, `paper_1x1`,
+//!   `paper_4x4_no_millibottleneck`, `smoke`).
+//! * [`experiment::run_experiment`] — build, run, and package results.
+//! * [`telemetry::Telemetry`] — every series the paper's figures need.
+//!
+//! ```no_run
+//! use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
+//! use mlb_ntier::prelude::*;
+//!
+//! // Reproduce the paper's headline comparison in three lines:
+//! let unstable = run_experiment(SystemConfig::paper_4x4(
+//!     BalancerConfig::with(PolicyKind::TotalRequest, MechanismKind::Original),
+//! ))?;
+//! let remedied = run_experiment(SystemConfig::paper_4x4(
+//!     BalancerConfig::with(PolicyKind::CurrentLoad, MechanismKind::Original),
+//! ))?;
+//! assert!(remedied.telemetry.response.avg_ms() < unstable.telemetry.response.avg_ms());
+//! # Ok::<(), mlb_ntier::system::InvalidSystemConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod events;
+pub mod experiment;
+pub mod request;
+pub mod servers;
+pub mod system;
+pub mod telemetry;
+
+pub use config::SystemConfig;
+pub use experiment::{run_experiment, ExperimentResult};
+pub use system::{InvalidSystemConfigError, NTierSystem};
+pub use telemetry::{PhaseBreakdown, Telemetry};
+
+/// Convenient glob-import surface: `use mlb_ntier::prelude::*;`.
+pub mod prelude {
+    pub use crate::config::SystemConfig;
+    pub use crate::experiment::{run_experiment, ExperimentResult};
+    pub use crate::system::NTierSystem;
+    pub use crate::telemetry::Telemetry;
+}

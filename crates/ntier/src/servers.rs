@@ -1,0 +1,322 @@
+//! The three server tiers.
+//!
+//! Each server owns a [`Machine`] (CPU + page cache + disk) plus its
+//! tier-specific admission structures. The request *logic* lives in
+//! [`crate::system::NTierSystem`]; these types keep the per-server state
+//! honest (worker counting, queue bounds, pools) and observable (queue
+//! lengths for the paper's figures).
+
+use mlb_core::Balancer;
+use mlb_netmodel::accept_queue::AcceptQueue;
+use mlb_netmodel::pool::ConnectionPool;
+use mlb_osmodel::machine::Machine;
+use std::collections::VecDeque;
+
+use crate::request::RequestId;
+
+/// One Apache HTTP server: bounded worker pool, kernel accept queue, a
+/// mod_jk balancer and one AJP connection pool per Tomcat.
+#[derive(Debug)]
+pub struct ApacheServer {
+    /// Hardware/OS model.
+    pub machine: Machine,
+    /// Kernel accept queue; overflow drops (→ TCP retransmission).
+    pub accept_queue: AcceptQueue<RequestId>,
+    /// This Apache's mod_jk instance.
+    pub balancer: Balancer,
+    /// AJP connection pools, one per Tomcat.
+    pub pools: Vec<ConnectionPool>,
+    workers: usize,
+    workers_busy: usize,
+    workers_peak: usize,
+}
+
+impl ApacheServer {
+    /// Builds an Apache with `workers` worker threads, an accept queue of
+    /// `accept_capacity`, and `pool_size` connections to each Tomcat.
+    pub fn new(
+        machine: Machine,
+        workers: usize,
+        accept_capacity: usize,
+        balancer: Balancer,
+        tomcats: usize,
+        pool_size: usize,
+    ) -> Self {
+        ApacheServer {
+            machine,
+            accept_queue: AcceptQueue::new(accept_capacity),
+            balancer,
+            pools: (0..tomcats)
+                .map(|_| ConnectionPool::new(pool_size))
+                .collect(),
+            workers,
+            workers_busy: 0,
+            workers_peak: 0,
+        }
+    }
+
+    /// `true` if a worker thread is free.
+    pub fn has_free_worker(&self) -> bool {
+        self.workers_busy < self.workers
+    }
+
+    /// Claims a worker thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if none is free.
+    pub fn claim_worker(&mut self) {
+        assert!(self.has_free_worker(), "no free Apache worker to claim");
+        self.workers_busy += 1;
+        self.workers_peak = self.workers_peak.max(self.workers_busy);
+    }
+
+    /// Releases a worker thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if none is busy.
+    pub fn release_worker(&mut self) {
+        assert!(self.workers_busy > 0, "no busy Apache worker to release");
+        self.workers_busy -= 1;
+    }
+
+    /// Busy worker threads.
+    pub fn workers_busy(&self) -> usize {
+        self.workers_busy
+    }
+
+    /// Worker-pool capacity.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Highest concurrent worker usage observed.
+    pub fn workers_peak(&self) -> usize {
+        self.workers_peak
+    }
+
+    /// Requests *in* this Apache: busy workers plus the accept queue —
+    /// the quantity plotted as "queued requests in Apache" in the paper.
+    pub fn queued_requests(&self) -> usize {
+        self.workers_busy + self.accept_queue.len()
+    }
+}
+
+/// One Tomcat application server: bounded servlet thread pool, a pending
+/// list fed by AJP connections, and a MySQL connection pool.
+#[derive(Debug)]
+pub struct TomcatServer {
+    /// Hardware/OS model (the millibottleneck source).
+    pub machine: Machine,
+    /// Requests that arrived over AJP but have no servlet thread yet.
+    pub pending: VecDeque<RequestId>,
+    /// Requests waiting for a MySQL connection.
+    pub db_waiters: VecDeque<RequestId>,
+    /// CPing probes awaiting a reply while this Tomcat is stalled
+    /// (answered when the stall ends).
+    pub probe_waiters: Vec<RequestId>,
+    /// MySQL connection pool for this Tomcat.
+    pub db_pool: ConnectionPool,
+    threads: usize,
+    threads_busy: usize,
+    threads_peak: usize,
+    queue_peak: usize,
+}
+
+impl TomcatServer {
+    /// Builds a Tomcat with `threads` servlet threads and `db_pool_size`
+    /// MySQL connections.
+    pub fn new(machine: Machine, threads: usize, db_pool_size: usize) -> Self {
+        TomcatServer {
+            machine,
+            pending: VecDeque::new(),
+            db_waiters: VecDeque::new(),
+            probe_waiters: Vec::new(),
+            db_pool: ConnectionPool::new(db_pool_size),
+            threads,
+            threads_busy: 0,
+            threads_peak: 0,
+            queue_peak: 0,
+        }
+    }
+
+    /// `true` if a servlet thread is free.
+    pub fn has_free_thread(&self) -> bool {
+        self.threads_busy < self.threads
+    }
+
+    /// Claims a servlet thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if none is free.
+    pub fn claim_thread(&mut self) {
+        assert!(self.has_free_thread(), "no free Tomcat thread to claim");
+        self.threads_busy += 1;
+        self.threads_peak = self.threads_peak.max(self.threads_busy);
+    }
+
+    /// Releases a servlet thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if none is busy.
+    pub fn release_thread(&mut self) {
+        assert!(self.threads_busy > 0, "no busy Tomcat thread to release");
+        self.threads_busy -= 1;
+    }
+
+    /// Busy servlet threads.
+    pub fn threads_busy(&self) -> usize {
+        self.threads_busy
+    }
+
+    /// Thread-pool capacity.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Highest concurrent thread usage observed.
+    pub fn threads_peak(&self) -> usize {
+        self.threads_peak
+    }
+
+    /// Requests *in* this Tomcat (executing + pending + waiting on DB
+    /// connections) — the paper's "queued requests in Tomcat".
+    pub fn queued_requests(&self) -> usize {
+        self.threads_busy + self.pending.len()
+    }
+
+    /// Records the current queue depth into the peak tracker.
+    pub fn note_queue_depth(&mut self) {
+        self.queue_peak = self.queue_peak.max(self.queued_requests());
+    }
+
+    /// Deepest the Tomcat queue has been.
+    pub fn queue_peak(&self) -> usize {
+        self.queue_peak
+    }
+}
+
+/// The MySQL server: pure CPU service (its page cache plays no role in
+/// the paper's experiments — millibottlenecks there were eliminated).
+#[derive(Debug)]
+pub struct MySqlServer {
+    /// Hardware/OS model.
+    pub machine: Machine,
+    queries_served: u64,
+}
+
+impl MySqlServer {
+    /// Builds the MySQL server.
+    pub fn new(machine: Machine) -> Self {
+        MySqlServer {
+            machine,
+            queries_served: 0,
+        }
+    }
+
+    /// Records a served query.
+    pub fn note_query(&mut self) {
+        self.queries_served += 1;
+    }
+
+    /// Total queries served.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served
+    }
+
+    /// Requests in the database tier (running + queued CPU bursts).
+    pub fn queued_requests(&self) -> usize {
+        self.machine.cpu.running_count() + self.machine.cpu.queue_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_core::{Balancer, BalancerConfig};
+    use mlb_osmodel::machine::MachineConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig {
+            cores: 2,
+            disk_write_bandwidth: 1_000_000,
+            page_cache: None,
+            gc: None,
+        })
+    }
+
+    fn apache() -> ApacheServer {
+        let balancer = Balancer::new(BalancerConfig::default(), 2).unwrap();
+        ApacheServer::new(machine(), 3, 4, balancer, 2, 5)
+    }
+
+    #[test]
+    fn apache_worker_accounting() {
+        let mut a = apache();
+        assert!(a.has_free_worker());
+        a.claim_worker();
+        a.claim_worker();
+        a.claim_worker();
+        assert!(!a.has_free_worker());
+        assert_eq!(a.workers_busy(), 3);
+        assert_eq!(a.workers_peak(), 3);
+        a.release_worker();
+        assert!(a.has_free_worker());
+    }
+
+    #[test]
+    fn apache_queued_requests_counts_workers_and_queue() {
+        let mut a = apache();
+        a.claim_worker();
+        a.accept_queue.offer(RequestId(1));
+        a.accept_queue.offer(RequestId(2));
+        assert_eq!(a.queued_requests(), 3);
+    }
+
+    #[test]
+    fn apache_has_one_pool_per_tomcat() {
+        let a = apache();
+        assert_eq!(a.pools.len(), 2);
+        assert_eq!(a.pools[0].capacity(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no free Apache worker")]
+    fn apache_over_claim_panics() {
+        let mut a = apache();
+        for _ in 0..4 {
+            a.claim_worker();
+        }
+    }
+
+    #[test]
+    fn tomcat_thread_accounting_and_queue() {
+        let mut t = TomcatServer::new(machine(), 2, 4);
+        t.claim_thread();
+        t.pending.push_back(RequestId(9));
+        assert_eq!(t.queued_requests(), 2);
+        t.note_queue_depth();
+        assert_eq!(t.queue_peak(), 2);
+        t.release_thread();
+        assert_eq!(t.threads_busy(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no busy Tomcat thread")]
+    fn tomcat_over_release_panics() {
+        let mut t = TomcatServer::new(machine(), 2, 4);
+        t.release_thread();
+    }
+
+    #[test]
+    fn mysql_counts_queries() {
+        let mut m = MySqlServer::new(machine());
+        m.note_query();
+        m.note_query();
+        assert_eq!(m.queries_served(), 2);
+        assert_eq!(m.queued_requests(), 0);
+    }
+}

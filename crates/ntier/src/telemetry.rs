@@ -1,0 +1,413 @@
+//! Experiment telemetry.
+//!
+//! One [`Telemetry`] instance collects everything the paper's figures and
+//! Table I need, at the paper's 50 ms granularity. It is a passive data
+//! sink: [`crate::system::NTierSystem`] pushes samples into it, and the
+//! figure harness reads the series back out.
+
+use mlb_metrics::histogram::ResponseTimeHistogram;
+use mlb_metrics::series::{WindowedCounter, WindowedSeries};
+use mlb_metrics::summary::{ResponseStats, VLRT_THRESHOLD};
+use mlb_simkernel::time::{SimDuration, SimTime};
+
+/// Where completed requests spent their time, averaged over the run.
+///
+/// The segments partition a request's response time end to end:
+///
+/// 1. `retransmit_wait` — from first transmission to the last arrival at
+///    Apache (zero unless the request was dropped);
+/// 2. `apache_admission` — accept-queue wait for a worker thread;
+/// 3. `apache_cpu` — run-queue wait plus the parsing/proxy burst;
+/// 4. `routing` — balancer selection, `get_endpoint` polling, probing;
+/// 5. `backend` — endpoint acquisition to response at Apache (Tomcat
+///    queueing + servlet + MySQL + AJP hops);
+/// 6. `response` — Apache back to the client.
+///
+/// The paper's central claim is visible here directly: under the unstable
+/// policies the tail lives in `retransmit_wait` and `routing`, not in
+/// `backend` service.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseBreakdown {
+    /// Completed requests folded in.
+    pub count: u64,
+    /// Σ retransmission wait (µs).
+    pub retransmit_wait_us: u64,
+    /// Σ accept-queue wait (µs).
+    pub apache_admission_us: u64,
+    /// Σ Apache CPU queue + burst (µs).
+    pub apache_cpu_us: u64,
+    /// Σ routing / get_endpoint / probing (µs).
+    pub routing_us: u64,
+    /// Σ backend (Tomcat + MySQL + AJP hops) (µs).
+    pub backend_us: u64,
+    /// Σ response delivery (µs).
+    pub response_us: u64,
+}
+
+impl PhaseBreakdown {
+    /// Mean microseconds per request for each segment, in the order
+    /// documented on the type. Returns `None` if nothing was recorded.
+    pub fn means_us(&self) -> Option<[f64; 6]> {
+        if self.count == 0 {
+            return None;
+        }
+        let n = self.count as f64;
+        Some([
+            self.retransmit_wait_us as f64 / n,
+            self.apache_admission_us as f64 / n,
+            self.apache_cpu_us as f64 / n,
+            self.routing_us as f64 / n,
+            self.backend_us as f64 / n,
+            self.response_us as f64 / n,
+        ])
+    }
+
+    /// Segment labels matching [`PhaseBreakdown::means_us`].
+    pub fn labels() -> [&'static str; 6] {
+        [
+            "retransmit wait",
+            "apache admission",
+            "apache cpu",
+            "routing/get_endpoint",
+            "backend (tomcat+db)",
+            "response",
+        ]
+    }
+
+    /// Renders a one-segment-per-line table of mean milliseconds.
+    pub fn render(&self) -> String {
+        let Some(means) = self.means_us() else {
+            return "no completed requests".to_owned();
+        };
+        let total: f64 = means.iter().sum();
+        let mut out = String::new();
+        for (label, mean) in Self::labels().iter().zip(means) {
+            out.push_str(&format!(
+                "  {label:<22} {:>9.3} ms  ({:>5.1}%)
+",
+                mean / 1_000.0,
+                if total > 0.0 {
+                    mean / total * 100.0
+                } else {
+                    0.0
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<22} {:>9.3} ms
+",
+            "total",
+            total / 1_000.0
+        ));
+        out
+    }
+}
+
+/// All measurements of one experiment run.
+#[derive(Debug)]
+pub struct Telemetry {
+    /// Table I statistics (all completed requests).
+    pub response: ResponseStats,
+    /// Fig. 4: response-time frequency histogram.
+    pub histogram: ResponseTimeHistogram,
+    /// Fig. 2a/6a/7a: VLRT (> 1 s) completions per 50 ms window.
+    pub vlrt_per_window: WindowedCounter,
+    /// Fig. 1/3: point-in-time response time (ms) per window.
+    pub rt_trace: WindowedSeries,
+    /// Fig. 2b/8/12: queued requests per Apache per window.
+    pub apache_queues: Vec<WindowedSeries>,
+    /// Fig. 2b/8/9a/10a/12/13a: queued requests per Tomcat per window.
+    pub tomcat_queues: Vec<WindowedSeries>,
+    /// Queued requests in MySQL per window.
+    pub mysql_queue: WindowedSeries,
+    /// Fig. 2c: per-Apache CPU utilization (busy fraction incl. iowait).
+    pub apache_util: Vec<WindowedSeries>,
+    /// Fig. 5/6b/7b: per-Tomcat CPU utilization (busy fraction incl. iowait).
+    pub tomcat_util: Vec<WindowedSeries>,
+    /// MySQL CPU utilization.
+    pub mysql_util: WindowedSeries,
+    /// Fig. 2d: per-Apache iowait fraction.
+    pub apache_iowait: Vec<WindowedSeries>,
+    /// Per-Tomcat iowait fraction.
+    pub tomcat_iowait: Vec<WindowedSeries>,
+    /// Fig. 2e: per-Apache dirty page-cache bytes.
+    pub apache_dirty: Vec<WindowedSeries>,
+    /// Per-Tomcat dirty page-cache bytes.
+    pub tomcat_dirty: Vec<WindowedSeries>,
+    /// Fig. 10b/11b: Apache1's lb_value per Tomcat, sampled per window.
+    pub lb_values: Vec<WindowedSeries>,
+    /// Fig. 6c/7c/9b/13b: requests assigned per (Apache, Tomcat) per
+    /// window.
+    pub distribution: Vec<Vec<WindowedCounter>>,
+    /// Accept-queue drops per window (all Apaches).
+    pub drops_per_window: WindowedCounter,
+    /// Total accept-queue drops.
+    pub drops: u64,
+    /// Total TCP retransmissions issued.
+    pub retransmits: u64,
+    /// Requests that exhausted their RTO schedule or routing budget.
+    pub failed_requests: u64,
+    /// Requests that could not be routed within the routing budget.
+    pub routing_failures: u64,
+    /// Millibottlenecks (flushes) observed across all servers.
+    pub millibottlenecks: u64,
+    /// Where completed requests spent their time.
+    pub phase_breakdown: PhaseBreakdown,
+
+    sample_interval: SimDuration,
+    // Cumulative CPU counters at the previous sample, for differencing:
+    // (busy, iowait) per server, apaches then tomcats then mysql.
+    last_cpu: Vec<(u64, u64)>,
+}
+
+impl Telemetry {
+    /// Creates an empty collector for `apaches` × `tomcats` (+1 MySQL),
+    /// sampling at `sample_interval`.
+    pub fn new(apaches: usize, tomcats: usize, sample_interval: SimDuration) -> Self {
+        let wc = || WindowedCounter::new(sample_interval);
+        let ws = || WindowedSeries::new(sample_interval);
+        Telemetry {
+            response: ResponseStats::new(),
+            histogram: ResponseTimeHistogram::paper_buckets(),
+            vlrt_per_window: wc(),
+            rt_trace: ws(),
+            apache_queues: (0..apaches).map(|_| ws()).collect(),
+            tomcat_queues: (0..tomcats).map(|_| ws()).collect(),
+            mysql_queue: ws(),
+            apache_util: (0..apaches).map(|_| ws()).collect(),
+            tomcat_util: (0..tomcats).map(|_| ws()).collect(),
+            mysql_util: ws(),
+            apache_iowait: (0..apaches).map(|_| ws()).collect(),
+            tomcat_iowait: (0..tomcats).map(|_| ws()).collect(),
+            apache_dirty: (0..apaches).map(|_| ws()).collect(),
+            tomcat_dirty: (0..tomcats).map(|_| ws()).collect(),
+            lb_values: (0..tomcats).map(|_| ws()).collect(),
+            distribution: (0..apaches)
+                .map(|_| (0..tomcats).map(|_| wc()).collect())
+                .collect(),
+            drops_per_window: wc(),
+            drops: 0,
+            retransmits: 0,
+            failed_requests: 0,
+            routing_failures: 0,
+            millibottlenecks: 0,
+            phase_breakdown: PhaseBreakdown::default(),
+            sample_interval,
+            last_cpu: vec![(0, 0); apaches + tomcats + 1],
+        }
+    }
+
+    /// The sampling window width.
+    pub fn sample_interval(&self) -> SimDuration {
+        self.sample_interval
+    }
+
+    /// Records a completed request.
+    pub fn record_completion(&mut self, now: SimTime, rt: SimDuration) {
+        self.response.record(rt);
+        self.histogram.record(rt);
+        self.rt_trace.record(now, rt.as_millis_f64());
+        if rt > VLRT_THRESHOLD {
+            self.vlrt_per_window.incr(now);
+        }
+    }
+
+    /// Records an accept-queue drop.
+    pub fn record_drop(&mut self, now: SimTime) {
+        self.drops += 1;
+        self.drops_per_window.incr(now);
+    }
+
+    /// Records a request assignment (endpoint acquired) from `apache` to
+    /// `tomcat`.
+    pub fn record_assignment(&mut self, now: SimTime, apache: usize, tomcat: usize) {
+        self.distribution[apache][tomcat].incr(now);
+    }
+
+    /// Stores the CPU utilization sample for server slot `slot`
+    /// (0..apaches = Apaches, then Tomcats, then MySQL) given the
+    /// *cumulative* busy/iowait core-micros at `now`. The recorded value
+    /// is the busy (and iowait) fraction over the window just closed;
+    /// both samples are timestamped inside that window.
+    #[allow(clippy::too_many_arguments)] // flat sample call on the hot monitor path
+    pub fn sample_cpu(
+        &mut self,
+        now: SimTime,
+        slot: usize,
+        cores: usize,
+        busy_cum: u64,
+        iowait_cum: u64,
+        apaches: usize,
+        tomcats: usize,
+    ) {
+        let (prev_busy, prev_iowait) = self.last_cpu[slot];
+        let denom = (self.sample_interval.as_micros() * cores as u64) as f64;
+        let busy_frac = (busy_cum.saturating_sub(prev_busy)) as f64 / denom;
+        let iowait_frac = (iowait_cum.saturating_sub(prev_iowait)) as f64 / denom;
+        self.last_cpu[slot] = (busy_cum, iowait_cum);
+        let stamp = self.window_stamp(now);
+        // The paper's CPU plots show saturation during iowait, so "util"
+        // includes the iowait share; the iowait series isolates it.
+        let util = (busy_frac + iowait_frac).min(1.0);
+        if slot < apaches {
+            self.apache_util[slot].record(stamp, util);
+            self.apache_iowait[slot].record(stamp, iowait_frac.min(1.0));
+        } else if slot < apaches + tomcats {
+            self.tomcat_util[slot - apaches].record(stamp, util);
+            self.tomcat_iowait[slot - apaches].record(stamp, iowait_frac.min(1.0));
+        } else {
+            self.mysql_util.record(stamp, util);
+        }
+    }
+
+    /// Timestamp that lands a sample taken at a window boundary inside the
+    /// window it describes.
+    pub fn window_stamp(&self, now: SimTime) -> SimTime {
+        if now.as_micros() >= self.sample_interval.as_micros() {
+            now - SimDuration::from_micros(1)
+        } else {
+            now
+        }
+    }
+
+    /// Mean CPU utilization over the whole run for one series.
+    pub fn mean_util(series: &WindowedSeries) -> f64 {
+        let windows = series.windows();
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for w in windows {
+            if let Some(m) = w.mean() {
+                sum += m;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn telemetry() -> Telemetry {
+        Telemetry::new(2, 2, SimDuration::from_millis(50))
+    }
+
+    #[test]
+    fn phase_breakdown_means_and_render() {
+        let b = PhaseBreakdown {
+            count: 2,
+            retransmit_wait_us: 2_000,
+            apache_admission_us: 0,
+            apache_cpu_us: 500,
+            routing_us: 100,
+            backend_us: 4_000,
+            response_us: 400,
+        };
+        let means = b.means_us().unwrap();
+        assert_eq!(means[0], 1_000.0);
+        assert_eq!(means[4], 2_000.0);
+        let txt = b.render();
+        assert!(txt.contains("retransmit wait"));
+        assert!(txt.contains("total"));
+        // Percentages must sum to ~100.
+        let total: f64 = means.iter().sum();
+        assert!((total - 3_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_breakdown_empty_is_graceful() {
+        let b = PhaseBreakdown::default();
+        assert!(b.means_us().is_none());
+        assert_eq!(b.render(), "no completed requests");
+    }
+
+    #[test]
+    fn completion_feeds_all_sinks() {
+        let mut t = telemetry();
+        t.record_completion(SimTime::from_millis(60), SimDuration::from_millis(1_500));
+        t.record_completion(SimTime::from_millis(70), SimDuration::from_millis(5));
+        assert_eq!(t.response.total(), 2);
+        assert_eq!(t.response.vlrt_count(), 1);
+        assert_eq!(t.histogram.count(), 2);
+        assert_eq!(t.vlrt_per_window.total(), 1);
+        assert_eq!(t.rt_trace.sample_count(), 2);
+    }
+
+    #[test]
+    fn drops_counted_per_window_and_total() {
+        let mut t = telemetry();
+        t.record_drop(SimTime::from_millis(10));
+        t.record_drop(SimTime::from_millis(12));
+        t.record_drop(SimTime::from_millis(60));
+        assert_eq!(t.drops, 3);
+        assert_eq!(t.drops_per_window.counts(), &[2, 1]);
+    }
+
+    #[test]
+    fn assignments_recorded_per_pair() {
+        let mut t = telemetry();
+        t.record_assignment(SimTime::from_millis(10), 0, 1);
+        t.record_assignment(SimTime::from_millis(10), 0, 1);
+        t.record_assignment(SimTime::from_millis(10), 1, 0);
+        assert_eq!(t.distribution[0][1].total(), 2);
+        assert_eq!(t.distribution[1][0].total(), 1);
+        assert_eq!(t.distribution[0][0].total(), 0);
+    }
+
+    #[test]
+    fn cpu_sampling_differs_cumulative_counters() {
+        let mut t = telemetry();
+        let interval = 50_000u64; // 50 ms in micros
+                                  // Slot 0 (apache 0), 2 cores: busy 25 ms of 100 core-ms → 25%.
+        t.sample_cpu(SimTime::from_millis(50), 0, 2, 25_000, 0, 2, 2);
+        let w = t.apache_util[0]
+            .window_at(SimTime::from_millis(49))
+            .unwrap();
+        assert!((w.mean().unwrap() - 0.25).abs() < 1e-9);
+        // Next window: cumulative 35 ms → delta 10 ms → 10%.
+        t.sample_cpu(SimTime::from_millis(100), 0, 2, 35_000, interval, 2, 2);
+        let w = t.apache_util[0]
+            .window_at(SimTime::from_millis(99))
+            .unwrap();
+        // 10ms busy + 50ms iowait over 100 core-ms = 0.6.
+        assert!((w.mean().unwrap() - 0.6).abs() < 1e-9);
+        let io = t.apache_iowait[0]
+            .window_at(SimTime::from_millis(99))
+            .unwrap();
+        assert!((io.mean().unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_sampling_routes_to_correct_tier() {
+        let mut t = telemetry();
+        t.sample_cpu(SimTime::from_millis(50), 2, 4, 200_000, 0, 2, 2); // tomcat 0 @ 100%
+        let w = t.tomcat_util[0]
+            .window_at(SimTime::from_millis(49))
+            .unwrap();
+        assert!((w.mean().unwrap() - 1.0).abs() < 1e-9);
+        t.sample_cpu(SimTime::from_millis(50), 4, 4, 100_000, 0, 2, 2); // mysql @ 50%
+        let w = t.mysql_util.window_at(SimTime::from_millis(49)).unwrap();
+        assert!((w.mean().unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_stamp_lands_in_closed_window() {
+        let t = telemetry();
+        let stamp = t.window_stamp(SimTime::from_millis(50));
+        assert!(stamp < SimTime::from_millis(50));
+        assert_eq!(t.window_stamp(SimTime::ZERO), SimTime::ZERO);
+    }
+
+    #[test]
+    fn mean_util_averages_nonempty_windows() {
+        let mut s = WindowedSeries::new(SimDuration::from_millis(50));
+        s.record(SimTime::from_millis(10), 0.2);
+        s.record(SimTime::from_millis(110), 0.4);
+        assert!((Telemetry::mean_util(&s) - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,139 @@
+//! Configuration-fuzzing property tests: arbitrary (small) topologies and
+//! balancer settings must never panic, must conserve requests, and must
+//! stay deterministic.
+
+use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
+use mlb_netmodel::link::Link;
+use mlb_ntier::config::SystemConfig;
+use mlb_ntier::experiment::run_experiment;
+use mlb_osmodel::machine::{GcConfig, MachineConfig};
+use mlb_osmodel::pagecache::PageCacheConfig;
+use mlb_simkernel::time::SimDuration;
+use mlb_workload::clients::ClientPopulation;
+use proptest::prelude::*;
+
+fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
+    proptest::sample::select(PolicyKind::all_extended().to_vec())
+}
+
+fn mechanism_strategy() -> impl Strategy<Value = MechanismKind> {
+    prop_oneof![
+        Just(MechanismKind::Original),
+        Just(MechanismKind::SkipToBusy),
+        Just(MechanismKind::ProbeFirst),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct FuzzConfig {
+    apaches: usize,
+    tomcats: usize,
+    clients: usize,
+    think_ms: u64,
+    workers: usize,
+    accept_q: usize,
+    pool: usize,
+    policy: PolicyKind,
+    mechanism: MechanismKind,
+    seed: u64,
+    flush_interval_ms: u64,
+    gc: bool,
+}
+
+fn fuzz_strategy() -> impl Strategy<Value = FuzzConfig> {
+    (
+        (1usize..3, 1usize..4, 50usize..600),
+        (50u64..2_000, 2usize..40, 1usize..64),
+        (1usize..30, policy_strategy(), mechanism_strategy()),
+        (any::<u64>(), 300u64..3_000, any::<bool>()),
+    )
+        .prop_map(
+            |(
+                (apaches, tomcats, clients),
+                (think_ms, workers, accept_q),
+                (pool, policy, mechanism),
+                (seed, flush_interval_ms, gc),
+            )| FuzzConfig {
+                apaches,
+                tomcats,
+                clients,
+                think_ms,
+                workers,
+                accept_q,
+                pool,
+                policy,
+                mechanism,
+                seed,
+                flush_interval_ms,
+                gc,
+            },
+        )
+}
+
+fn build(f: &FuzzConfig) -> SystemConfig {
+    let mut cfg = SystemConfig::smoke(BalancerConfig::with(f.policy, f.mechanism));
+    cfg.apaches = f.apaches;
+    cfg.tomcats = f.tomcats;
+    cfg.apache_workers = f.workers;
+    cfg.apache_accept_queue = f.accept_q;
+    cfg.pool_size = f.pool;
+    cfg.population =
+        ClientPopulation::new(f.clients, SimDuration::from_millis(f.think_ms), f.apaches);
+    cfg.seed = f.seed;
+    cfg.link = Link::lan_1gbps();
+    cfg.tomcat_machine = MachineConfig {
+        cores: 2,
+        disk_write_bandwidth: 8 * 1024 * 1024,
+        page_cache: Some(PageCacheConfig {
+            dirty_background_bytes: 512 * 1024,
+            dirty_hard_limit_bytes: 64 * 1024 * 1024,
+            flush_interval: SimDuration::from_millis(f.flush_interval_ms),
+        }),
+        gc: f.gc.then_some(GcConfig {
+            period: SimDuration::from_millis(2_500),
+            pause: SimDuration::from_millis(120),
+        }),
+    };
+    cfg.duration = SimDuration::from_secs(3);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any fuzzed configuration runs to the horizon without panicking and
+    /// conserves requests exactly.
+    #[test]
+    fn fuzzed_configs_conserve_requests(f in fuzz_strategy()) {
+        let r = run_experiment(build(&f)).expect("fuzzed config is valid");
+        let accounted = r.telemetry.response.total()
+            + r.telemetry.failed_requests
+            + r.inflight_at_end as u64;
+        prop_assert_eq!(
+            r.requests_issued,
+            accounted,
+            "{:?}: issued != completed + failed + inflight",
+            f
+        );
+        // Telemetry internal consistency.
+        prop_assert_eq!(
+            r.telemetry.response.vlrt_count(),
+            r.telemetry.vlrt_per_window.total()
+        );
+        prop_assert!(r.telemetry.retransmits <= r.telemetry.drops);
+    }
+
+    /// Any fuzzed configuration is bit-for-bit reproducible.
+    #[test]
+    fn fuzzed_configs_are_deterministic(f in fuzz_strategy()) {
+        let a = run_experiment(build(&f)).expect("valid");
+        let b = run_experiment(build(&f)).expect("valid");
+        prop_assert_eq!(a.events_processed, b.events_processed);
+        prop_assert_eq!(a.telemetry.response.total(), b.telemetry.response.total());
+        prop_assert_eq!(a.telemetry.drops, b.telemetry.drops);
+        prop_assert_eq!(
+            a.telemetry.histogram.buckets(),
+            b.telemetry.histogram.buckets()
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Micro-scale system tests: pin down individual request-path behaviours
+//! that the full-scale integration tests only exercise statistically.
+
+use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
+use mlb_netmodel::link::Link;
+use mlb_ntier::config::SystemConfig;
+use mlb_ntier::experiment::{run_experiment, ExperimentResult};
+use mlb_osmodel::pagecache::PageCacheConfig;
+use mlb_simkernel::time::SimDuration;
+use mlb_workload::clients::ClientPopulation;
+
+/// A 1/1/1 system with no contention at all: a handful of clients, no
+/// millibottlenecks, deterministic links.
+fn uncontended(clients: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::smoke(BalancerConfig::with(
+        PolicyKind::TotalRequest,
+        MechanismKind::Original,
+    ));
+    cfg.apaches = 1;
+    cfg.tomcats = 1;
+    cfg.population = ClientPopulation::new(clients, SimDuration::from_millis(500), 1);
+    cfg.tomcat_machine.page_cache = Some(PageCacheConfig::effectively_disabled());
+    cfg.link = Link::new(SimDuration::from_micros(150), SimDuration::ZERO);
+    cfg.duration = SimDuration::from_secs(5);
+    cfg
+}
+
+#[test]
+fn uncontended_request_latency_is_the_sum_of_its_parts() {
+    let r = run_experiment(uncontended(3)).unwrap();
+    assert!(r.telemetry.response.total() > 10);
+    assert_eq!(r.telemetry.drops, 0);
+    // Cheapest possible request: ~0.2 ms apache + ~0.3 ms tomcat + links;
+    // most expensive: ~0.3 + ~1.1 + 3 queries + links. Everything must sit
+    // in the low single-digit milliseconds with zero queueing.
+    let avg = r.telemetry.response.avg_ms();
+    assert!(
+        (0.8..4.0).contains(&avg),
+        "uncontended avg RT {avg:.2} ms out of the service-sum range"
+    );
+    assert!(
+        r.telemetry.response.max() < SimDuration::from_millis(10),
+        "uncontended max RT {} too high",
+        r.telemetry.response.max()
+    );
+}
+
+#[test]
+fn request_latency_includes_every_network_hop() {
+    // Same system with 10x the link latency: the RT must grow by at least
+    // 6 hops × the latency delta (client→apache, apache→tomcat,
+    // tomcat→mysql, mysql→tomcat, tomcat→apache, apache→client).
+    let slow = {
+        let mut cfg = uncontended(3);
+        cfg.link = Link::new(SimDuration::from_micros(1_500), SimDuration::ZERO);
+        run_experiment(cfg).unwrap()
+    };
+    let fast = run_experiment(uncontended(3)).unwrap();
+    let delta_ms = slow.telemetry.response.avg_ms() - fast.telemetry.response.avg_ms();
+    assert!(
+        delta_ms > 6.0 * 1.35 / 1_000.0 * 1_000.0 * 0.9,
+        "10x link latency added only {delta_ms:.2} ms"
+    );
+}
+
+#[test]
+fn single_tomcat_thread_serializes_requests() {
+    let mut cfg = uncontended(8);
+    cfg.tomcat_threads = 1;
+    cfg.population = ClientPopulation::new(8, SimDuration::from_millis(50), 1);
+    let r = run_experiment(cfg).unwrap();
+    assert!(r.telemetry.response.total() > 100);
+    // The single servlet thread is the bottleneck; its peak usage is 1 and
+    // the pending list must have been exercised.
+    let system_peak = r.tomcat_queue_peaks[0];
+    assert!(
+        system_peak >= 2,
+        "pending list never used (queue peak {system_peak})"
+    );
+}
+
+#[test]
+fn single_db_connection_serializes_queries() {
+    let mut cfg = uncontended(8);
+    cfg.db_pool_per_tomcat = 1;
+    cfg.population = ClientPopulation::new(8, SimDuration::from_millis(50), 1);
+    let r = run_experiment(cfg).unwrap();
+    // All requests complete despite the contended pool (waiters drain).
+    let accounted =
+        r.telemetry.response.total() + r.telemetry.failed_requests + r.inflight_at_end as u64;
+    assert_eq!(r.requests_issued, accounted);
+    assert_eq!(r.telemetry.drops, 0);
+}
+
+#[test]
+fn tiny_accept_queue_forces_retransmissions_at_rto_offsets() {
+    let mut cfg = uncontended(40);
+    cfg.apache_workers = 1;
+    cfg.apache_accept_queue = 1;
+    cfg.population = ClientPopulation::new(40, SimDuration::from_millis(200), 1);
+    let r = run_experiment(cfg).unwrap();
+    assert!(r.telemetry.drops > 0, "overload must drop");
+    assert!(r.telemetry.retransmits > 0);
+    // Dropped-then-retransmitted requests must show up at or beyond the
+    // 1 s RTO; nothing can sit between ~0.5 s and 1 s (service is ms-scale
+    // and the first RTO is exactly 1 s).
+    let h = &r.telemetry.histogram;
+    let between = h.count_at_or_above(SimDuration::from_millis(500))
+        - h.count_at_or_above(SimDuration::from_millis(1_000));
+    assert_eq!(
+        between, 0,
+        "requests completed in the dead zone between service time and the first RTO"
+    );
+    assert!(h.count_at_or_above(SimDuration::from_millis(1_000)) > 0);
+}
+
+#[test]
+fn telemetry_series_cover_the_whole_run() {
+    let cfg = uncontended(3);
+    let expected_windows = (cfg.duration.as_micros() / cfg.sample_interval.as_micros()) as usize;
+    let r = run_experiment(cfg).unwrap();
+    let windows = r.telemetry.apache_queues[0].windows().len();
+    assert!(
+        (expected_windows - 1..=expected_windows).contains(&windows),
+        "expected ~{expected_windows} telemetry windows, got {windows}"
+    );
+    // CPU samples exist and stay in [0, 1].
+    for w in r.telemetry.tomcat_util[0].windows() {
+        if w.count > 0 {
+            assert!(w.max <= 1.0 && w.min >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn apache_millibottlenecks_alone_cause_drops() {
+    // Flushing on the *Apache* (fig. 2's first queue peak): even with
+    // healthy Tomcats, the web tier's own freeze overflows its accept
+    // queue under enough load.
+    let mut cfg = uncontended(2_000);
+    cfg.population = ClientPopulation::new(2_000, SimDuration::from_secs(1), 1);
+    cfg.apache_workers = 30;
+    cfg.apache_accept_queue = 32;
+    cfg.apache_machine.page_cache = Some(PageCacheConfig {
+        dirty_background_bytes: 256 * 1024,
+        dirty_hard_limit_bytes: 64 * 1024 * 1024,
+        flush_interval: SimDuration::from_secs(2),
+    });
+    cfg.apache_machine.disk_write_bandwidth = 4 * 1024 * 1024;
+    cfg.duration = SimDuration::from_secs(10);
+    let r = run_experiment(cfg).unwrap();
+    let apache_mbs: u64 = r
+        .millibottlenecks_by_server
+        .iter()
+        .filter(|(n, _)| n.starts_with("apache"))
+        .map(|&(_, c)| c)
+        .sum();
+    assert!(apache_mbs > 0, "apache never flushed");
+    assert!(
+        r.telemetry.drops > 0,
+        "apache-side millibottlenecks should overflow the accept queue"
+    );
+}
+
+#[test]
+fn results_are_insensitive_to_sample_interval() {
+    // Telemetry granularity must not change the physics.
+    let base = run_experiment(uncontended(5)).unwrap();
+    let mut cfg = uncontended(5);
+    cfg.sample_interval = SimDuration::from_millis(200);
+    let coarse = run_experiment(cfg).unwrap();
+    assert_eq!(
+        base.telemetry.response.total(),
+        coarse.telemetry.response.total()
+    );
+    assert!((base.telemetry.response.avg_ms() - coarse.telemetry.response.avg_ms()).abs() < 1e-9);
+}
+
+#[test]
+fn zero_jitter_links_make_identical_seeds_identical_rts() {
+    let a: ExperimentResult = run_experiment(uncontended(4)).unwrap();
+    let b: ExperimentResult = run_experiment(uncontended(4)).unwrap();
+    assert_eq!(
+        a.telemetry.histogram.buckets(),
+        b.telemetry.histogram.buckets()
+    );
+}
+
+#[test]
+fn phase_breakdown_partitions_the_response_time() {
+    let r = run_experiment(uncontended(5)).unwrap();
+    let b = &r.telemetry.phase_breakdown;
+    assert_eq!(
+        b.count,
+        r.telemetry.response.total(),
+        "every completed request must be folded into the breakdown"
+    );
+    let means = b.means_us().expect("non-empty breakdown");
+    let total_ms: f64 = means.iter().sum::<f64>() / 1_000.0;
+    let avg_ms = r.telemetry.response.avg_ms();
+    assert!(
+        (total_ms - avg_ms).abs() < 0.002,
+        "segments ({total_ms:.4} ms) must sum to the average RT ({avg_ms:.4} ms)"
+    );
+    // Uncontended: backend service dominates; routing and retransmission
+    // are negligible.
+    assert!(
+        means[0] < 400.0,
+        "retransmit segment should be ~one uplink hop"
+    );
+    assert!(
+        means[4] > means[3],
+        "backend must dominate routing when idle"
+    );
+}
+
+#[test]
+fn phase_breakdown_blames_retransmission_under_instability() {
+    let mut cfg = SystemConfig::smoke(BalancerConfig::with(
+        PolicyKind::TotalRequest,
+        MechanismKind::Original,
+    ));
+    cfg.duration = SimDuration::from_secs(10);
+    let r = run_experiment(cfg).unwrap();
+    assert!(r.telemetry.drops > 0, "need instability for this test");
+    let means = r.telemetry.phase_breakdown.means_us().unwrap();
+    // The retransmission segment must dwarf the backend service segment —
+    // the paper's headline point about where the tail comes from.
+    assert!(
+        means[0] > means[4] * 2.0,
+        "retransmit wait {:.0} us should dominate backend {:.0} us",
+        means[0],
+        means[4]
+    );
+}

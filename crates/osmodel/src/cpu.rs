@@ -1,0 +1,513 @@
+//! A multi-core CPU model with *freeze* support.
+//!
+//! Requests submit CPU bursts ([`CpuModel::submit`]); at most `cores` bursts
+//! run concurrently, the rest wait FIFO in a run queue. The distinguishing
+//! feature is [`CpuModel::freeze`]: during an iowait saturation (a dirty-page
+//! flush in the paper) the whole CPU stops making progress — running bursts
+//! pause, queued bursts stay queued — and resumes on
+//! [`CpuModel::unfreeze`]. That is exactly the signature of a
+//! millibottleneck: the server looks *available* from the outside while no
+//! request on it advances.
+//!
+//! Completion events are invalidated across freezes with a generation
+//! counter: the driver schedules a completion at the time the model
+//! predicts, and if a freeze intervenes, the stale event is recognized by
+//! its generation and ignored.
+
+use std::collections::VecDeque;
+
+use mlb_simkernel::time::{SimDuration, SimTime};
+
+/// Caller-supplied token identifying a CPU burst (typically a request id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+/// Handle for a scheduled burst completion.
+///
+/// The driver must deliver this back via [`CpuModel::on_completion`] at
+/// [`CompletionKey::at`]; a key whose generation is stale (a freeze happened
+/// in between) is ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletionKey {
+    /// Core the burst runs on.
+    pub core: usize,
+    /// Generation at scheduling time.
+    pub generation: u64,
+    /// Absolute completion instant.
+    pub at: SimTime,
+}
+
+/// A burst that has just started running, with the completion the driver
+/// must schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartedBurst {
+    /// The job that started.
+    pub job: JobId,
+    /// Completion to schedule.
+    pub key: CompletionKey,
+}
+
+/// Outcome of [`CpuModel::on_completion`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompletionOutcome {
+    /// The event was stale (superseded by a freeze); ignore it.
+    Stale,
+    /// `finished` completed; if a queued burst took over the core, it is in
+    /// `started` and its completion must be scheduled.
+    Finished {
+        /// The job that finished its burst.
+        finished: JobId,
+        /// The queued burst (if any) that now occupies the freed core.
+        started: Option<StartedBurst>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Running {
+    job: JobId,
+    /// When the current execution slice began (only meaningful un-frozen).
+    slice_start: SimTime,
+    remaining: SimDuration,
+}
+
+#[derive(Debug, Clone)]
+struct Queued {
+    job: JobId,
+    cost: SimDuration,
+}
+
+/// Multi-core FCFS CPU with freeze (iowait saturation) support and
+/// cumulative busy/iowait accounting.
+///
+/// # Examples
+///
+/// ```
+/// use mlb_osmodel::cpu::{CpuModel, JobId};
+/// use mlb_simkernel::time::{SimDuration, SimTime};
+///
+/// let mut cpu = CpuModel::new(1);
+/// let t0 = SimTime::ZERO;
+/// let started = cpu.submit(t0, JobId(1), SimDuration::from_millis(2)).unwrap();
+/// assert_eq!(started.key.at, SimTime::from_millis(2));
+/// // A second job queues behind the first on the single core.
+/// assert!(cpu.submit(t0, JobId(2), SimDuration::from_millis(1)).is_none());
+/// assert_eq!(cpu.queue_len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    cores: Vec<Option<Running>>,
+    run_queue: VecDeque<Queued>,
+    generation: u64,
+    frozen_since: Option<SimTime>,
+    /// Completed busy core-time (running slices that have been closed out).
+    busy_micros: u64,
+    /// Completed frozen core-time (iowait).
+    iowait_micros: u64,
+    run_queue_peak: usize,
+    bursts_completed: u64,
+    freezes: u64,
+}
+
+impl CpuModel {
+    /// Creates a CPU with `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "a CPU needs at least one core");
+        CpuModel {
+            cores: vec![None; cores],
+            run_queue: VecDeque::new(),
+            generation: 0,
+            frozen_since: None,
+            busy_micros: 0,
+            iowait_micros: 0,
+            run_queue_peak: 0,
+            bursts_completed: 0,
+            freezes: 0,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// `true` while the CPU is frozen (iowait-saturated).
+    pub fn is_frozen(&self) -> bool {
+        self.frozen_since.is_some()
+    }
+
+    /// Bursts waiting for a core.
+    pub fn queue_len(&self) -> usize {
+        self.run_queue.len()
+    }
+
+    /// Largest run-queue length ever observed.
+    pub fn queue_peak(&self) -> usize {
+        self.run_queue_peak
+    }
+
+    /// Bursts currently occupying cores (running or paused by a freeze).
+    pub fn running_count(&self) -> usize {
+        self.cores.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Total bursts completed so far.
+    pub fn bursts_completed(&self) -> u64 {
+        self.bursts_completed
+    }
+
+    /// Number of freezes experienced.
+    pub fn freeze_count(&self) -> u64 {
+        self.freezes
+    }
+
+    /// Submits a CPU burst of `cost` for `job`.
+    ///
+    /// Returns the started burst (schedule its completion!) if a core was
+    /// free and the CPU is not frozen; otherwise the burst is queued and
+    /// `None` is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost` is zero — zero-length bursts would complete "before"
+    /// simultaneous events and mask ordering bugs; model free work by not
+    /// submitting a burst.
+    pub fn submit(&mut self, now: SimTime, job: JobId, cost: SimDuration) -> Option<StartedBurst> {
+        assert!(!cost.is_zero(), "CPU bursts must have positive cost");
+        if self.frozen_since.is_none() {
+            if let Some(core) = self.cores.iter().position(Option::is_none) {
+                self.cores[core] = Some(Running {
+                    job,
+                    slice_start: now,
+                    remaining: cost,
+                });
+                return Some(StartedBurst {
+                    job,
+                    key: CompletionKey {
+                        core,
+                        generation: self.generation,
+                        at: now + cost,
+                    },
+                });
+            }
+        }
+        self.run_queue.push_back(Queued { job, cost });
+        self.run_queue_peak = self.run_queue_peak.max(self.run_queue.len());
+        None
+    }
+
+    /// Delivers a previously scheduled completion.
+    ///
+    /// Must be called at exactly `key.at` for keys returned by this model;
+    /// stale keys (older generation) are reported as
+    /// [`CompletionOutcome::Stale`] and have no effect.
+    pub fn on_completion(&mut self, now: SimTime, key: CompletionKey) -> CompletionOutcome {
+        if key.generation != self.generation {
+            return CompletionOutcome::Stale;
+        }
+        debug_assert_eq!(now, key.at, "completion delivered at the wrong time");
+        debug_assert!(self.frozen_since.is_none(), "live completion during freeze");
+        let running = self.cores[key.core]
+            .take()
+            .expect("completion for an empty core with a live generation");
+        self.busy_micros += now.saturating_since(running.slice_start).as_micros();
+        self.bursts_completed += 1;
+        let started = self.start_next_queued(now, key.core);
+        CompletionOutcome::Finished {
+            finished: running.job,
+            started,
+        }
+    }
+
+    fn start_next_queued(&mut self, now: SimTime, core: usize) -> Option<StartedBurst> {
+        debug_assert!(self.cores[core].is_none());
+        let next = self.run_queue.pop_front()?;
+        self.cores[core] = Some(Running {
+            job: next.job,
+            slice_start: now,
+            remaining: next.cost,
+        });
+        Some(StartedBurst {
+            job: next.job,
+            key: CompletionKey {
+                core,
+                generation: self.generation,
+                at: now + next.cost,
+            },
+        })
+    }
+
+    /// Freezes the CPU: running bursts pause with their remaining cost
+    /// preserved, and previously issued completion keys become stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already frozen — freezes do not nest; extend the current
+    /// one instead by delaying [`CpuModel::unfreeze`].
+    pub fn freeze(&mut self, now: SimTime) {
+        assert!(self.frozen_since.is_none(), "freeze() while already frozen");
+        self.generation += 1;
+        self.freezes += 1;
+        for running in self.cores.iter_mut().flatten() {
+            {
+                let ran = now.saturating_since(running.slice_start);
+                self.busy_micros += ran.as_micros();
+                running.remaining = running.remaining.saturating_sub(ran);
+                // A burst caught exactly at its completion instant keeps a
+                // minimal remainder so it still completes after the freeze.
+                if running.remaining.is_zero() {
+                    running.remaining = SimDuration::from_micros(1);
+                }
+            }
+        }
+        self.frozen_since = Some(now);
+    }
+
+    /// Unfreezes the CPU. Paused bursts resume and queued bursts fill any
+    /// idle cores; all restarted bursts are returned so the driver can
+    /// schedule their (new-generation) completions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CPU is not frozen.
+    pub fn unfreeze(&mut self, now: SimTime) -> Vec<StartedBurst> {
+        let since = self
+            .frozen_since
+            .take()
+            .expect("unfreeze() while not frozen");
+        debug_assert!(now >= since);
+        self.iowait_micros += (now - since).as_micros() * self.cores.len() as u64;
+        self.generation += 1;
+        let mut restarted = Vec::new();
+        for core in 0..self.cores.len() {
+            if let Some(running) = &mut self.cores[core] {
+                running.slice_start = now;
+                restarted.push(StartedBurst {
+                    job: running.job,
+                    key: CompletionKey {
+                        core,
+                        generation: self.generation,
+                        at: now + running.remaining,
+                    },
+                });
+            } else if let Some(started) = self.start_next_queued(now, core) {
+                restarted.push(started);
+            }
+        }
+        restarted
+    }
+
+    /// Cumulative busy core-microseconds up to `now`, including the
+    /// in-progress portion of currently running bursts.
+    pub fn busy_core_micros(&self, now: SimTime) -> u64 {
+        let mut total = self.busy_micros;
+        if self.frozen_since.is_none() {
+            for slot in self.cores.iter().flatten() {
+                total += now.saturating_since(slot.slice_start).as_micros();
+            }
+        }
+        total
+    }
+
+    /// Cumulative iowait (frozen) core-microseconds up to `now`.
+    pub fn iowait_core_micros(&self, now: SimTime) -> u64 {
+        let mut total = self.iowait_micros;
+        if let Some(since) = self.frozen_since {
+            total += now.saturating_since(since).as_micros() * self.cores.len() as u64;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn d(ms: u64) -> SimDuration {
+        SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn single_core_runs_then_queues() {
+        let mut cpu = CpuModel::new(1);
+        let s1 = cpu.submit(t(0), JobId(1), d(5)).unwrap();
+        assert_eq!(s1.key.at, t(5));
+        assert!(cpu.submit(t(1), JobId(2), d(3)).is_none());
+        assert_eq!(cpu.queue_len(), 1);
+        match cpu.on_completion(t(5), s1.key) {
+            CompletionOutcome::Finished { finished, started } => {
+                assert_eq!(finished, JobId(1));
+                let s2 = started.unwrap();
+                assert_eq!(s2.job, JobId(2));
+                assert_eq!(s2.key.at, t(8));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(cpu.queue_len(), 0);
+    }
+
+    #[test]
+    fn multi_core_parallelism() {
+        let mut cpu = CpuModel::new(4);
+        for i in 0..4 {
+            assert!(cpu.submit(t(0), JobId(i), d(10)).is_some());
+        }
+        assert!(cpu.submit(t(0), JobId(9), d(10)).is_none());
+        assert_eq!(cpu.running_count(), 4);
+        assert_eq!(cpu.queue_len(), 1);
+    }
+
+    #[test]
+    fn freeze_pauses_and_resumes_with_remaining_work() {
+        let mut cpu = CpuModel::new(1);
+        let s = cpu.submit(t(0), JobId(1), d(10)).unwrap();
+        // Freeze at 4ms: 6ms of work remain.
+        cpu.freeze(t(4));
+        // The original completion at t=10 is stale.
+        assert_eq!(cpu.on_completion(t(10), s.key), CompletionOutcome::Stale);
+        let restarted = cpu.unfreeze(t(50));
+        assert_eq!(restarted.len(), 1);
+        assert_eq!(restarted[0].job, JobId(1));
+        assert_eq!(restarted[0].key.at, t(56)); // 50 + 6 remaining
+    }
+
+    #[test]
+    fn submit_during_freeze_queues_even_with_free_cores() {
+        let mut cpu = CpuModel::new(2);
+        cpu.freeze(t(0));
+        assert!(cpu.submit(t(1), JobId(1), d(1)).is_none());
+        assert_eq!(cpu.queue_len(), 1);
+        let restarted = cpu.unfreeze(t(5));
+        assert_eq!(restarted.len(), 1);
+        assert_eq!(restarted[0].key.at, t(6));
+    }
+
+    #[test]
+    fn unfreeze_fills_idle_cores_from_queue() {
+        let mut cpu = CpuModel::new(2);
+        let s = cpu.submit(t(0), JobId(1), d(2)).unwrap();
+        match cpu.on_completion(t(2), s.key) {
+            CompletionOutcome::Finished { started, .. } => assert!(started.is_none()),
+            other => panic!("unexpected: {other:?}"),
+        }
+        cpu.freeze(t(3));
+        cpu.submit(t(3), JobId(2), d(4));
+        cpu.submit(t(3), JobId(3), d(4));
+        cpu.submit(t(3), JobId(4), d(4));
+        let restarted = cpu.unfreeze(t(10));
+        assert_eq!(restarted.len(), 2); // two cores
+        assert_eq!(cpu.queue_len(), 1);
+    }
+
+    #[test]
+    fn burst_caught_at_completion_instant_survives_freeze() {
+        let mut cpu = CpuModel::new(1);
+        let s = cpu.submit(t(0), JobId(1), d(5)).unwrap();
+        cpu.freeze(t(5)); // exactly at the completion instant
+        assert_eq!(cpu.on_completion(t(5), s.key), CompletionOutcome::Stale);
+        let restarted = cpu.unfreeze(t(8));
+        assert_eq!(restarted.len(), 1);
+        assert_eq!(restarted[0].key.at, SimTime::from_micros(8 * MS + 1));
+    }
+
+    #[test]
+    fn busy_accounting_across_freeze() {
+        let mut cpu = CpuModel::new(1);
+        let _ = cpu.submit(t(0), JobId(1), d(10)).unwrap();
+        assert_eq!(cpu.busy_core_micros(t(4)), 4 * MS);
+        cpu.freeze(t(4));
+        assert_eq!(cpu.busy_core_micros(t(9)), 4 * MS); // no progress while frozen
+        assert_eq!(cpu.iowait_core_micros(t(9)), 5 * MS);
+        let restarted = cpu.unfreeze(t(10));
+        assert_eq!(cpu.iowait_core_micros(t(10)), 6 * MS);
+        assert_eq!(cpu.busy_core_micros(t(13)), 7 * MS);
+        let key = restarted[0].key;
+        cpu.on_completion(key.at, key);
+        assert_eq!(cpu.busy_core_micros(t(20)), 10 * MS);
+    }
+
+    #[test]
+    fn iowait_scales_with_cores() {
+        let mut cpu = CpuModel::new(4);
+        cpu.freeze(t(0));
+        cpu.unfreeze(t(10));
+        assert_eq!(cpu.iowait_core_micros(t(10)), 4 * 10 * MS);
+    }
+
+    #[test]
+    fn stale_keys_after_two_freezes() {
+        let mut cpu = CpuModel::new(1);
+        let s = cpu.submit(t(0), JobId(1), d(10)).unwrap();
+        cpu.freeze(t(1));
+        let r1 = cpu.unfreeze(t(2));
+        cpu.freeze(t(3));
+        let r2 = cpu.unfreeze(t(4));
+        assert_eq!(cpu.on_completion(s.key.at, s.key), CompletionOutcome::Stale);
+        assert_eq!(
+            cpu.on_completion(r1[0].key.at, r1[0].key),
+            CompletionOutcome::Stale
+        );
+        match cpu.on_completion(r2[0].key.at, r2[0].key) {
+            CompletionOutcome::Finished { finished, .. } => assert_eq!(finished, JobId(1)),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_peak_tracked() {
+        let mut cpu = CpuModel::new(1);
+        cpu.submit(t(0), JobId(0), d(1));
+        for i in 1..=5 {
+            cpu.submit(t(0), JobId(i), d(1));
+        }
+        assert_eq!(cpu.queue_peak(), 5);
+    }
+
+    #[test]
+    fn counters() {
+        let mut cpu = CpuModel::new(1);
+        let s = cpu.submit(t(0), JobId(1), d(1)).unwrap();
+        cpu.on_completion(t(1), s.key);
+        assert_eq!(cpu.bursts_completed(), 1);
+        cpu.freeze(t(2));
+        cpu.unfreeze(t(3));
+        assert_eq!(cpu.freeze_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive cost")]
+    fn zero_cost_burst_panics() {
+        let mut cpu = CpuModel::new(1);
+        cpu.submit(t(0), JobId(1), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "already frozen")]
+    fn nested_freeze_panics() {
+        let mut cpu = CpuModel::new(1);
+        cpu.freeze(t(0));
+        cpu.freeze(t(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not frozen")]
+    fn unfreeze_unfrozen_panics() {
+        let mut cpu = CpuModel::new(1);
+        cpu.unfreeze(t(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        CpuModel::new(0);
+    }
+}

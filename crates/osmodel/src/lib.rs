@@ -1,0 +1,36 @@
+//! # mlb-osmodel — simulated operating-system resources
+//!
+//! The substrate that *generates* millibottlenecks for the `millibalance`
+//! workspace (a reproduction of the ICDCS 2017 paper on load-balancer
+//! instability under millibottlenecks).
+//!
+//! A millibottleneck is a full resource saturation lasting only tens to
+//! hundreds of milliseconds. In the paper the chain is: Tomcat log writes
+//! dirty the page cache → the pdflush daemon writes them back → the
+//! write-back saturates iowait → request processing stalls. The modules
+//! here model each link:
+//!
+//! * [`cpu`] — a multi-core CPU with run queue, *freeze* support (iowait
+//!   saturation pauses all progress) and busy/iowait accounting.
+//! * [`pagecache`] — dirty-byte tracking and the pdflush trigger policy
+//!   (interval + hard limit).
+//! * [`disk`] — bandwidth-limited write-back, which determines how long a
+//!   freeze lasts.
+//! * [`machine`] — the composition: one simulated server whose CPU freezes
+//!   for the duration of each flush.
+//!
+//! See [`machine::Machine`] for the usual entry point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cpu;
+pub mod disk;
+pub mod machine;
+pub mod pagecache;
+
+pub use cpu::{CompletionKey, CompletionOutcome, CpuModel, JobId, StartedBurst};
+pub use disk::Disk;
+pub use machine::{FlushInProgress, GcConfig, Machine, MachineConfig};
+pub use pagecache::{FlushTrigger, PageCache, PageCacheConfig};

@@ -1,0 +1,362 @@
+//! The page cache and the pdflush write-back daemon.
+//!
+//! In the paper, Tomcat's access/servlet/localhost logs accumulate as dirty
+//! pages in the Linux page cache; the pdflush daemon periodically writes
+//! them back to disk, and that write-back saturates iowait for tens to
+//! hundreds of milliseconds — the **millibottleneck**.
+//!
+//! [`PageCache`] tracks dirty bytes and decides *when* a flush starts:
+//!
+//! * **interval trigger** — pdflush wakes every
+//!   [`PageCacheConfig::flush_interval`] and flushes if dirty bytes exceed
+//!   [`PageCacheConfig::dirty_background_bytes`] (cf.
+//!   `vm.dirty_writeback_centisecs` / `vm.dirty_background_bytes`);
+//! * **hard-limit trigger** — a write that pushes dirty bytes past
+//!   [`PageCacheConfig::dirty_hard_limit_bytes`] flushes immediately (cf.
+//!   `vm.dirty_bytes`).
+//!
+//! The paper's remedy for eliminating millibottlenecks on a tier (Section
+//! II-B) — "enlarge the memory that holds dirty pages and lengthen the
+//! flushing interval" — maps to [`PageCacheConfig::effectively_disabled`].
+
+use mlb_simkernel::time::SimDuration;
+
+/// Tuning knobs of the simulated page-cache write-back policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageCacheConfig {
+    /// Dirty bytes above which a periodic pdflush wakeup starts a flush.
+    pub dirty_background_bytes: u64,
+    /// Dirty bytes at which a write triggers an immediate flush.
+    pub dirty_hard_limit_bytes: u64,
+    /// Period of the pdflush wakeup timer.
+    pub flush_interval: SimDuration,
+}
+
+impl PageCacheConfig {
+    /// Linux-ish defaults scaled to the paper's testbed: flush every 8 s
+    /// once ~8 MB of log data is dirty; force a flush at 64 MB. At the
+    /// paper's load (~3.7 MB/s of Tomcat logs per server) this yields a
+    /// ~300 ms write-back — a millibottleneck — every ~8 s per server.
+    pub fn testbed_default() -> Self {
+        PageCacheConfig {
+            dirty_background_bytes: 8 * 1024 * 1024,
+            dirty_hard_limit_bytes: 64 * 1024 * 1024,
+            flush_interval: SimDuration::from_secs(8),
+        }
+    }
+
+    /// The paper's millibottleneck-elimination remedy: a huge dirty buffer
+    /// (4.8 GB) and a 600 s flush interval, so no flush ever happens within
+    /// an experiment.
+    pub fn effectively_disabled() -> Self {
+        PageCacheConfig {
+            dirty_background_bytes: u64::MAX,
+            dirty_hard_limit_bytes: u64::MAX,
+            flush_interval: SimDuration::from_secs(600),
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the hard limit is below the background
+    /// threshold or the interval is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dirty_hard_limit_bytes < self.dirty_background_bytes {
+            return Err(format!(
+                "dirty_hard_limit_bytes ({}) < dirty_background_bytes ({})",
+                self.dirty_hard_limit_bytes, self.dirty_background_bytes
+            ));
+        }
+        if self.flush_interval.is_zero() {
+            return Err("flush_interval must be positive".to_owned());
+        }
+        Ok(())
+    }
+}
+
+impl Default for PageCacheConfig {
+    fn default() -> Self {
+        PageCacheConfig::testbed_default()
+    }
+}
+
+/// Why a flush is starting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushTrigger {
+    /// Periodic pdflush wakeup found dirty bytes above the background
+    /// threshold.
+    Interval,
+    /// A write crossed the hard dirty limit.
+    HardLimit,
+}
+
+/// Dirty-page bookkeeping for one machine.
+///
+/// # Examples
+///
+/// ```
+/// use mlb_osmodel::pagecache::{FlushTrigger, PageCache, PageCacheConfig};
+/// use mlb_simkernel::time::SimDuration;
+///
+/// let cfg = PageCacheConfig {
+///     dirty_background_bytes: 100,
+///     dirty_hard_limit_bytes: 1_000,
+///     flush_interval: SimDuration::from_secs(5),
+/// };
+/// let mut pc = PageCache::new(cfg);
+/// assert_eq!(pc.write(60), None);           // below every threshold
+/// assert!(!pc.wants_interval_flush());       // 60 < 100
+/// pc.write(60);
+/// assert!(pc.wants_interval_flush());        // 120 >= 100
+/// let bytes = pc.begin_flush(FlushTrigger::Interval);
+/// assert_eq!(bytes, 120);
+/// pc.complete_flush(bytes);
+/// assert_eq!(pc.dirty_bytes(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageCache {
+    config: PageCacheConfig,
+    dirty: u64,
+    flushing: bool,
+    total_written: u64,
+    total_flushed: u64,
+    flush_count: u64,
+    hard_limit_flushes: u64,
+}
+
+impl PageCache {
+    /// Creates an empty page cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`PageCacheConfig::validate`].
+    pub fn new(config: PageCacheConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid PageCacheConfig: {msg}");
+        }
+        PageCache {
+            config,
+            dirty: 0,
+            flushing: false,
+            total_written: 0,
+            total_flushed: 0,
+            flush_count: 0,
+            hard_limit_flushes: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PageCacheConfig {
+        &self.config
+    }
+
+    /// Current dirty bytes.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.dirty
+    }
+
+    /// `true` while a flush is in progress.
+    pub fn is_flushing(&self) -> bool {
+        self.flushing
+    }
+
+    /// Total bytes ever dirtied.
+    pub fn total_written(&self) -> u64 {
+        self.total_written
+    }
+
+    /// Total bytes ever flushed back.
+    pub fn total_flushed(&self) -> u64 {
+        self.total_flushed
+    }
+
+    /// Number of flushes started.
+    pub fn flush_count(&self) -> u64 {
+        self.flush_count
+    }
+
+    /// Number of flushes triggered by the hard limit.
+    pub fn hard_limit_flushes(&self) -> u64 {
+        self.hard_limit_flushes
+    }
+
+    /// Records `bytes` of new dirty data (e.g. a log write).
+    ///
+    /// Returns `Some(FlushTrigger::HardLimit)` if this write crossed the
+    /// hard dirty limit and a flush must start immediately (unless one is
+    /// already running).
+    pub fn write(&mut self, bytes: u64) -> Option<FlushTrigger> {
+        self.dirty = self.dirty.saturating_add(bytes);
+        self.total_written = self.total_written.saturating_add(bytes);
+        if !self.flushing && self.dirty >= self.config.dirty_hard_limit_bytes {
+            Some(FlushTrigger::HardLimit)
+        } else {
+            None
+        }
+    }
+
+    /// `true` if a periodic pdflush wakeup should start a flush now.
+    pub fn wants_interval_flush(&self) -> bool {
+        !self.flushing && self.dirty >= self.config.dirty_background_bytes
+    }
+
+    /// Starts a flush of all currently dirty bytes and returns the amount.
+    /// The paper's abrupt dirty-page drop (Fig. 2e) is this whole-buffer
+    /// write-back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flush is already in progress.
+    pub fn begin_flush(&mut self, trigger: FlushTrigger) -> u64 {
+        assert!(!self.flushing, "begin_flush while a flush is in progress");
+        self.flushing = true;
+        self.flush_count += 1;
+        if trigger == FlushTrigger::HardLimit {
+            self.hard_limit_flushes += 1;
+        }
+        self.dirty
+    }
+
+    /// Completes a flush of `bytes` (as returned by
+    /// [`PageCache::begin_flush`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no flush is in progress.
+    pub fn complete_flush(&mut self, bytes: u64) {
+        assert!(self.flushing, "complete_flush without begin_flush");
+        self.flushing = false;
+        self.dirty = self.dirty.saturating_sub(bytes);
+        self.total_flushed = self.total_flushed.saturating_add(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> PageCacheConfig {
+        PageCacheConfig {
+            dirty_background_bytes: 100,
+            dirty_hard_limit_bytes: 500,
+            flush_interval: SimDuration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn writes_accumulate_dirty_bytes() {
+        let mut pc = PageCache::new(small_cfg());
+        pc.write(10);
+        pc.write(20);
+        assert_eq!(pc.dirty_bytes(), 30);
+        assert_eq!(pc.total_written(), 30);
+    }
+
+    #[test]
+    fn interval_flush_wants_only_above_background() {
+        let mut pc = PageCache::new(small_cfg());
+        pc.write(99);
+        assert!(!pc.wants_interval_flush());
+        pc.write(1);
+        assert!(pc.wants_interval_flush());
+    }
+
+    #[test]
+    fn hard_limit_triggers_on_write() {
+        let mut pc = PageCache::new(small_cfg());
+        assert_eq!(pc.write(499), None);
+        assert_eq!(pc.write(1), Some(FlushTrigger::HardLimit));
+    }
+
+    #[test]
+    fn no_hard_trigger_while_flushing() {
+        let mut pc = PageCache::new(small_cfg());
+        pc.write(500);
+        pc.begin_flush(FlushTrigger::HardLimit);
+        assert_eq!(pc.write(1_000), None);
+        assert!(!pc.wants_interval_flush());
+    }
+
+    #[test]
+    fn flush_cycle_resets_dirty() {
+        let mut pc = PageCache::new(small_cfg());
+        pc.write(200);
+        let bytes = pc.begin_flush(FlushTrigger::Interval);
+        assert_eq!(bytes, 200);
+        assert!(pc.is_flushing());
+        // Writes that land during the flush stay dirty afterwards.
+        pc.write(50);
+        pc.complete_flush(bytes);
+        assert_eq!(pc.dirty_bytes(), 50);
+        assert_eq!(pc.total_flushed(), 200);
+        assert_eq!(pc.flush_count(), 1);
+    }
+
+    #[test]
+    fn hard_limit_flushes_counted_separately() {
+        let mut pc = PageCache::new(small_cfg());
+        pc.write(500);
+        let b = pc.begin_flush(FlushTrigger::HardLimit);
+        pc.complete_flush(b);
+        pc.write(100);
+        let b = pc.begin_flush(FlushTrigger::Interval);
+        pc.complete_flush(b);
+        assert_eq!(pc.flush_count(), 2);
+        assert_eq!(pc.hard_limit_flushes(), 1);
+    }
+
+    #[test]
+    fn disabled_config_never_flushes() {
+        let mut pc = PageCache::new(PageCacheConfig::effectively_disabled());
+        for _ in 0..1_000 {
+            assert_eq!(pc.write(1 << 20), None);
+        }
+        assert!(!pc.wants_interval_flush());
+    }
+
+    #[test]
+    fn validate_rejects_inverted_thresholds() {
+        let cfg = PageCacheConfig {
+            dirty_background_bytes: 1_000,
+            dirty_hard_limit_bytes: 100,
+            flush_interval: SimDuration::from_secs(1),
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_interval() {
+        let cfg = PageCacheConfig {
+            flush_interval: SimDuration::ZERO,
+            ..small_cfg()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "flush is in progress")]
+    fn double_begin_flush_panics() {
+        let mut pc = PageCache::new(small_cfg());
+        pc.begin_flush(FlushTrigger::Interval);
+        pc.begin_flush(FlushTrigger::Interval);
+    }
+
+    #[test]
+    #[should_panic(expected = "without begin_flush")]
+    fn complete_without_begin_panics() {
+        let mut pc = PageCache::new(small_cfg());
+        pc.complete_flush(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid PageCacheConfig")]
+    fn new_with_invalid_config_panics() {
+        PageCache::new(PageCacheConfig {
+            dirty_background_bytes: 2,
+            dirty_hard_limit_bytes: 1,
+            flush_interval: SimDuration::from_secs(1),
+        });
+    }
+}

@@ -1,0 +1,200 @@
+//! Property tests: work conservation of the CPU model under arbitrary
+//! freeze schedules, and byte conservation of the page cache.
+
+use mlb_osmodel::cpu::{CompletionKey, CompletionOutcome, CpuModel, JobId};
+use mlb_osmodel::pagecache::{FlushTrigger, PageCache, PageCacheConfig};
+use mlb_simkernel::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    Freeze,
+    Unfreeze,
+    Submit { index: usize, cost: u64 },
+    Complete { core: usize, generation: u64 },
+}
+
+/// Drive a CpuModel with a mini event loop: submit the given bursts at
+/// their arrival times, interleave non-overlapping freeze windows, and
+/// return the completion time of every job.
+fn drive(cores: usize, jobs: &[(u64, u64)], freezes: &[(u64, u64)]) -> Vec<(JobId, SimTime)> {
+    let mut cpu = CpuModel::new(cores);
+    let mut heap: BinaryHeap<Reverse<(u64, u64, Ev)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    macro_rules! push {
+        ($t:expr, $ev:expr) => {{
+            heap.push(Reverse(($t, seq, $ev)));
+            seq += 1;
+        }};
+    }
+    for (index, &(arrive, cost)) in jobs.iter().enumerate() {
+        push!(
+            arrive,
+            Ev::Submit {
+                index,
+                cost: cost.max(1)
+            }
+        );
+    }
+    // Normalize freeze windows to be sequential and non-overlapping.
+    let mut cursor = 0u64;
+    for &(start, len) in freezes {
+        let s = cursor.max(start);
+        let e = s + len.max(1);
+        push!(s, Ev::Freeze);
+        push!(e, Ev::Unfreeze);
+        cursor = e + 1;
+    }
+
+    let mut done = Vec::new();
+    while let Some(Reverse((t, _, ev))) = heap.pop() {
+        let now = SimTime::from_micros(t);
+        match ev {
+            Ev::Submit { index, cost } => {
+                let id = JobId(index as u64);
+                if let Some(s) = cpu.submit(now, id, SimDuration::from_micros(cost)) {
+                    push!(
+                        s.key.at.as_micros(),
+                        Ev::Complete {
+                            core: s.key.core,
+                            generation: s.key.generation
+                        }
+                    );
+                }
+            }
+            Ev::Freeze => cpu.freeze(now),
+            Ev::Unfreeze => {
+                for s in cpu.unfreeze(now) {
+                    push!(
+                        s.key.at.as_micros(),
+                        Ev::Complete {
+                            core: s.key.core,
+                            generation: s.key.generation
+                        }
+                    );
+                }
+            }
+            Ev::Complete { core, generation } => {
+                let key = CompletionKey {
+                    core,
+                    generation,
+                    at: now,
+                };
+                if let CompletionOutcome::Finished { finished, started } =
+                    cpu.on_completion(now, key)
+                {
+                    done.push((finished, now));
+                    if let Some(s) = started {
+                        push!(
+                            s.key.at.as_micros(),
+                            Ev::Complete {
+                                core: s.key.core,
+                                generation: s.key.generation
+                            }
+                        );
+                    }
+                }
+            }
+        }
+    }
+    done
+}
+
+proptest! {
+    /// Every submitted burst completes exactly once, regardless of the
+    /// freeze schedule.
+    #[test]
+    fn cpu_conserves_jobs(
+        cores in 1usize..4,
+        jobs in proptest::collection::vec((0u64..10_000, 1u64..500), 1..40),
+        freezes in proptest::collection::vec((0u64..10_000, 1u64..800), 0..5),
+    ) {
+        let done = drive(cores, &jobs, &freezes);
+        prop_assert_eq!(done.len(), jobs.len(), "lost or duplicated jobs");
+        let mut ids: Vec<u64> = done.iter().map(|(j, _)| j.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), jobs.len(), "a job completed twice");
+    }
+
+    /// A burst never completes before its arrival plus its cost.
+    #[test]
+    fn cpu_never_finishes_early(
+        cores in 1usize..4,
+        jobs in proptest::collection::vec((0u64..5_000, 1u64..300), 1..30),
+    ) {
+        let done = drive(cores, &jobs, &[]);
+        for (job, at) in done {
+            let (arrive, cost) = jobs[job.0 as usize];
+            prop_assert!(
+                at.as_micros() >= arrive + cost,
+                "job {} finished at {} < {} + {}",
+                job.0, at.as_micros(), arrive, cost
+            );
+        }
+    }
+
+    /// Freezes only ever delay completions, never accelerate them.
+    #[test]
+    fn freezes_only_delay(
+        cores in 1usize..3,
+        jobs in proptest::collection::vec((0u64..3_000, 1u64..200), 1..20),
+        freezes in proptest::collection::vec((0u64..3_000, 1u64..500), 1..4),
+    ) {
+        let base = drive(cores, &jobs, &[]);
+        let frozen = drive(cores, &jobs, &freezes);
+        let mut base_at = vec![SimTime::ZERO; jobs.len()];
+        for (j, t) in base {
+            base_at[j.0 as usize] = t;
+        }
+        for (j, t) in frozen {
+            prop_assert!(
+                t >= base_at[j.0 as usize],
+                "freeze made job {} finish earlier ({} < {})",
+                j.0, t, base_at[j.0 as usize]
+            );
+        }
+    }
+
+    /// With one core, the last completion is no earlier than the makespan
+    /// lower bound max(arrive + cost) and the total-work lower bound.
+    #[test]
+    fn cpu_single_core_makespan_bounds(
+        jobs in proptest::collection::vec((0u64..2_000, 1u64..200), 1..25),
+    ) {
+        let done = drive(1, &jobs, &[]);
+        let end = done.iter().map(|&(_, t)| t).max().unwrap();
+        let per_job_bound = jobs.iter().map(|&(a, c)| a + c).max().unwrap();
+        let first_arrival = jobs.iter().map(|&(a, _)| a).min().unwrap();
+        let total_cost: u64 = jobs.iter().map(|&(_, c)| c).sum();
+        prop_assert!(end.as_micros() >= per_job_bound);
+        prop_assert!(end.as_micros() >= first_arrival + total_cost);
+    }
+
+    /// The page cache conserves bytes: dirty = written - flushed, always.
+    #[test]
+    fn page_cache_conserves_bytes(
+        writes in proptest::collection::vec(1u64..10_000, 1..100),
+        flush_every in 1usize..10,
+    ) {
+        let mut pc = PageCache::new(PageCacheConfig {
+            dirty_background_bytes: 1,
+            dirty_hard_limit_bytes: u64::MAX,
+            flush_interval: SimDuration::from_secs(1),
+        });
+        for (i, &w) in writes.iter().enumerate() {
+            pc.write(w);
+            if i % flush_every == 0 && pc.wants_interval_flush() {
+                let bytes = pc.begin_flush(FlushTrigger::Interval);
+                pc.complete_flush(bytes);
+            }
+            prop_assert_eq!(
+                pc.dirty_bytes(),
+                pc.total_written() - pc.total_flushed(),
+                "byte conservation violated"
+            );
+        }
+    }
+}

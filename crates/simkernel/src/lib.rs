@@ -1,0 +1,70 @@
+//! # mlb-simkernel — deterministic discrete-event simulation kernel
+//!
+//! The foundation of the `millibalance` workspace: a minimal, fully
+//! deterministic discrete-event simulation (DES) engine used to reproduce
+//! the ICDCS 2017 paper *"Limitations of Load Balancing Mechanisms for
+//! N-Tier Systems in the Presence of Millibottlenecks"*.
+//!
+//! Millibottlenecks live at 10–100 ms timescales; reproducing them on wall
+//! clocks would be hostage to host scheduling noise. This kernel instead
+//! gives bit-for-bit reproducible runs:
+//!
+//! * [`time`] — integer-microsecond [`SimTime`]/[`SimDuration`] newtypes,
+//!   so event ordering is exact.
+//! * [`queue`] — an [`EventQueue`] with deterministic FIFO tie-breaking
+//!   among simultaneous events.
+//! * [`sim`] — the [`Simulation`] driver and the [`Model`] trait that the
+//!   n-tier system implements.
+//! * [`rng`] — named, independent random streams derived from a single
+//!   master seed ([`SeedSequence`]), backed by an in-crate xoshiro256**
+//!   so that results never shift under `rand` upgrades.
+//!
+//! # Examples
+//!
+//! A two-event M/D/1-ish sketch:
+//!
+//! ```
+//! use mlb_simkernel::prelude::*;
+//!
+//! struct Server { completed: u32 }
+//!
+//! enum Ev { Arrive, Finish }
+//!
+//! impl Model for Server {
+//!     type Event = Ev;
+//!     fn handle(&mut self, _now: SimTime, ev: Ev, sched: &mut Scheduler<'_, Ev>) {
+//!         match ev {
+//!             Ev::Arrive => sched.after(SimDuration::from_millis(2), Ev::Finish),
+//!             Ev::Finish => self.completed += 1,
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Server { completed: 0 });
+//! sim.schedule(SimTime::from_millis(1), Ev::Arrive);
+//! sim.run_to_completion();
+//! assert_eq!(sim.model().completed, 1);
+//! assert_eq!(sim.now(), SimTime::from_millis(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod queue;
+pub mod rng;
+pub mod sim;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::{SeedSequence, SplitMix64, Xoshiro256StarStar};
+pub use sim::{Model, RunReport, Scheduler, Simulation, StopReason};
+pub use time::{SimDuration, SimTime};
+
+/// Convenient glob-import surface: `use mlb_simkernel::prelude::*;`.
+pub mod prelude {
+    pub use crate::queue::EventQueue;
+    pub use crate::rng::{SeedSequence, Xoshiro256StarStar};
+    pub use crate::sim::{Model, RunReport, Scheduler, Simulation, StopReason};
+    pub use crate::time::{SimDuration, SimTime};
+}

@@ -1,0 +1,205 @@
+//! The pending-event set.
+//!
+//! [`EventQueue`] is a priority queue keyed by [`SimTime`] with
+//! **deterministic FIFO tie-breaking**: events scheduled for the same
+//! instant pop in the order they were pushed. That property is what makes
+//! whole-simulation runs bit-for-bit reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A time-ordered queue of pending events.
+///
+/// # Examples
+///
+/// ```
+/// use mlb_simkernel::queue::EventQueue;
+/// use mlb_simkernel::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_millis(5), "late");
+/// q.push(SimTime::from_millis(1), "early");
+/// q.push(SimTime::from_millis(5), "late-second");
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(1), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(5), "late")));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(5), "late-second")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    pushed_total: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pushed_total: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` events before
+    /// reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            pushed_total: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed_total += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, FIFO among ties.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever pushed (a cheap progress metric).
+    pub fn pushed_total(&self) -> u64 {
+        self.pushed_total
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(30), 3);
+        q.push(SimTime::from_micros(10), 1);
+        q.push(SimTime::from_micros(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_pushes_stay_fifo_per_instant() {
+        let mut q = EventQueue::new();
+        let a = SimTime::from_millis(1);
+        let b = SimTime::from_millis(2);
+        q.push(b, "b0");
+        q.push(a, "a0");
+        q.push(b, "b1");
+        q.push(a, "a1");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a0", "a1", "b0", "b1"]);
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(2), ());
+        q.push(SimTime::from_secs(1), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn len_and_counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO + SimDuration::from_micros(1), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pushed_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pushed_total(), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(16);
+        q.push(SimTime::ZERO, 7u8);
+        assert_eq!(q.pop(), Some((SimTime::ZERO, 7u8)));
+    }
+}

@@ -1,0 +1,406 @@
+//! The simulation driver.
+//!
+//! A simulation is a [`Model`] (all mutable world state plus an event
+//! handler) driven by a [`Simulation`] loop that pops events from an
+//! [`EventQueue`] in timestamp order. The handler
+//! receives a [`Scheduler`] through which it books future events.
+//!
+//! ```
+//! use mlb_simkernel::sim::{Model, Scheduler, Simulation};
+//! use mlb_simkernel::time::{SimDuration, SimTime};
+//!
+//! /// Counts ticks of a periodic timer.
+//! struct Clock {
+//!     ticks: u32,
+//! }
+//!
+//! enum Ev {
+//!     Tick,
+//! }
+//!
+//! impl Model for Clock {
+//!     type Event = Ev;
+//!     fn handle(&mut self, _now: SimTime, event: Ev, sched: &mut Scheduler<'_, Ev>) {
+//!         match event {
+//!             Ev::Tick => {
+//!                 self.ticks += 1;
+//!                 if self.ticks < 5 {
+//!                     sched.after(SimDuration::from_millis(10), Ev::Tick);
+//!                 }
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Clock { ticks: 0 });
+//! sim.schedule(SimTime::ZERO, Ev::Tick);
+//! let report = sim.run_until(SimTime::from_secs(1));
+//! assert_eq!(sim.model().ticks, 5);
+//! assert_eq!(report.events_processed, 5);
+//! ```
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// The world state of a simulation together with its event handler.
+///
+/// Implementors own all mutable state; the kernel owns time. `handle` is
+/// called once per event, in global timestamp order with FIFO tie-breaking.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Processes one event occurring at `now`, scheduling any follow-up
+    /// events through `sched`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
+}
+
+/// Handle through which a [`Model`] books future events while one is being
+/// processed.
+///
+/// Scheduling into the past is a logic error and panics, because it would
+/// silently violate causality.
+#[derive(Debug)]
+pub struct Scheduler<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    halt: &'a mut bool,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// The timestamp of the event currently being processed.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`Scheduler::now`].
+    pub fn at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` to occur `delay` after the current instant.
+    pub fn after(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` at the current instant (it runs after all events
+    /// already queued for this instant, preserving FIFO order).
+    pub fn immediately(&mut self, event: E) {
+        self.queue.push(self.now, event);
+    }
+
+    /// Requests that the driver stop after the current event completes,
+    /// leaving any remaining events in the queue.
+    pub fn halt(&mut self) {
+        *self.halt = true;
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Why [`Simulation::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The horizon was reached; events at or beyond it remain queued.
+    HorizonReached,
+    /// The event queue drained before the horizon.
+    QueueEmpty,
+    /// The model called [`Scheduler::halt`].
+    Halted,
+}
+
+/// Summary of a driver run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Number of events the model handled during this run.
+    pub events_processed: u64,
+    /// Simulation clock when the run stopped.
+    pub end_time: SimTime,
+    /// Why the run stopped.
+    pub reason: StopReason,
+}
+
+/// The event loop: owns the model, the clock and the pending-event set.
+#[derive(Debug)]
+pub struct Simulation<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: SimTime,
+    events_processed: u64,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Creates a simulation at time zero with an empty event queue.
+    pub fn new(model: M) -> Self {
+        Simulation {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            events_processed: 0,
+        }
+    }
+
+    /// The current simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the model (for reading results).
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model (for pre-run configuration).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the simulation, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Total events handled so far across all runs.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an event from outside the model (typically the initial
+    /// stimulus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock.
+    pub fn schedule(&mut self, at: SimTime, event: M::Event) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Processes a single event, if one is pending. Returns `true` if an
+    /// event was handled.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((time, event)) => {
+                debug_assert!(time >= self.now, "event queue went backwards");
+                self.now = time;
+                let mut halt = false;
+                let mut sched = Scheduler {
+                    now: time,
+                    queue: &mut self.queue,
+                    halt: &mut halt,
+                };
+                self.model.handle(time, event, &mut sched);
+                self.events_processed += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the clock would pass `horizon`, the queue empties, or the
+    /// model halts. Events stamped exactly at `horizon` are **not**
+    /// processed; the clock is left at `horizon` when the horizon is hit.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunReport {
+        let start_count = self.events_processed;
+        loop {
+            match self.queue.peek_time() {
+                None => {
+                    return RunReport {
+                        events_processed: self.events_processed - start_count,
+                        end_time: self.now,
+                        reason: StopReason::QueueEmpty,
+                    };
+                }
+                Some(t) if t >= horizon => {
+                    self.now = horizon;
+                    return RunReport {
+                        events_processed: self.events_processed - start_count,
+                        end_time: self.now,
+                        reason: StopReason::HorizonReached,
+                    };
+                }
+                Some(_) => {
+                    let (time, event) = self.queue.pop().expect("peeked event vanished");
+                    self.now = time;
+                    let mut halt = false;
+                    let mut sched = Scheduler {
+                        now: time,
+                        queue: &mut self.queue,
+                        halt: &mut halt,
+                    };
+                    self.model.handle(time, event, &mut sched);
+                    self.events_processed += 1;
+                    if halt {
+                        return RunReport {
+                            events_processed: self.events_processed - start_count,
+                            end_time: self.now,
+                            reason: StopReason::Halted,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs until the queue is empty or the model halts.
+    pub fn run_to_completion(&mut self) -> RunReport {
+        self.run_until(SimTime::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+        halt_on: Option<u32>,
+        respawn: bool,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<'_, u32>) {
+            self.seen.push((now, ev));
+            if self.halt_on == Some(ev) {
+                sched.halt();
+            }
+            if self.respawn && ev < 3 {
+                sched.after(SimDuration::from_millis(1), ev + 1);
+            }
+        }
+    }
+
+    fn recorder() -> Recorder {
+        Recorder {
+            seen: Vec::new(),
+            halt_on: None,
+            respawn: false,
+        }
+    }
+
+    #[test]
+    fn processes_in_order_and_reports() {
+        let mut sim = Simulation::new(recorder());
+        sim.schedule(SimTime::from_millis(2), 2);
+        sim.schedule(SimTime::from_millis(1), 1);
+        let report = sim.run_until(SimTime::from_secs(1));
+        assert_eq!(report.reason, StopReason::QueueEmpty);
+        assert_eq!(report.events_processed, 2);
+        assert_eq!(
+            sim.model().seen,
+            vec![(SimTime::from_millis(1), 1), (SimTime::from_millis(2), 2)]
+        );
+    }
+
+    #[test]
+    fn horizon_excludes_events_at_horizon() {
+        let mut sim = Simulation::new(recorder());
+        sim.schedule(SimTime::from_millis(5), 5);
+        sim.schedule(SimTime::from_millis(10), 10);
+        let report = sim.run_until(SimTime::from_millis(10));
+        assert_eq!(report.reason, StopReason::HorizonReached);
+        assert_eq!(sim.model().seen.len(), 1);
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn model_can_chain_events() {
+        let mut sim = Simulation::new(Recorder {
+            respawn: true,
+            ..recorder()
+        });
+        sim.schedule(SimTime::ZERO, 0);
+        sim.run_to_completion();
+        let values: Vec<u32> = sim.model().seen.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, vec![0, 1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn halt_stops_immediately() {
+        let mut sim = Simulation::new(Recorder {
+            halt_on: Some(1),
+            ..recorder()
+        });
+        sim.schedule(SimTime::from_millis(1), 1);
+        sim.schedule(SimTime::from_millis(2), 2);
+        let report = sim.run_to_completion();
+        assert_eq!(report.reason, StopReason::Halted);
+        assert_eq!(sim.model().seen.len(), 1);
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn step_handles_one_event() {
+        let mut sim = Simulation::new(recorder());
+        assert!(!sim.step());
+        sim.schedule(SimTime::from_millis(1), 9);
+        assert!(sim.step());
+        assert_eq!(sim.events_processed(), 1);
+        assert!(!sim.step());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new(recorder());
+        sim.schedule(SimTime::from_secs(1), 1);
+        sim.run_to_completion();
+        sim.schedule(SimTime::ZERO, 2);
+    }
+
+    #[test]
+    fn scheduler_immediately_preserves_fifo() {
+        struct Imm {
+            seen: Vec<u32>,
+        }
+        impl Model for Imm {
+            type Event = u32;
+            fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Scheduler<'_, u32>) {
+                self.seen.push(ev);
+                if ev == 0 {
+                    sched.immediately(1);
+                    sched.immediately(2);
+                }
+            }
+        }
+        let mut sim = Simulation::new(Imm { seen: Vec::new() });
+        sim.schedule(SimTime::ZERO, 0);
+        sim.run_to_completion();
+        assert_eq!(sim.model().seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn into_model_returns_state() {
+        let mut sim = Simulation::new(recorder());
+        sim.schedule(SimTime::ZERO, 4);
+        sim.run_to_completion();
+        let model = sim.into_model();
+        assert_eq!(model.seen.len(), 1);
+    }
+}

@@ -1,0 +1,349 @@
+//! Closed-loop client population.
+//!
+//! RUBBoS drives the system with a fixed population of emulated browsers:
+//! each client issues a request, waits for the response, *thinks* for an
+//! exponentially distributed time, and repeats. The paper runs 70 000
+//! clients against 4 Apache servers, with client nodes statically
+//! partitioned across the Apaches (Appendix A: "the first two client nodes
+//! send requests to the first web server, …").
+//!
+//! [`ClientPopulation`] holds the static description; the n-tier simulator
+//! owns the per-client event loop and calls back here for sampling.
+
+use crate::mix::InteractionMix;
+use mlb_simkernel::rng::exponential;
+use mlb_simkernel::time::{SimDuration, SimTime};
+use rand::RngCore;
+
+/// Periodic load bursts: a square-wave modulation of the think time.
+///
+/// The paper's introduction lists *bursty workloads* among the causes of
+/// millibottlenecks. During the ON phase of each period, every client's
+/// mean think time is divided by `intensity`, multiplying the offered
+/// load; the rest of the period runs at the nominal rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstProfile {
+    /// Length of one ON/OFF cycle.
+    pub period: SimDuration,
+    /// Fraction of the period spent in the ON (bursting) phase, in (0, 1).
+    pub duty: f64,
+    /// Load multiplier during the ON phase (> 1).
+    pub intensity: f64,
+}
+
+impl BurstProfile {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the period is zero, the duty cycle is outside
+    /// (0, 1), or the intensity is not greater than 1.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.period.is_zero() {
+            return Err("burst period must be positive".into());
+        }
+        if !(self.duty > 0.0 && self.duty < 1.0) {
+            return Err("burst duty cycle must be in (0, 1)".into());
+        }
+        if self.intensity.partial_cmp(&1.0) != Some(std::cmp::Ordering::Greater) {
+            return Err("burst intensity must exceed 1".into());
+        }
+        Ok(())
+    }
+
+    /// `true` if `now` falls in the ON phase.
+    pub fn is_on(&self, now: SimTime) -> bool {
+        let phase = now.as_micros() % self.period.as_micros();
+        (phase as f64) < self.duty * self.period.as_micros() as f64
+    }
+}
+
+/// Identifier of one emulated browser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub usize);
+
+/// Static description of the closed-loop client population.
+///
+/// # Examples
+///
+/// ```
+/// use mlb_workload::clients::ClientPopulation;
+/// use mlb_workload::mix::InteractionMix;
+/// use mlb_simkernel::time::SimDuration;
+///
+/// let pop = ClientPopulation::new(70_000, SimDuration::from_secs(7), 4);
+/// assert_eq!(pop.front_end_of(mlb_workload::clients::ClientId(0)), 0);
+/// assert_eq!(pop.front_end_of(mlb_workload::clients::ClientId(69_999)), 3);
+/// // Offered load ≈ population / think time:
+/// let mix = InteractionMix::read_write();
+/// let rps = pop.offered_load_rps(&mix);
+/// assert!((9_000.0..11_000.0).contains(&rps));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientPopulation {
+    clients: usize,
+    think_time_mean: SimDuration,
+    front_ends: usize,
+    burst: Option<BurstProfile>,
+}
+
+impl ClientPopulation {
+    /// Creates a population of `clients` browsers with the given mean
+    /// think time, statically partitioned across `front_ends` web servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn new(clients: usize, think_time_mean: SimDuration, front_ends: usize) -> Self {
+        assert!(clients > 0, "population must be positive");
+        assert!(!think_time_mean.is_zero(), "think time must be positive");
+        assert!(front_ends > 0, "need at least one front end");
+        ClientPopulation {
+            clients,
+            think_time_mean,
+            front_ends,
+            burst: None,
+        }
+    }
+
+    /// Adds a periodic burst profile to this population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`BurstProfile::validate`].
+    pub fn with_bursts(mut self, burst: BurstProfile) -> Self {
+        if let Err(msg) = burst.validate() {
+            panic!("invalid BurstProfile: {msg}");
+        }
+        self.burst = Some(burst);
+        self
+    }
+
+    /// The burst profile, if any.
+    pub fn burst(&self) -> Option<BurstProfile> {
+        self.burst
+    }
+
+    /// The paper's workload: 70 000 clients, 7 s mean think time, 4 Apaches.
+    pub fn paper_default() -> Self {
+        ClientPopulation::new(70_000, SimDuration::from_secs(7), 4)
+    }
+
+    /// Number of clients.
+    pub fn clients(&self) -> usize {
+        self.clients
+    }
+
+    /// Mean think time.
+    pub fn think_time_mean(&self) -> SimDuration {
+        self.think_time_mean
+    }
+
+    /// Number of front-end (Apache) servers.
+    pub fn front_ends(&self) -> usize {
+        self.front_ends
+    }
+
+    /// The front end a client is wired to (static partition, as in the
+    /// testbed topology).
+    pub fn front_end_of(&self, client: ClientId) -> usize {
+        debug_assert!(client.0 < self.clients);
+        client.0 * self.front_ends / self.clients
+    }
+
+    /// Samples one think time (ignores any burst profile).
+    pub fn sample_think<R: RngCore>(&self, rng: &mut R) -> SimDuration {
+        exponential(rng, self.think_time_mean)
+    }
+
+    /// Samples one think time, honouring the burst profile at `now`: in
+    /// the ON phase the mean is divided by the burst intensity.
+    pub fn sample_think_at<R: RngCore>(&self, now: SimTime, rng: &mut R) -> SimDuration {
+        match self.burst {
+            Some(b) if b.is_on(now) => {
+                let mean =
+                    SimDuration::from_secs_f64(self.think_time_mean.as_secs_f64() / b.intensity);
+                exponential(rng, mean.max(SimDuration::from_micros(1)))
+            }
+            _ => exponential(rng, self.think_time_mean),
+        }
+    }
+
+    /// Samples the initial stagger of a client's first request so the
+    /// population does not arrive in one burst at t = 0. Uniform over one
+    /// think time.
+    pub fn sample_start_offset<R: RngCore>(&self, rng: &mut R) -> SimDuration {
+        SimDuration::from_micros(rng.next_u64() % self.think_time_mean.as_micros().max(1))
+    }
+
+    /// Closed-loop offered load estimate in requests/second:
+    /// `clients / (think + service)`, with the service time approximated by
+    /// the mix's mean per-tier costs (a fraction of a millisecond — think
+    /// time dominates).
+    pub fn offered_load_rps(&self, mix: &InteractionMix) -> f64 {
+        let service_s = (mix.mean_apache_cost_micros()
+            + mix.mean_tomcat_cost_micros()
+            + mix.mean_db_cost_micros())
+            / 1_000_000.0;
+        self.clients as f64 / (self.think_time_mean.as_secs_f64() + service_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_simkernel::rng::SeedSequence;
+
+    #[test]
+    fn partition_is_balanced() {
+        let pop = ClientPopulation::new(100, SimDuration::from_secs(1), 4);
+        let mut counts = [0usize; 4];
+        for c in 0..100 {
+            counts[pop.front_end_of(ClientId(c))] += 1;
+        }
+        assert_eq!(counts, [25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn partition_handles_uneven_division() {
+        let pop = ClientPopulation::new(10, SimDuration::from_secs(1), 3);
+        let mut counts = [0usize; 3];
+        for c in 0..10 {
+            counts[pop.front_end_of(ClientId(c))] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert!(counts.iter().all(|&c| c >= 3));
+    }
+
+    #[test]
+    fn think_times_average_to_mean() {
+        let pop = ClientPopulation::new(10, SimDuration::from_millis(500), 1);
+        let mut rng = SeedSequence::new(4).stream("think");
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| pop.sample_think(&mut rng).as_micros()).sum();
+        let mean = total as f64 / f64::from(n);
+        assert!((mean - 500_000.0).abs() / 500_000.0 < 0.05);
+    }
+
+    #[test]
+    fn start_offsets_stay_within_one_think_time() {
+        let pop = ClientPopulation::new(10, SimDuration::from_millis(100), 1);
+        let mut rng = SeedSequence::new(4).stream("start");
+        for _ in 0..1_000 {
+            assert!(pop.sample_start_offset(&mut rng) < SimDuration::from_millis(100));
+        }
+    }
+
+    #[test]
+    fn paper_default_matches_testbed() {
+        let pop = ClientPopulation::paper_default();
+        assert_eq!(pop.clients(), 70_000);
+        assert_eq!(pop.front_ends(), 4);
+        assert_eq!(pop.think_time_mean(), SimDuration::from_secs(7));
+    }
+
+    #[test]
+    fn burst_profile_square_wave() {
+        let b = BurstProfile {
+            period: SimDuration::from_secs(10),
+            duty: 0.2,
+            intensity: 3.0,
+        };
+        assert!(b.validate().is_ok());
+        assert!(b.is_on(SimTime::ZERO));
+        assert!(b.is_on(SimTime::from_millis(1_999)));
+        assert!(!b.is_on(SimTime::from_secs(2)));
+        assert!(!b.is_on(SimTime::from_secs(9)));
+        assert!(b.is_on(SimTime::from_secs(10))); // next cycle
+    }
+
+    #[test]
+    fn burst_profile_validation() {
+        let good = BurstProfile {
+            period: SimDuration::from_secs(1),
+            duty: 0.5,
+            intensity: 2.0,
+        };
+        assert!(good.validate().is_ok());
+        assert!(BurstProfile {
+            period: SimDuration::ZERO,
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(BurstProfile { duty: 0.0, ..good }.validate().is_err());
+        assert!(BurstProfile { duty: 1.0, ..good }.validate().is_err());
+        assert!(BurstProfile {
+            intensity: 1.0,
+            ..good
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn bursty_think_times_shrink_during_on_phase() {
+        let pop =
+            ClientPopulation::new(10, SimDuration::from_millis(900), 1).with_bursts(BurstProfile {
+                period: SimDuration::from_secs(10),
+                duty: 0.3,
+                intensity: 3.0,
+            });
+        let mut rng = SeedSequence::new(8).stream("burst");
+        let n = 20_000;
+        let on_mean: u64 = (0..n)
+            .map(|_| {
+                pop.sample_think_at(SimTime::from_secs(1), &mut rng)
+                    .as_micros()
+            })
+            .sum::<u64>()
+            / n;
+        let off_mean: u64 = (0..n)
+            .map(|_| {
+                pop.sample_think_at(SimTime::from_secs(5), &mut rng)
+                    .as_micros()
+            })
+            .sum::<u64>()
+            / n;
+        let ratio = off_mean as f64 / on_mean as f64;
+        assert!(
+            (2.6..3.4).contains(&ratio),
+            "expected ~3x think-time ratio, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn no_burst_means_sample_think_at_matches_plain() {
+        let pop = ClientPopulation::new(10, SimDuration::from_millis(100), 1);
+        let mut a = SeedSequence::new(4).stream("x");
+        let mut b = SeedSequence::new(4).stream("x");
+        for i in 0..100 {
+            assert_eq!(
+                pop.sample_think_at(SimTime::from_secs(i), &mut a),
+                pop.sample_think(&mut b)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid BurstProfile")]
+    fn with_bad_burst_panics() {
+        let _ = ClientPopulation::new(1, SimDuration::from_secs(1), 1).with_bursts(BurstProfile {
+            period: SimDuration::ZERO,
+            duty: 0.5,
+            intensity: 2.0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be positive")]
+    fn zero_clients_panics() {
+        ClientPopulation::new(0, SimDuration::from_secs(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "think time must be positive")]
+    fn zero_think_panics() {
+        ClientPopulation::new(1, SimDuration::ZERO, 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! The RUBBoS interaction catalogue.
+//!
+//! RUBBoS models a Slashdot-style bulletin board with **24 web
+//! interactions**. Each interaction carries the per-tier resource demands
+//! our simulated servers consume: Apache parsing/forwarding CPU, Tomcat
+//! servlet CPU, the number and cost of MySQL queries, message sizes (used
+//! by the `total_traffic` policy), and the Tomcat log bytes the request
+//! appends (access + servlet + localhost logs — the dirty pages that feed
+//! the millibottleneck).
+//!
+//! The absolute costs are calibrated so the simulated testbed reproduces
+//! the paper's operating point: ~10 k requests/s from 70 000 clients, all
+//! servers below ~50 % average CPU, and a no-millibottleneck average
+//! response time of a few milliseconds.
+
+use mlb_simkernel::time::SimDuration;
+
+/// Index of an interaction within its [`InteractionMix`].
+///
+/// [`InteractionMix`]: crate::mix::InteractionMix
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InteractionId(pub usize);
+
+/// One RUBBoS web interaction and its resource demands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interaction {
+    /// RUBBoS page name, e.g. `"StoriesOfTheDay"`.
+    pub name: &'static str,
+    /// Relative frequency weight within a mix.
+    pub weight: u32,
+    /// CPU burst on the Apache tier (parse + proxy).
+    pub apache_cost: SimDuration,
+    /// CPU burst on the Tomcat tier (servlet execution).
+    pub tomcat_cost: SimDuration,
+    /// Number of MySQL queries the servlet issues.
+    pub db_queries: u32,
+    /// CPU burst on the MySQL tier per query.
+    pub db_cost_per_query: SimDuration,
+    /// HTTP request size in bytes (client → Apache → Tomcat).
+    pub request_bytes: u64,
+    /// HTTP response size in bytes (Tomcat → Apache → client).
+    pub response_bytes: u64,
+    /// Bytes appended to Tomcat's log files by this request.
+    pub log_bytes: u64,
+}
+
+impl Interaction {
+    /// Total MySQL CPU demand of one execution.
+    pub fn total_db_cost(&self) -> SimDuration {
+        self.db_cost_per_query * u64::from(self.db_queries)
+    }
+
+    /// Sum of request and response bytes — the quantity the
+    /// `total_traffic` policy accumulates.
+    pub fn traffic_bytes(&self) -> u64 {
+        self.request_bytes + self.response_bytes
+    }
+
+    /// `true` if the interaction writes to the database (used to build the
+    /// browse-only mix).
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self.name,
+            "RegisterUser"
+                | "StoreComment"
+                | "StoreStory"
+                | "StoreModeratorLog"
+                | "AcceptStory"
+                | "RejectStory"
+        )
+    }
+}
+
+const fn us(micros: u64) -> SimDuration {
+    SimDuration::from_micros(micros)
+}
+
+macro_rules! interaction {
+    ($name:literal, w:$w:expr, ap:$ap:expr, tc:$tc:expr, q:$q:expr, qc:$qc:expr,
+     req:$req:expr, resp:$resp:expr, log:$log:expr) => {
+        Interaction {
+            name: $name,
+            weight: $w,
+            apache_cost: us($ap),
+            tomcat_cost: us($tc),
+            db_queries: $q,
+            db_cost_per_query: us($qc),
+            request_bytes: $req,
+            response_bytes: $resp,
+            log_bytes: $log,
+        }
+    };
+}
+
+/// The full RUBBoS catalogue (24 interactions).
+///
+/// Weights follow the benchmark's browsing-heavy transition matrix:
+/// story/comment viewing dominates, searches are common, authoring and
+/// moderation are rare.
+pub fn catalogue() -> Vec<Interaction> {
+    vec![
+        // name                        weight  apache  tomcat  q  q-cost  req    resp    log
+        interaction!("StoriesOfTheDay",     w: 1600, ap: 260, tc: 620, q: 2, qc: 80, req: 420, resp: 24_000, log: 1_500),
+        interaction!("ViewStory",           w: 1500, ap: 240, tc: 560, q: 2, qc: 70, req: 460, resp: 18_000, log: 1_400),
+        interaction!("ViewComment",         w: 1400, ap: 240, tc: 540, q: 2, qc: 65, req: 470, resp: 14_000, log: 1_350),
+        interaction!("BrowseCategories",    w:  550, ap: 220, tc: 420, q: 1, qc: 60, req: 400, resp: 9_000,  log: 1_100),
+        interaction!("BrowseStoriesByCategory", w: 800, ap: 250, tc: 640, q: 2, qc: 75, req: 480, resp: 20_000, log: 1_500),
+        interaction!("OlderStories",        w:  600, ap: 250, tc: 650, q: 2, qc: 80, req: 460, resp: 21_000, log: 1_500),
+        interaction!("BrowseRegions",       w:  250, ap: 220, tc: 410, q: 1, qc: 60, req: 400, resp: 8_500,  log: 1_100),
+        interaction!("BrowseStoriesByRegion", w: 300, ap: 250, tc: 630, q: 2, qc: 75, req: 480, resp: 19_000, log: 1_450),
+        interaction!("ViewUserInfo",        w:  350, ap: 230, tc: 470, q: 2, qc: 60, req: 430, resp: 7_500,  log: 1_200),
+        interaction!("Search",              w:  420, ap: 230, tc: 380, q: 0, qc: 0,   req: 410, resp: 5_000,  log: 1_000),
+        interaction!("SearchInStories",     w:  380, ap: 260, tc: 980, q: 3, qc: 105, req: 520, resp: 22_000, log: 1_600),
+        interaction!("SearchInComments",    w:  300, ap: 260, tc: 1_050, q: 3, qc: 115, req: 520, resp: 23_000, log: 1_650),
+        interaction!("SearchInUsers",       w:  180, ap: 250, tc: 760, q: 2, qc: 90, req: 510, resp: 9_000,  log: 1_300),
+        interaction!("Register",            w:   90, ap: 210, tc: 320, q: 0, qc: 0,   req: 380, resp: 4_200,  log: 950),
+        interaction!("RegisterUser",        w:   80, ap: 240, tc: 540, q: 2, qc: 85, req: 640, resp: 4_800,  log: 1_400),
+        interaction!("AuthorLogin",         w:  120, ap: 220, tc: 410, q: 1, qc: 65, req: 430, resp: 4_500,  log: 1_050),
+        interaction!("AuthorTasks",         w:  100, ap: 230, tc: 520, q: 2, qc: 70, req: 440, resp: 8_000,  log: 1_250),
+        interaction!("SubmitStory",         w:  140, ap: 220, tc: 380, q: 0, qc: 0,   req: 420, resp: 5_200,  log: 1_050),
+        interaction!("StoreStory",          w:  130, ap: 250, tc: 680, q: 3, qc: 90, req: 2_600, resp: 4_600, log: 1_900),
+        interaction!("PostComment",         w:  260, ap: 220, tc: 420, q: 1, qc: 65, req: 450, resp: 6_000,  log: 1_150),
+        interaction!("StoreComment",        w:  240, ap: 250, tc: 640, q: 3, qc: 85, req: 1_900, resp: 4_400, log: 1_800),
+        interaction!("ModerateComment",     w:  110, ap: 230, tc: 470, q: 2, qc: 70, req: 450, resp: 5_600,  log: 1_200),
+        interaction!("StoreModeratorLog",   w:  100, ap: 240, tc: 560, q: 2, qc: 80, req: 700, resp: 4_300,  log: 1_500),
+        interaction!("ReviewStories",       w:  100, ap: 240, tc: 600, q: 2, qc: 80, req: 460, resp: 12_000, log: 1_350),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_24_interactions() {
+        assert_eq!(catalogue().len(), 24);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let cat = catalogue();
+        let mut names: Vec<&str> = cat.iter().map(|i| i.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 24);
+    }
+
+    #[test]
+    fn all_fields_positive_where_required() {
+        for i in catalogue() {
+            assert!(i.weight > 0, "{} has zero weight", i.name);
+            assert!(!i.apache_cost.is_zero(), "{} has zero apache cost", i.name);
+            assert!(!i.tomcat_cost.is_zero(), "{} has zero tomcat cost", i.name);
+            assert!(i.request_bytes > 0 && i.response_bytes > 0);
+            assert!(i.log_bytes > 0, "{} writes no logs", i.name);
+            if i.db_queries > 0 {
+                assert!(!i.db_cost_per_query.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn total_db_cost_multiplies() {
+        let i = &catalogue()[0]; // StoriesOfTheDay: 2 × 80us
+        assert_eq!(i.total_db_cost(), SimDuration::from_micros(160));
+    }
+
+    #[test]
+    fn traffic_bytes_sums_both_directions() {
+        let i = &catalogue()[0];
+        assert_eq!(i.traffic_bytes(), 420 + 24_000);
+    }
+
+    #[test]
+    fn write_interactions_identified() {
+        let cat = catalogue();
+        let writes: Vec<&str> = cat
+            .iter()
+            .filter(|i| i.is_write())
+            .map(|i| i.name)
+            .collect();
+        assert!(writes.contains(&"StoreComment"));
+        assert!(writes.contains(&"StoreStory"));
+        assert!(!writes.contains(&"ViewStory"));
+    }
+
+    #[test]
+    fn weighted_mean_tomcat_cost_matches_calibration_target() {
+        // The calibration target: ~0.6 ms mean servlet cost so that four
+        // Tomcats at ~2 500 req/s each sit near 40 % CPU.
+        let cat = catalogue();
+        let total_w: u64 = cat.iter().map(|i| u64::from(i.weight)).sum();
+        let mean_us: f64 = cat
+            .iter()
+            .map(|i| i.tomcat_cost.as_micros() as f64 * f64::from(i.weight))
+            .sum::<f64>()
+            / total_w as f64;
+        assert!(
+            (450.0..750.0).contains(&mean_us),
+            "mean tomcat cost {mean_us} us out of calibration range"
+        );
+    }
+
+    #[test]
+    fn weighted_mean_db_cost_keeps_single_mysql_below_saturation() {
+        // One MySQL serves all ~10 k req/s on 4 cores: mean per-request DB
+        // demand must stay below 0.4 ms (100 %) and near 0.18 ms (45 %).
+        let cat = catalogue();
+        let total_w: u64 = cat.iter().map(|i| u64::from(i.weight)).sum();
+        let mean_us: f64 = cat
+            .iter()
+            .map(|i| i.total_db_cost().as_micros() as f64 * f64::from(i.weight))
+            .sum::<f64>()
+            / total_w as f64;
+        assert!(
+            (120.0..350.0).contains(&mean_us),
+            "mean db cost {mean_us} us out of calibration range"
+        );
+    }
+}

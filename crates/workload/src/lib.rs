@@ -1,0 +1,24 @@
+//! # mlb-workload — the RUBBoS workload generator
+//!
+//! A from-scratch model of the RUBBoS bulletin-board benchmark used by the
+//! ICDCS 2017 millibottleneck load-balancing paper:
+//!
+//! * [`interactions`] — the 24 RUBBoS web interactions with per-tier
+//!   resource demands (Apache/Tomcat/MySQL CPU, message sizes, log bytes).
+//! * [`mix`] — the browse-only and read/write mixes with deterministic
+//!   weighted sampling.
+//! * [`clients`] — the closed-loop population of emulated browsers
+//!   (70 000 clients, exponential think times, static partitioning across
+//!   front ends).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod clients;
+pub mod interactions;
+pub mod mix;
+
+pub use clients::{BurstProfile, ClientId, ClientPopulation};
+pub use interactions::{Interaction, InteractionId};
+pub use mix::InteractionMix;

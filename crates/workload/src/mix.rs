@@ -1,0 +1,201 @@
+//! Interaction mixes and weighted sampling.
+//!
+//! RUBBoS ships two workload mixes: **browse-only** (read interactions
+//! only) and **read/write** (the full catalogue, ~10 % writes). A mix is a
+//! weighted distribution over interactions, sampled by binary search on
+//! the cumulative weight vector.
+
+use crate::interactions::{catalogue, Interaction, InteractionId};
+use rand::RngCore;
+
+/// A weighted set of interactions that can be sampled deterministically.
+///
+/// # Examples
+///
+/// ```
+/// use mlb_simkernel::rng::SeedSequence;
+/// use mlb_workload::mix::InteractionMix;
+///
+/// let mix = InteractionMix::read_write();
+/// let mut rng = SeedSequence::new(1).stream("mix");
+/// let id = mix.sample(&mut rng);
+/// let interaction = mix.get(id);
+/// assert!(!interaction.name.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct InteractionMix {
+    interactions: Vec<Interaction>,
+    cumulative: Vec<u64>,
+    total_weight: u64,
+}
+
+impl InteractionMix {
+    /// Builds a mix from an explicit interaction set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interactions` is empty or the total weight is zero.
+    pub fn new(interactions: Vec<Interaction>) -> Self {
+        assert!(!interactions.is_empty(), "a mix needs interactions");
+        let mut cumulative = Vec::with_capacity(interactions.len());
+        let mut acc = 0u64;
+        for i in &interactions {
+            acc += u64::from(i.weight);
+            cumulative.push(acc);
+        }
+        assert!(acc > 0, "total mix weight must be positive");
+        InteractionMix {
+            interactions,
+            cumulative,
+            total_weight: acc,
+        }
+    }
+
+    /// The full RUBBoS catalogue (reads and writes).
+    pub fn read_write() -> Self {
+        InteractionMix::new(catalogue())
+    }
+
+    /// Reads only — the RUBBoS browsing mix.
+    pub fn browse_only() -> Self {
+        InteractionMix::new(catalogue().into_iter().filter(|i| !i.is_write()).collect())
+    }
+
+    /// Samples one interaction id.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> InteractionId {
+        let x = rng.next_u64() % self.total_weight;
+        // First cumulative value strictly greater than x.
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        InteractionId(idx)
+    }
+
+    /// Looks up an interaction by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different mix and is out of range.
+    pub fn get(&self, id: InteractionId) -> &Interaction {
+        &self.interactions[id.0]
+    }
+
+    /// All interactions in this mix.
+    pub fn interactions(&self) -> &[Interaction] {
+        &self.interactions
+    }
+
+    /// Number of interactions.
+    pub fn len(&self) -> usize {
+        self.interactions.len()
+    }
+
+    /// `true` if the mix is empty (never true for a constructed mix).
+    pub fn is_empty(&self) -> bool {
+        self.interactions.is_empty()
+    }
+
+    /// Weighted-mean Tomcat servlet cost — used for capacity planning.
+    pub fn mean_tomcat_cost_micros(&self) -> f64 {
+        self.weighted_mean(|i| i.tomcat_cost.as_micros() as f64)
+    }
+
+    /// Weighted-mean total MySQL cost per request.
+    pub fn mean_db_cost_micros(&self) -> f64 {
+        self.weighted_mean(|i| i.total_db_cost().as_micros() as f64)
+    }
+
+    /// Weighted-mean Apache cost per request.
+    pub fn mean_apache_cost_micros(&self) -> f64 {
+        self.weighted_mean(|i| i.apache_cost.as_micros() as f64)
+    }
+
+    /// Weighted-mean Tomcat log bytes per request (the dirty-page feed).
+    pub fn mean_log_bytes(&self) -> f64 {
+        self.weighted_mean(|i| i.log_bytes as f64)
+    }
+
+    fn weighted_mean(&self, f: impl Fn(&Interaction) -> f64) -> f64 {
+        let sum: f64 = self
+            .interactions
+            .iter()
+            .map(|i| f(i) * f64::from(i.weight))
+            .sum();
+        sum / self.total_weight as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_simkernel::rng::SeedSequence;
+    use std::collections::HashMap;
+
+    #[test]
+    fn read_write_has_full_catalogue() {
+        assert_eq!(InteractionMix::read_write().len(), 24);
+    }
+
+    #[test]
+    fn browse_only_excludes_writes() {
+        let mix = InteractionMix::browse_only();
+        assert!(mix.len() < 24);
+        assert!(mix.interactions().iter().all(|i| !i.is_write()));
+    }
+
+    #[test]
+    fn sample_respects_weights() {
+        let mix = InteractionMix::read_write();
+        let mut rng = SeedSequence::new(77).stream("sample");
+        let n = 200_000;
+        let mut counts: HashMap<&str, u64> = HashMap::new();
+        for _ in 0..n {
+            let id = mix.sample(&mut rng);
+            *counts.entry(mix.get(id).name).or_default() += 1;
+        }
+        let total_w: u64 = mix.interactions().iter().map(|i| u64::from(i.weight)).sum();
+        for i in mix.interactions() {
+            let expected = f64::from(i.weight) / total_w as f64;
+            let observed = *counts.get(i.name).unwrap_or(&0) as f64 / f64::from(n);
+            assert!(
+                (observed - expected).abs() < 0.01 + expected * 0.2,
+                "{}: observed {observed:.4}, expected {expected:.4}",
+                i.name
+            );
+        }
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let mix = InteractionMix::read_write();
+        let mut a = SeedSequence::new(5).stream("s");
+        let mut b = SeedSequence::new(5).stream("s");
+        for _ in 0..1_000 {
+            assert_eq!(mix.sample(&mut a), mix.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn sample_covers_all_ids() {
+        let mix = InteractionMix::read_write();
+        let mut rng = SeedSequence::new(3).stream("cover");
+        let mut seen = vec![false; mix.len()];
+        for _ in 0..100_000 {
+            seen[mix.sample(&mut rng).0] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some interactions never sampled");
+    }
+
+    #[test]
+    fn means_are_consistent_between_mixes() {
+        let rw = InteractionMix::read_write();
+        assert!(rw.mean_tomcat_cost_micros() > 0.0);
+        assert!(rw.mean_db_cost_micros() > 0.0);
+        assert!(rw.mean_apache_cost_micros() > 0.0);
+        assert!(rw.mean_log_bytes() > 1_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs interactions")]
+    fn empty_mix_panics() {
+        InteractionMix::new(vec![]);
+    }
+}

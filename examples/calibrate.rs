@@ -1,0 +1,97 @@
+//! Calibration probe: prints the operating point of the simulated testbed
+//! (per-server CPU utilization, drops, queue peaks) for the baseline and
+//! millibottleneck configurations, so the workload parameters can be tuned
+//! to the paper's (moderate-utilization, ms-level baseline RT) regime.
+//!
+//! ```text
+//! cargo run --release -p mlb-ntier --example calibrate -- [secs]
+//! ```
+
+use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
+use mlb_ntier::config::SystemConfig;
+use mlb_ntier::experiment::run_experiment;
+use mlb_ntier::telemetry::Telemetry;
+use mlb_simkernel::time::SimDuration;
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("duration must be a number of seconds"))
+        .unwrap_or(30);
+
+    let bal = |p, m| BalancerConfig::with(p, m);
+    let configs: Vec<(&str, SystemConfig)> = vec![
+        (
+            "baseline (no millibottlenecks)",
+            SystemConfig::paper_4x4_no_millibottleneck(bal(
+                PolicyKind::TotalRequest,
+                MechanismKind::Original,
+            )),
+        ),
+        (
+            "total_request + millibottlenecks",
+            SystemConfig::paper_4x4(bal(PolicyKind::TotalRequest, MechanismKind::Original)),
+        ),
+        (
+            "current_load + millibottlenecks",
+            SystemConfig::paper_4x4(bal(PolicyKind::CurrentLoad, MechanismKind::Original)),
+        ),
+    ];
+
+    for (name, mut cfg) in configs {
+        cfg.duration = SimDuration::from_secs(secs);
+        let r = run_experiment(cfg).expect("valid preset");
+        let t = &r.telemetry;
+        println!("=== {name} ===");
+        println!(
+            "  completed={} avg={:.2}ms vlrt={:.2}% normal={:.2}% max={:.0}ms",
+            t.response.total(),
+            t.response.avg_ms(),
+            t.response.pct_vlrt(),
+            t.response.pct_normal(),
+            t.response.max().as_millis_f64()
+        );
+        println!(
+            "  drops={} retransmits={} failed={} routing_failures={} millibottlenecks={}",
+            t.drops,
+            t.retransmits,
+            t.failed_requests,
+            t.routing_failures,
+            r.total_millibottlenecks()
+        );
+        let fmt_utils = |series: &[mlb_metrics::series::WindowedSeries]| -> String {
+            series
+                .iter()
+                .map(|s| format!("{:.0}%", Telemetry::mean_util(s) * 100.0))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!(
+            "  cpu: apache=[{}] tomcat=[{}] mysql={:.0}%",
+            fmt_utils(&t.apache_util),
+            fmt_utils(&t.tomcat_util),
+            Telemetry::mean_util(&t.mysql_util) * 100.0
+        );
+        println!(
+            "  worker peaks: apache={:?} tomcat_queue_peaks={:?} pool_exhaustions={:?}",
+            r.apache_worker_peaks, r.tomcat_queue_peaks, r.pool_exhaustions
+        );
+        let p = |q: f64| {
+            t.histogram
+                .quantile(q)
+                .map(|d| format!("{:.1}ms", d.as_millis_f64()))
+                .unwrap_or_default()
+        };
+        println!(
+            "  quantiles: p50={} p90={} p99={} p99.9={}",
+            p(0.5),
+            p(0.9),
+            p(0.99),
+            p(0.999)
+        );
+        println!("  inflight_at_end={}", r.inflight_at_end);
+        println!("  phase breakdown (mean per request):");
+        print!("{}", t.phase_breakdown.render());
+        println!();
+    }
+}

@@ -1,0 +1,100 @@
+//! Anatomy of a millibottleneck (the paper's Fig. 2 story, Section III-B).
+//!
+//! Runs the 1 Apache / 1 Tomcat / 1 MySQL configuration — no balancing
+//! choice at all — with dirty-page flushing enabled on both the Apache and
+//! the Tomcat, then walks the causal chain for the worst event in the run:
+//!
+//! 1. log writes accumulate dirty pages;
+//! 2. pdflush writes them back, saturating iowait;
+//! 3. the CPU freezes → queues spike;
+//! 4. the Apache accept queue overflows → packets drop;
+//! 5. TCP retransmits 1 s later → VLRT requests.
+//!
+//! ```text
+//! cargo run --release -p mlb-ntier --example millibottleneck_anatomy
+//! ```
+
+use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
+use mlb_ntier::config::SystemConfig;
+use mlb_ntier::experiment::run_experiment;
+use mlb_simkernel::time::SimDuration;
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("duration must be a number of seconds"))
+        .unwrap_or(60);
+
+    let mut cfg = SystemConfig::paper_1x1(BalancerConfig::with(
+        PolicyKind::TotalRequest,
+        MechanismKind::Original,
+    ));
+    cfg.duration = SimDuration::from_secs(secs);
+    let window = cfg.sample_interval;
+
+    println!("simulating 1 Apache / 1 Tomcat / 1 MySQL for {secs}s with dirty-page flushing...\n");
+    let r = run_experiment(cfg).expect("preset config is valid");
+    let t = &r.telemetry;
+
+    // Find the worst VLRT burst and replay the chain around it.
+    let vlrt = t.vlrt_per_window.counts();
+    let (peak_idx, &peak) = vlrt
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .expect("run produced windows");
+    let at = peak_idx as f64 * window.as_secs_f64();
+
+    println!("worst VLRT burst: {peak} requests >1s completed in the 50 ms window at t={at:.2}s\n");
+    println!("walking the causal chain backwards from that window:");
+
+    let dirty_mb = |series: &mlb_metrics::series::WindowedSeries, i: usize| {
+        series.means(0.0).get(i).copied().unwrap_or(0.0) / (1024.0 * 1024.0)
+    };
+    // The retransmitted requests were dropped ~1 s (one RTO) earlier.
+    let drop_idx = peak_idx.saturating_sub(20);
+    let drops_near: u64 = (drop_idx.saturating_sub(8)..drop_idx + 8)
+        .map(|i| t.drops_per_window.counts().get(i).copied().unwrap_or(0))
+        .sum();
+    println!(
+        "  t≈{:.2}s  accept-queue drops near the originating window: {}",
+        drop_idx as f64 * window.as_secs_f64(),
+        drops_near
+    );
+
+    // Queues and iowait around the drop window.
+    let scan = |name: &str, s: &mlb_metrics::series::WindowedSeries, scale: f64| {
+        let m = s.means(0.0);
+        let lo = drop_idx.saturating_sub(10);
+        let hi = (drop_idx + 10).min(m.len());
+        let peak = m[lo..hi].iter().fold(0.0f64, |a, &b| a.max(b)) * scale;
+        println!("  t≈{at:.2}s  {name} peak in ±0.5s: {peak:.1}");
+    };
+    scan("apache queue", &t.apache_queues[0], 1.0);
+    scan("tomcat queue", &t.tomcat_queues[0], 1.0);
+    scan("apache iowait %", &t.apache_iowait[0], 100.0);
+    scan("tomcat iowait %", &t.tomcat_iowait[0], 100.0);
+
+    println!(
+        "  dirty pages on tomcat before/after the flush: {:.1} MB → {:.1} MB",
+        dirty_mb(&t.tomcat_dirty[0], drop_idx.saturating_sub(12)),
+        dirty_mb(
+            &t.tomcat_dirty[0],
+            (drop_idx + 12).min(t.tomcat_dirty[0].windows().len() - 1)
+        ),
+    );
+
+    println!("\nrun totals:");
+    println!(
+        "  {} requests, avg {:.2} ms, {} VLRT (>1s), {} drops, {} millibottlenecks",
+        t.response.total(),
+        t.response.avg_ms(),
+        t.response.vlrt_count(),
+        t.drops,
+        r.total_millibottlenecks()
+    );
+    println!(
+        "  (paper, Fig. 2: 1222 requests >1000 ms vs 16722 <10 ms in the shown run;\n   \
+         the VLRT clusters sit exactly one TCP retransmission offset after the drops)"
+    );
+}

@@ -1,0 +1,58 @@
+//! Diagnostic deep-dive on the CPing/CPong probing mechanism.
+//!
+//! Prints per-second drop/VLRT series and per-Tomcat queue maxima for
+//! `total_request + ProbeFirst` on the full 4/4/1 testbed. This is the
+//! harness that exposed (and now guards against) the failure-escalation
+//! trap described in EXPERIMENTS.md: bursts of simultaneous probe
+//! timeouts must count as one failure episode, or healthy-again servers
+//! get blacklisted to Error and whole Tomcats go dark.
+//!
+//! ```text
+//! cargo run --release -p mlb-ntier --example probe_debug
+//! ```
+
+use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
+use mlb_ntier::config::SystemConfig;
+use mlb_ntier::experiment::run_experiment;
+use mlb_simkernel::time::SimDuration;
+
+fn main() {
+    let mut cfg = SystemConfig::paper_4x4(BalancerConfig::with(
+        PolicyKind::TotalRequest,
+        MechanismKind::ProbeFirst,
+    ));
+    cfg.duration = SimDuration::from_secs(30);
+    let r = run_experiment(cfg).expect("valid");
+    let t = &r.telemetry;
+    println!(
+        "completed={} failed={} drops={} retransmits={} vlrt={} routing_failures={}",
+        t.response.total(),
+        t.failed_requests,
+        t.drops,
+        t.retransmits,
+        t.response.vlrt_count(),
+        t.routing_failures
+    );
+    println!(
+        "millibottlenecks={} worker_peaks={:?} pool_exh={:?}",
+        r.total_millibottlenecks(),
+        r.apache_worker_peaks,
+        r.pool_exhaustions
+    );
+    // Drop counts per second for the first 30 s.
+    let drops = t.drops_per_window.counts();
+    let per_sec: Vec<u64> = drops.chunks(20).map(|c| c.iter().sum()).collect();
+    println!("drops/s: {per_sec:?}");
+    let vlrt = t.vlrt_per_window.counts();
+    let v_per_sec: Vec<u64> = vlrt.chunks(20).map(|c| c.iter().sum()).collect();
+    println!("vlrt/s:  {v_per_sec:?}");
+    // Tomcat queue maxima per second.
+    for (i, q) in t.tomcat_queues.iter().enumerate() {
+        let m = q.means(0.0);
+        let per_sec: Vec<u64> = m
+            .chunks(20)
+            .map(|c| c.iter().fold(0.0, |a: f64, &b| a.max(b)) as u64)
+            .collect();
+        println!("tomcat{} queue max/s: {per_sec:?}", i + 1);
+    }
+}

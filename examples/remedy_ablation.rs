@@ -1,0 +1,85 @@
+//! Ablation: which knob actually matters?
+//!
+//! The paper attributes the instability to (a) the blocking get_endpoint
+//! poll (`cache_acquire_timeout`) and (b) cumulative-counter policies.
+//! This example sweeps `cache_acquire_timeout` for the original mechanism
+//! under `total_request` — interpolating between the paper's two
+//! mechanisms: a 0-budget timeout *is* the SkipToBusy remedy, while larger
+//! budgets block Apache workers for longer and longer during each
+//! millibottleneck.
+//!
+//! ```text
+//! cargo run --release -p mlb-ntier --example remedy_ablation -- [secs]
+//! ```
+
+use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
+use mlb_ntier::config::SystemConfig;
+use mlb_ntier::experiment::{run_experiment, ExperimentResult};
+use mlb_simkernel::time::SimDuration;
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("duration must be a number of seconds"))
+        .unwrap_or(45);
+
+    // timeout = retry budget of the get_endpoint poll loop. mod_jk default
+    // is 300 ms; the remedy is equivalent to "no budget at all".
+    let timeouts_ms: Vec<u64> = vec![100, 200, 300, 600, 1_200];
+
+    println!("sweeping cache_acquire_timeout under total_request ({secs}s each, parallel)...\n");
+    let results: Vec<(String, ExperimentResult)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        // The remedy as the reference point.
+        handles.push(scope.spawn(move || {
+            let mut cfg = SystemConfig::paper_4x4(BalancerConfig::with(
+                PolicyKind::TotalRequest,
+                MechanismKind::SkipToBusy,
+            ));
+            cfg.duration = SimDuration::from_secs(secs);
+            (
+                "skip-to-busy (remedy)".to_owned(),
+                run_experiment(cfg).expect("valid"),
+            )
+        }));
+        for &ms in &timeouts_ms {
+            handles.push(scope.spawn(move || {
+                let mut bal =
+                    BalancerConfig::with(PolicyKind::TotalRequest, MechanismKind::Original);
+                bal.cache_acquire_timeout = SimDuration::from_millis(ms);
+                let mut cfg = SystemConfig::paper_4x4(bal);
+                cfg.duration = SimDuration::from_secs(secs);
+                (
+                    format!("timeout {ms} ms"),
+                    run_experiment(cfg).expect("valid"),
+                )
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run panicked"))
+            .collect()
+    });
+
+    println!(
+        "{:<24} {:>12} {:>12} {:>10} {:>10}",
+        "mechanism", "avg RT (ms)", "% VLRT", "drops", "worker pk"
+    );
+    for (label, r) in &results {
+        println!(
+            "{:<24} {:>12.2} {:>11.2}% {:>10} {:>10}",
+            label,
+            r.telemetry.response.avg_ms(),
+            r.telemetry.response.pct_vlrt(),
+            r.telemetry.drops,
+            r.apache_worker_peaks.iter().max().copied().unwrap_or(0),
+        );
+    }
+
+    println!(
+        "\nreading: the longer a worker may block polling a frozen candidate,\n\
+         the more workers pile up during each millibottleneck, the deeper the\n\
+         accept-queue overflow, the fatter the VLRT tail. The remedy is the\n\
+         0-budget limit of the sweep."
+    );
+}

@@ -1,0 +1,4 @@
+//! Host crate for the workspace's cross-crate integration tests.
+//!
+//! The tests live in `tests/tests/`; this library intentionally exports
+//! nothing.

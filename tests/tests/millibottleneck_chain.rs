@@ -1,0 +1,137 @@
+//! The causal chain of Fig. 2, asserted end to end on the 1/1/1 topology:
+//! dirty pages → flush → iowait saturation → queue spike → drops → VLRT.
+
+use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
+use mlb_metrics::series::WindowedSeries;
+use mlb_ntier::config::SystemConfig;
+use mlb_ntier::experiment::{run_experiment, ExperimentResult};
+use mlb_osmodel::pagecache::PageCacheConfig;
+use mlb_simkernel::time::SimDuration;
+
+fn one_by_one() -> ExperimentResult {
+    let mut cfg = SystemConfig::smoke(BalancerConfig::with(
+        PolicyKind::TotalRequest,
+        MechanismKind::Original,
+    ));
+    cfg.apaches = 1;
+    cfg.tomcats = 1;
+    cfg.population =
+        mlb_workload::clients::ClientPopulation::new(1_500, SimDuration::from_secs(2), 1);
+    cfg.tomcat_machine.page_cache = Some(PageCacheConfig {
+        dirty_background_bytes: 1024 * 1024,
+        dirty_hard_limit_bytes: 64 * 1024 * 1024,
+        flush_interval: SimDuration::from_secs(2),
+    });
+    run_experiment(cfg).expect("config is valid")
+}
+
+fn peak_window(s: &WindowedSeries) -> (usize, f64) {
+    let means = s.means(0.0);
+    means
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, &v)| (i, v))
+        .unwrap()
+}
+
+#[test]
+fn flushes_happen_and_dirty_pages_drop_abruptly() {
+    let r = one_by_one();
+    assert!(r.total_millibottlenecks() >= 2);
+    let dirty = r.telemetry.tomcat_dirty[0].means(0.0);
+    // Dirty bytes must rise and then fall by more than the background
+    // threshold at least once (the abrupt drop of Fig. 2e).
+    let mut max_drop = 0.0f64;
+    for w in dirty.windows(2) {
+        max_drop = max_drop.max(w[0] - w[1]);
+    }
+    assert!(
+        max_drop > 1024.0 * 1024.0 * 0.8,
+        "no abrupt dirty-page drop observed (max drop {max_drop:.0} B)"
+    );
+}
+
+#[test]
+fn iowait_saturates_exactly_during_flushes() {
+    let r = one_by_one();
+    let iowait = r.telemetry.tomcat_iowait[0].means(0.0);
+    let peak = iowait.iter().fold(0.0f64, |a, &b| a.max(b));
+    assert!(
+        peak > 0.9,
+        "iowait should saturate (~100%) during a flush, peak was {peak:.2}"
+    );
+    // Iowait must be rare: flushes are milli-scale, not sustained.
+    let saturated = iowait.iter().filter(|&&v| v > 0.5).count();
+    assert!(
+        (saturated as f64) < iowait.len() as f64 * 0.2,
+        "iowait saturated in {saturated}/{} windows — not a millibottleneck",
+        iowait.len()
+    );
+}
+
+#[test]
+fn queue_spike_coincides_with_iowait_saturation() {
+    let r = one_by_one();
+    let (q_idx, q_peak) = peak_window(&r.telemetry.tomcat_queues[0]);
+    let iowait = r.telemetry.tomcat_iowait[0].means(0.0);
+    assert!(q_peak > 20.0, "queue spike too small: {q_peak}");
+    // Some window within ±0.5 s of the queue peak must show iowait.
+    let lo = q_idx.saturating_sub(10);
+    let hi = (q_idx + 10).min(iowait.len());
+    let nearby_iowait = iowait[lo..hi].iter().fold(0.0f64, |a, &b| a.max(b));
+    assert!(
+        nearby_iowait > 0.5,
+        "queue peak at window {q_idx} has no iowait nearby ({nearby_iowait:.2})"
+    );
+}
+
+#[test]
+fn cpu_shows_transient_saturation_during_the_bottleneck() {
+    let r = one_by_one();
+    let util = r.telemetry.tomcat_util[0].means(0.0);
+    let peak = util.iter().fold(0.0f64, |a, &b| a.max(b));
+    assert!(
+        peak > 0.95,
+        "CPU should transiently saturate, peak {peak:.2}"
+    );
+    let mean = util.iter().sum::<f64>() / util.len() as f64;
+    assert!(
+        mean < 0.7,
+        "mean utilization {mean:.2} too high — bottleneck is not transient"
+    );
+}
+
+#[test]
+fn vlrt_requests_lag_drops_by_one_rto() {
+    let r = one_by_one();
+    let drops = r.telemetry.drops_per_window.counts();
+    let vlrt = r.telemetry.vlrt_per_window.counts();
+    assert!(r.telemetry.drops > 0, "need drops for this test");
+    assert!(r.telemetry.response.vlrt_count() > 0);
+    // For the biggest VLRT burst, there must be drops ~1 s (20 windows)
+    // earlier.
+    let (v_idx, _) = vlrt.iter().enumerate().max_by_key(|&(_, &c)| c).unwrap();
+    let d_idx = v_idx.saturating_sub(20);
+    let lo = d_idx.saturating_sub(8);
+    let hi = (d_idx + 8).min(drops.len());
+    let drops_near: u64 = drops[lo..hi].iter().sum();
+    assert!(
+        drops_near > 0,
+        "no drops one RTO before the VLRT burst at window {v_idx}"
+    );
+}
+
+#[test]
+fn every_vlrt_request_comes_from_a_drop_in_this_topology() {
+    // With a single backend there is no balancing choice: VLRTs can only
+    // come from drop+retransmission (plus the freeze itself, which at
+    // smoke scale is far below 1 s).
+    let r = one_by_one();
+    assert!(
+        r.telemetry.response.vlrt_count() <= r.telemetry.drops,
+        "more VLRT requests ({}) than drops ({})",
+        r.telemetry.response.vlrt_count(),
+        r.telemetry.drops
+    );
+}
