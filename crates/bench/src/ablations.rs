@@ -7,13 +7,13 @@
 //! those knobs with everything else fixed, quantifying how much each
 //! contributes to the instability.
 
-use crossbeam::thread;
 use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
 use mlb_metrics::csv::CsvTable;
 use mlb_netmodel::retransmit::RtoSchedule;
 use mlb_ntier::config::SystemConfig;
 use mlb_ntier::experiment::{run_experiment, ExperimentResult};
 use mlb_simkernel::time::SimDuration;
+use std::thread;
 
 use crate::figures::Figure;
 
@@ -50,7 +50,7 @@ fn run_all(configs: Vec<(String, SystemConfig)>) -> Vec<(String, ExperimentResul
         let handles: Vec<_> = configs
             .into_iter()
             .map(|(label, cfg)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let r = run_experiment(cfg).expect("ablation config is valid");
                     eprintln!(
                         "  [{label:<28}] avg={:.2}ms vlrt={:.2}% drops={}",
@@ -67,7 +67,6 @@ fn run_all(configs: Vec<(String, SystemConfig)>) -> Vec<(String, ExperimentResul
             .map(|h| h.join().expect("ablation run panicked"))
             .collect()
     })
-    .expect("crossbeam scope failed")
 }
 
 fn summary_table(rows: &[(String, ExperimentResult)], knob: &str) -> (String, CsvTable) {

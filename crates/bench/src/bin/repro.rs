@@ -9,6 +9,9 @@
 //!   --secs N   simulated seconds per experiment (default: 180, the
 //!              paper's experiment duration; 30–60 is enough for shape)
 //!   --out DIR  directory for CSV output (default: results/)
+//!   --trace    add the `trace` artifact: re-run the unstable
+//!              total_request configuration with per-request tracing on
+//!              and dump reconstructed VLRT causal chains + attribution
 //!   --help     this text
 //! ```
 //!
@@ -20,7 +23,7 @@ use std::process::ExitCode;
 
 use mlb_bench::{
     all_ablations, all_artifacts, all_extensions, build, build_ablation, build_extension,
-    build_robustness, required_runs, RunCache, RunKey,
+    build_robustness, build_trace, required_runs, RunCache, RunKey,
 };
 
 struct Args {
@@ -50,10 +53,11 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = PathBuf::from(it.next().ok_or("--out needs a value")?);
             }
+            "--trace" => artifacts.push("trace".to_string()),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--secs N] [--out DIR] \
-                     [fig1..fig13|table1|ablation-*|ext-*|all|ablations|extensions ...]"
+                    "usage: repro [--secs N] [--out DIR] [--trace] \
+                     [fig1..fig13|table1|ablation-*|ext-*|all|ablations|extensions|trace ...]"
                 );
                 std::process::exit(0);
             }
@@ -75,10 +79,11 @@ fn parse_args() -> Result<Args, String> {
             && !all_ablations().contains(&a.as_str())
             && !all_extensions().contains(&a.as_str())
             && a != "robustness"
+            && a != "trace"
         {
             return Err(format!(
                 "unknown artifact: {a} (expected fig1..fig13, table1, ablation-*, ext-*, \
-                 all, ablations, or extensions)"
+                 trace, all, ablations, or extensions)"
             ));
         }
     }
@@ -143,6 +148,12 @@ fn main() -> ExitCode {
         } else if id == "robustness" {
             eprintln!("running seed-robustness sweep ({}s per run)...", args.secs);
             build_robustness(args.secs)
+        } else if id == "trace" {
+            eprintln!(
+                "running traced total_request experiment ({}s)...",
+                args.secs
+            );
+            build_trace(args.secs)
         } else {
             build(id, &cache)
         };

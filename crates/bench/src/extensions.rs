@@ -24,13 +24,13 @@
 //!   `lbfactor` weights: manual weights repair the steady-state split;
 //!   current_load needs none.
 
-use crossbeam::thread;
 use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
 use mlb_metrics::csv::CsvTable;
 use mlb_metrics::summary::{render_table, TableRow};
 use mlb_ntier::config::SystemConfig;
 use mlb_ntier::experiment::{run_experiment, ExperimentResult};
 use mlb_simkernel::time::SimDuration;
+use std::thread;
 
 use crate::figures::Figure;
 
@@ -68,7 +68,7 @@ fn run_all(configs: Vec<(String, SystemConfig)>) -> Vec<(String, ExperimentResul
         let handles: Vec<_> = configs
             .into_iter()
             .map(|(label, cfg)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let r = run_experiment(cfg).expect("extension config is valid");
                     eprintln!(
                         "  [{label:<34}] avg={:.2}ms vlrt={:.2}% drops={}",
@@ -85,7 +85,6 @@ fn run_all(configs: Vec<(String, SystemConfig)>) -> Vec<(String, ExperimentResul
             .map(|h| h.join().expect("extension run panicked"))
             .collect()
     })
-    .expect("crossbeam scope failed")
 }
 
 fn table_and_csv(rows: &[(String, ExperimentResult)]) -> (String, CsvTable) {

@@ -7,6 +7,8 @@
 //!   paper's artifacts, executed in parallel and cached.
 //! * [`figures`] — one builder per artifact (`fig1`–`fig13`, `table1`):
 //!   ASCII charts + shape checks on the terminal, CSV series on disk.
+//! * [`trace`] — the `--trace` artifact: per-request span traces and
+//!   reconstructed VLRT causal chains from a traced run.
 //!
 //! The `repro` binary drives it:
 //!
@@ -24,9 +26,11 @@ pub mod extensions;
 pub mod figures;
 pub mod robustness;
 pub mod runs;
+pub mod trace;
 
 pub use ablations::{all_ablations, build_ablation};
 pub use extensions::{all_extensions, build_extension};
 pub use figures::{all_artifacts, build, required_runs, Figure};
 pub use robustness::build_robustness;
 pub use runs::{RunCache, RunKey};
+pub use trace::build_trace;

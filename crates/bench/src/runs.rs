@@ -11,6 +11,7 @@ use mlb_ntier::config::SystemConfig;
 use mlb_ntier::experiment::{run_experiment, ExperimentResult};
 use mlb_simkernel::time::SimDuration;
 use std::collections::HashMap;
+use std::thread;
 
 /// The distinct experiment configurations the paper's artifacts need.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -120,11 +121,11 @@ impl RunCache {
         unique.sort();
         unique.dedup();
         let mut results = HashMap::new();
-        crossbeam::thread::scope(|scope| {
+        thread::scope(|scope| {
             let handles: Vec<_> = unique
                 .iter()
                 .map(|&key| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let start = std::time::Instant::now();
                         let result =
                             run_experiment(key.config(secs)).expect("preset config is valid");
@@ -144,8 +145,7 @@ impl RunCache {
                 let (key, result) = h.join().expect("experiment thread panicked");
                 results.insert(key, result);
             }
-        })
-        .expect("crossbeam scope failed");
+        });
         RunCache { results }
     }
 

@@ -1,0 +1,191 @@
+//! The `trace` artifact: milliScope-style per-request causal chains.
+//!
+//! Re-runs the paper's headline unstable configuration (`Original
+//! total_request` on the 4/4/1 topology) with per-request tracing enabled,
+//! then reconstructs every very-long-response-time request end to end:
+//! which millibottleneck window it overlapped, where it was dropped, when
+//! TCP retransmitted it, and which lifecycle segment dominated its
+//! response time. This is the simulated analogue of the paper's milliScope
+//! fine-grained tracing methodology (Section III).
+
+use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
+use mlb_metrics::csv::CsvTable;
+use mlb_metrics::spans::{Segment, TraceLog};
+use mlb_ntier::config::SystemConfig;
+use mlb_ntier::experiment::run_experiment;
+use mlb_ntier::trace::TraceConfig;
+use mlb_simkernel::time::SimDuration;
+
+use crate::figures::Figure;
+
+/// Fully rendered causal chains shown on the terminal (the CSV carries
+/// every retained chain).
+const CHAINS_SHOWN: usize = 3;
+
+/// Builds the `trace` artifact: one traced run of the unstable
+/// `Original total_request` configuration at `secs` simulated seconds.
+///
+/// # Panics
+///
+/// Panics if the preset configuration fails validation (a bug).
+pub fn build_trace(secs: u64) -> Figure {
+    let mut cfg = SystemConfig::paper_4x4(BalancerConfig::with(
+        PolicyKind::TotalRequest,
+        MechanismKind::Original,
+    ));
+    cfg.duration = SimDuration::from_secs(secs);
+    cfg.trace = TraceConfig::enabled_default();
+    let result = run_experiment(cfg).expect("preset config is valid");
+    let log = result
+        .trace
+        .expect("tracing was enabled, so a trace log is present");
+    trace_figure(&log, secs)
+}
+
+/// Renders a trace log into the `trace` [`Figure`]. Split from
+/// [`build_trace`] so tests can feed a log from a cheaper run.
+pub(crate) fn trace_figure(log: &TraceLog, secs: u64) -> Figure {
+    let mut text = String::new();
+    text.push_str(&format!(
+        "Traced {} completed / {} failed requests over {}s simulated; \
+         {} millibottleneck windows recorded.\n\n",
+        log.completed,
+        log.failed,
+        secs,
+        log.stalls.len()
+    ));
+    text.push_str(&log.summary.render());
+    text.push('\n');
+
+    let causes = log.vlrt_causes();
+    if causes.is_empty() {
+        text.push_str("\nNo VLRT requests in this run; nothing to attribute.\n");
+    } else {
+        text.push_str(&format!(
+            "\nShowing {} of {} reconstructed VLRT causal chains:\n",
+            CHAINS_SHOWN.min(causes.len()),
+            causes.len()
+        ));
+        for cause in causes.iter().take(CHAINS_SHOWN) {
+            text.push('\n');
+            text.push_str(&cause.render(&log.stalls));
+        }
+    }
+
+    text.push_str(&format!(
+        "\nShape check vs paper:\n\
+           [{}] >= 90% of VLRTs dominated by retransmit wait or routing \
+         (got {:.1}%)\n\
+           [{}] >= 1 fully reconstructed VLRT causal chain (got {})\n",
+        pass(log.summary.network_or_routing_share() >= 0.9 || log.summary.vlrt_total == 0),
+        log.summary.network_or_routing_share() * 100.0,
+        pass(!causes.is_empty()),
+        causes.len()
+    ));
+
+    let mut attribution = CsvTable::with_columns(&["segment", "dominant_count", "share_pct"]);
+    for seg in Segment::ALL {
+        let count = log.summary.dominant_counts[seg.index()];
+        let share = if log.summary.vlrt_total == 0 {
+            0.0
+        } else {
+            100.0 * count as f64 / log.summary.vlrt_total as f64
+        };
+        attribution.push_row(vec![seg.index() as f64, count as f64, share]);
+    }
+
+    let mut chains = CsvTable::with_columns(&[
+        "request_id",
+        "response_ms",
+        "attempts",
+        "backend",
+        "dominant_segment",
+        "retransmit_wait_ms",
+        "apache_admission_ms",
+        "apache_cpu_ms",
+        "routing_ms",
+        "backend_ms",
+        "response_ms_segment",
+        "stall_overlap_ms",
+    ]);
+    for cause in causes {
+        let rt_ms = cause
+            .trace
+            .response_time()
+            .map_or(0.0, |rt| rt.as_micros() as f64 / 1_000.0);
+        let backend = cause.trace.served_by().map_or(-1.0, f64::from);
+        let mut row = vec![
+            cause.trace.id as f64,
+            rt_ms,
+            f64::from(cause.trace.attempts()),
+            backend,
+            cause.dominant.index() as f64,
+        ];
+        row.extend(cause.segments_us.iter().map(|&us| us as f64 / 1_000.0));
+        row.push(cause.overlap.as_micros() as f64 / 1_000.0);
+        chains.push_row(row);
+    }
+
+    Figure {
+        id: "trace",
+        title: "Per-request trace: VLRT causal chains and segment attribution".to_owned(),
+        text,
+        csvs: vec![
+            ("trace_attribution".to_owned(), attribution),
+            ("trace_vlrt_chains".to_owned(), chains),
+        ],
+    }
+}
+
+fn pass(ok: bool) -> &'static str {
+    if ok {
+        "PASS"
+    } else {
+        "FAIL"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traced_smoke() -> TraceLog {
+        let mut cfg = SystemConfig::smoke(BalancerConfig::with(
+            PolicyKind::TotalRequest,
+            MechanismKind::Original,
+        ));
+        cfg.trace = TraceConfig::enabled_default();
+        run_experiment(cfg)
+            .expect("smoke config is valid")
+            .trace
+            .expect("tracing enabled")
+    }
+
+    #[test]
+    fn trace_figure_renders_summary_and_csvs() {
+        let log = traced_smoke();
+        let fig = trace_figure(&log, 10);
+        assert_eq!(fig.id, "trace");
+        assert!(fig.text.contains("Shape check vs paper"));
+        assert_eq!(fig.csvs.len(), 2);
+        assert_eq!(fig.csvs[0].0, "trace_attribution");
+        assert_eq!(fig.csvs[1].0, "trace_vlrt_chains");
+        // One attribution row per segment, always.
+        assert!(fig.csvs[0].1.to_csv_string().lines().count() == 1 + Segment::ALL.len());
+    }
+
+    #[test]
+    fn traced_smoke_run_reconstructs_vlrt_chains() {
+        let log = traced_smoke();
+        assert!(log.completed > 0, "smoke run completed no requests");
+        assert!(
+            !log.stalls.is_empty(),
+            "smoke run recorded no millibottleneck windows"
+        );
+        assert!(
+            log.summary.vlrt_total > 0,
+            "smoke run produced no VLRTs to attribute"
+        );
+        assert!(!log.vlrt_causes().is_empty());
+    }
+}

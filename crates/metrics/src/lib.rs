@@ -9,6 +9,8 @@
 //! * [`histogram`] — the response-time histogram behind Fig. 4.
 //! * [`summary`] — Table I statistics: total requests, average RT, % VLRT,
 //!   % normal, plus table rendering.
+//! * [`spans`] — per-request span traces (milliScope-style) and VLRT
+//!   root-cause attribution against millibottleneck windows.
 //! * [`csv`] — plain CSV emission for external re-plotting.
 //! * [`ascii`] — terminal line/bar charts so every figure is visible
 //!   directly in the harness output.
@@ -21,9 +23,14 @@ pub mod ascii;
 pub mod csv;
 pub mod histogram;
 pub mod series;
+pub mod spans;
 pub mod summary;
 
 pub use csv::CsvTable;
 pub use histogram::ResponseTimeHistogram;
 pub use series::{WindowAggregate, WindowedCounter, WindowedSeries};
+pub use spans::{
+    AttributionSummary, RequestTrace, Segment, SpanEvent, SpanKind, StallKind, StallWindow,
+    TraceLog, VlrtCause,
+};
 pub use summary::{render_table, ResponseStats, TableRow, NORMAL_THRESHOLD, VLRT_THRESHOLD};

@@ -9,6 +9,8 @@ use mlb_simkernel::time::SimDuration;
 use mlb_workload::clients::ClientPopulation;
 use mlb_workload::mix::InteractionMix;
 
+use crate::trace::TraceConfig;
+
 /// Complete description of one n-tier experiment.
 ///
 /// Defaults ([`SystemConfig::paper_4x4`]) reproduce the paper's testbed:
@@ -65,6 +67,9 @@ pub struct SystemConfig {
     /// Budget after which a request that cannot be routed (all candidates
     /// Busy/Error) fails with an error.
     pub routing_budget: SimDuration,
+    /// Per-request event tracing (off by default; purely observational —
+    /// enabling it never changes the simulation's outcome).
+    pub trace: TraceConfig,
 }
 
 impl SystemConfig {
@@ -98,6 +103,7 @@ impl SystemConfig {
             seed: 0x1CDC_2017,
             apache_log_bytes: 500,
             routing_budget: SimDuration::from_secs(2),
+            trace: TraceConfig::disabled(),
         }
     }
 
@@ -223,6 +229,13 @@ impl SystemConfig {
                     self.tomcats
                 ));
             }
+        }
+        if self.trace.enabled && self.trace.vlrt_capacity == 0 && self.trace.recent_capacity == 0 {
+            return Err(
+                "tracing is enabled but retains nothing; raise recent_capacity \
+                 or vlrt_capacity, or disable tracing"
+                    .into(),
+            );
         }
         if let Some(w) = &self.balancer.weights {
             if w.len() != self.tomcats {

@@ -1,5 +1,6 @@
 //! Running experiments and packaging their results.
 
+use mlb_metrics::spans::TraceLog;
 use mlb_simkernel::sim::Simulation;
 use mlb_simkernel::time::SimTime;
 
@@ -32,6 +33,9 @@ pub struct ExperimentResult {
     pub inflight_at_end: usize,
     /// Total logical requests issued by clients during the run.
     pub requests_issued: u64,
+    /// Per-request span traces and VLRT attribution, when
+    /// [`SystemConfig::trace`] was enabled.
+    pub trace: Option<TraceLog>,
 }
 
 impl ExperimentResult {
@@ -111,6 +115,7 @@ fn package(system: NTierSystem, events_processed: u64) -> ExperimentResult {
     ));
     let inflight_at_end = system.inflight();
     let requests_issued = system.requests_issued();
+    let (telemetry, trace) = system.into_parts();
     ExperimentResult {
         label,
         events_processed,
@@ -122,7 +127,8 @@ fn package(system: NTierSystem, events_processed: u64) -> ExperimentResult {
         pool_exhaustions,
         inflight_at_end,
         requests_issued,
-        telemetry: system.into_telemetry(),
+        telemetry,
+        trace,
     }
 }
 

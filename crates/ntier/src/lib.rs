@@ -41,11 +41,13 @@ pub mod request;
 pub mod servers;
 pub mod system;
 pub mod telemetry;
+pub mod trace;
 
 pub use config::SystemConfig;
 pub use experiment::{run_experiment, ExperimentResult};
 pub use system::{InvalidSystemConfigError, NTierSystem};
 pub use telemetry::{PhaseBreakdown, Telemetry};
+pub use trace::{TraceConfig, Tracer};
 
 /// Convenient glob-import surface: `use mlb_ntier::prelude::*;`.
 pub mod prelude {
@@ -53,4 +55,5 @@ pub mod prelude {
     pub use crate::experiment::{run_experiment, ExperimentResult};
     pub use crate::system::NTierSystem;
     pub use crate::telemetry::Telemetry;
+    pub use crate::trace::TraceConfig;
 }

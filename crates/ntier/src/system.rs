@@ -27,6 +27,7 @@ use std::fmt;
 
 use mlb_core::types::BackendId;
 use mlb_core::{Balancer, EndpointAdvice};
+use mlb_metrics::spans::{StallKind, TraceLog};
 use mlb_netmodel::accept_queue::Offer;
 use mlb_netmodel::pool::Acquire;
 use mlb_osmodel::cpu::{CompletionKey, CompletionOutcome, JobId, StartedBurst};
@@ -41,6 +42,7 @@ use crate::events::{Event, ServerRef};
 use crate::request::{Phase, RequestId, RequestState};
 use crate::servers::{ApacheServer, MySqlServer, TomcatServer};
 use crate::telemetry::Telemetry;
+use crate::trace::Tracer;
 
 /// Error returned when a [`SystemConfig`] fails validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +73,7 @@ pub struct NTierSystem {
     /// the client's first request.
     session_affinity: Vec<Option<usize>>,
     telemetry: Telemetry,
+    tracer: Tracer,
     next_request: u64,
     horizon: SimTime,
     mix_rng: Xoshiro256StarStar,
@@ -114,6 +117,7 @@ impl NTierSystem {
             .collect();
         let mysql = MySqlServer::new(Machine::new(cfg.mysql_machine.clone()));
         let telemetry = Telemetry::new(cfg.apaches, cfg.tomcats, cfg.sample_interval);
+        let tracer = Tracer::new(&cfg.trace);
         Ok(NTierSystem {
             horizon: SimTime::ZERO + cfg.duration,
             mix_rng: seeds.stream("mix"),
@@ -130,6 +134,7 @@ impl NTierSystem {
                 Vec::new()
             },
             telemetry,
+            tracer,
             next_request: 0,
             cfg,
         })
@@ -234,7 +239,18 @@ impl NTierSystem {
 
     /// Consumes the system, returning its telemetry.
     pub fn into_telemetry(self) -> Telemetry {
-        self.telemetry
+        self.into_parts().0
+    }
+
+    /// The per-request trace log, when tracing is enabled.
+    pub fn trace_log(&self) -> Option<&TraceLog> {
+        self.tracer.log()
+    }
+
+    /// Consumes the system, returning its telemetry and (if tracing was
+    /// enabled) the per-request trace log.
+    pub fn into_parts(self) -> (Telemetry, Option<TraceLog>) {
+        (self.telemetry, self.tracer.into_log())
     }
 
     /// The Apache servers (for post-run inspection).
@@ -308,6 +324,8 @@ impl NTierSystem {
         }
         let flush = machine.begin_flush(now, trigger);
         self.telemetry.millibottlenecks += 1;
+        self.tracer
+            .stall(server, StallKind::Flush, now, now + flush.duration);
         sched.at(now + flush.duration, Event::FlushEnd { server });
     }
 
@@ -342,6 +360,8 @@ impl NTierSystem {
             .requests
             .remove(&id.0)
             .expect("failing unknown request");
+        self.tracer
+            .failed(id, now, now.saturating_since(r.first_issued));
         self.telemetry.failed_requests += 1;
         if holds_worker {
             self.release_worker_and_admit(now, sched, r.apache);
@@ -379,6 +399,7 @@ impl NTierSystem {
             r.admitted_at = Some(now);
             self.cfg.mix.get(r.interaction).apache_cost
         };
+        self.tracer.admitted(id, now);
         self.apaches[a].claim_worker();
         let started = self.apaches[a].machine.cpu.submit(now, JobId(id.0), cost);
         Self::schedule_started(sched, ServerRef::Apache(a), started);
@@ -396,6 +417,7 @@ impl NTierSystem {
             let r = &self.requests[&id.0];
             self.cfg.mix.get(r.interaction).tomcat_cost
         };
+        self.tracer.backend_started(id, now);
         self.tomcats[t].claim_thread();
         let started = self.tomcats[t].machine.cpu.submit(now, JobId(id.0), cost);
         Self::schedule_started(sched, ServerRef::Tomcat(t), started);
@@ -418,6 +440,7 @@ impl NTierSystem {
         let apache = self.cfg.population.front_end_of(client);
         let r = RequestState::new(id, client, interaction, now, apache, self.cfg.tomcats);
         self.requests.insert(id.0, r);
+        self.tracer.issued(id, now, client.0 as u64, apache);
         let d = self.link_delay();
         sched.at(now + d, Event::ArriveApache { request: id });
     }
@@ -438,6 +461,8 @@ impl NTierSystem {
         };
         r.arrived_at = Some(now);
         let a = r.apache;
+        let attempt = r.retransmit.attempts() as u32;
+        self.tracer.arrived(id, now, attempt);
         if self.apaches[a].has_free_worker() {
             self.start_apache_work(now, sched, a, id);
             return;
@@ -446,6 +471,7 @@ impl NTierSystem {
             Offer::Accepted => {}
             Offer::Dropped => {
                 self.telemetry.record_drop(now);
+                self.tracer.dropped(id, now, attempt);
                 let rto = {
                     let r = self.requests.get_mut(&id.0).expect("request vanished");
                     r.retransmit.on_drop(&self.cfg.rto)
@@ -453,6 +479,8 @@ impl NTierSystem {
                 match rto {
                     Some(delay) => {
                         self.telemetry.retransmits += 1;
+                        self.tracer
+                            .retransmit_scheduled(id, now, attempt + 1, delay);
                         sched.at(now + delay, Event::ClientRetransmit { request: id });
                     }
                     None => self.fail_request(now, sched, id, false),
@@ -477,6 +505,7 @@ impl NTierSystem {
                     r.phase = Phase::Routing;
                     r.routing_started = Some(now);
                     r.routed_at = Some(now);
+                    self.tracer.routing_started(id, now);
                 }
                 sched.immediately(Event::RouteRequest { request: id });
             }
@@ -521,6 +550,7 @@ impl NTierSystem {
                 // Everyone Busy/Error/excluded: wait one retry_sleep with a
                 // fresh view, like a worker spinning in the selection loop.
                 let sleep = self.cfg.balancer.retry_sleep;
+                self.tracer.no_candidate(id, now, sleep);
                 if let Some(r) = self.requests.get_mut(&id.0) {
                     r.reset_routing();
                 }
@@ -544,6 +574,10 @@ impl NTierSystem {
                 if was_waiting {
                     self.endpoint_waiters[b] -= 1;
                 }
+                // The scoreboard value the policy saw when it picked `b`,
+                // captured before the acquisition updates it.
+                let lb_value = self.apaches[a].balancer.lb_values()[b];
+                self.tracer.acquired(id, now, b, lb_value);
                 self.apaches[a]
                     .balancer
                     .endpoint_acquired(now, BackendId(b));
@@ -563,6 +597,7 @@ impl NTierSystem {
                 if probes {
                     // CPing first; the request is sent only on CPong.
                     r.phase = Phase::Probing;
+                    self.tracer.probe_sent(id, now, b);
                     let d = self.link_delay();
                     sched.at(now + d, Event::ArriveProbe { request: id });
                     sched.at(now + probe_timeout, Event::ProbeTimeout { request: id });
@@ -586,6 +621,7 @@ impl NTierSystem {
                         if !was_waiting {
                             self.endpoint_waiters[b] += 1;
                         }
+                        self.tracer.endpoint_busy(id, now, b, sleep);
                         let r = self.requests.get_mut(&id.0).expect("request vanished");
                         r.pending_backend = Some(b);
                         r.phase = Phase::EndpointWait;
@@ -595,6 +631,7 @@ impl NTierSystem {
                         if was_waiting {
                             self.endpoint_waiters[b] -= 1;
                         }
+                        self.tracer.endpoint_gave_up(id, now, b);
                         let r = self.requests.get_mut(&id.0).expect("request vanished");
                         r.exclude[b] = true;
                         r.pending_backend = None;
@@ -658,6 +695,7 @@ impl NTierSystem {
         r.acquired_at = None;
         r.exclude[b] = true;
         r.phase = Phase::Routing;
+        self.tracer.probe_timed_out(id, now, b);
         // Release the endpoint and mark the silent candidate Busy.
         self.apaches[a].pools[b].release();
         self.apaches[a].balancer.probe_failed(now, BackendId(b));
@@ -668,7 +706,9 @@ impl NTierSystem {
         let t = self.requests[&id.0]
             .backend
             .expect("arrived without a backend");
-        if self.tomcats[t].has_free_thread() {
+        let free = self.tomcats[t].has_free_thread();
+        self.tracer.arrived_backend(id, now, t, !free);
+        if free {
             self.start_tomcat_work(now, sched, t, id);
         } else {
             self.tomcats[t].pending.push_back(id);
@@ -718,6 +758,7 @@ impl NTierSystem {
                     .get_mut(&id.0)
                     .expect("request vanished")
                     .phase = Phase::AtDatabase;
+                self.tracer.db_dispatched(id, now, remaining - 1);
                 let d = self.link_delay();
                 sched.at(now + d, Event::ArriveMysql { request: id });
             }
@@ -763,10 +804,13 @@ impl NTierSystem {
         if let Some(waiter) = self.tomcats[t].db_waiters.pop_front() {
             let got = self.tomcats[t].db_pool.acquire();
             debug_assert_eq!(got, Acquire::Ok);
-            self.requests
+            let w = self
+                .requests
                 .get_mut(&waiter.0)
-                .expect("waiting request vanished")
-                .phase = Phase::AtDatabase;
+                .expect("waiting request vanished");
+            w.phase = Phase::AtDatabase;
+            let w_remaining = w.db_remaining;
+            self.tracer.db_dispatched(waiter, now, w_remaining - 1);
             let d = self.link_delay();
             sched.at(now + d, Event::ArriveMysql { request: waiter });
         }
@@ -799,6 +843,7 @@ impl NTierSystem {
             .get_mut(&id.0)
             .expect("request vanished")
             .phase = Phase::Responding;
+        self.tracer.responding(id, now);
         let d = self.link_delay();
         sched.at(now + d, Event::ApacheReply { request: id });
     }
@@ -818,6 +863,7 @@ impl NTierSystem {
                 now.saturating_since(r.acquired_at.unwrap_or(now)),
             )
         };
+        self.tracer.replied(id, now);
         self.apaches[a].pools[b].release();
         self.apaches[a]
             .balancer
@@ -838,6 +884,7 @@ impl NTierSystem {
             .remove(&id.0)
             .expect("completed unknown request");
         let rt = now.saturating_since(r.first_issued);
+        self.tracer.completed(id, now, rt);
         self.telemetry.record_completion(now, rt);
         // Fold the request's time into the phase breakdown. The timestamps
         // chain first_issued → arrived → admitted → routed → acquired →
@@ -912,6 +959,8 @@ impl NTierSystem {
         };
         if machine.begin_gc(now) {
             self.telemetry.millibottlenecks += 1;
+            self.tracer
+                .stall(server, StallKind::Gc, now, now + gc.pause);
             sched.at(now + gc.pause, Event::GcEnd { server });
         }
         let next = now + gc.period;

@@ -8,7 +8,7 @@ use mlb_ntier::experiment::{run_experiment, ExperimentResult};
 use mlb_osmodel::pagecache::PageCacheConfig;
 use mlb_simkernel::time::SimDuration;
 
-fn one_by_one() -> ExperimentResult {
+fn one_by_one_cfg() -> SystemConfig {
     let mut cfg = SystemConfig::smoke(BalancerConfig::with(
         PolicyKind::TotalRequest,
         MechanismKind::Original,
@@ -22,7 +22,11 @@ fn one_by_one() -> ExperimentResult {
         dirty_hard_limit_bytes: 64 * 1024 * 1024,
         flush_interval: SimDuration::from_secs(2),
     });
-    run_experiment(cfg).expect("config is valid")
+    cfg
+}
+
+fn one_by_one() -> ExperimentResult {
+    run_experiment(one_by_one_cfg()).expect("config is valid")
 }
 
 fn peak_window(s: &WindowedSeries) -> (usize, f64) {
@@ -119,6 +123,48 @@ fn vlrt_requests_lag_drops_by_one_rto() {
     assert!(
         drops_near > 0,
         "no drops one RTO before the VLRT burst at window {v_idx}"
+    );
+}
+
+#[test]
+fn per_request_traces_confirm_the_causal_chain() {
+    // The aggregate tests above correlate windowed series; the trace
+    // subsystem lets us assert the chain per request: with one backend,
+    // every VLRT must be dominated by its retransmission wait after a
+    // dropped transmission, and the drops must trace back to recorded
+    // millibottleneck windows.
+    use mlb_metrics::spans::{Segment, SpanKind};
+    let mut cfg = one_by_one_cfg();
+    cfg.trace = mlb_ntier::trace::TraceConfig::enabled_default();
+    let r = run_experiment(cfg).expect("config is valid");
+    let log = r.trace.expect("tracing was enabled");
+    assert!(
+        !log.stalls.is_empty(),
+        "no millibottleneck windows recorded"
+    );
+    let causes = log.vlrt_causes();
+    assert!(!causes.is_empty(), "no VLRT chains reconstructed");
+    for cause in causes {
+        assert_eq!(
+            cause.dominant,
+            Segment::RetransmitWait,
+            "request {} is a VLRT without retransmit-wait dominance",
+            cause.trace.id
+        );
+        assert!(
+            cause
+                .trace
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, SpanKind::Dropped { .. })),
+            "request {} retransmitted without a recorded drop",
+            cause.trace.id
+        );
+    }
+    let overlapping = causes.iter().filter(|c| c.stall.is_some()).count();
+    assert!(
+        overlapping > 0,
+        "no VLRT overlapped a recorded millibottleneck window"
     );
 }
 

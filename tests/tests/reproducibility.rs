@@ -4,6 +4,7 @@
 use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
 use mlb_ntier::config::SystemConfig;
 use mlb_ntier::experiment::{run_experiment, ExperimentResult};
+use mlb_ntier::trace::TraceConfig;
 
 fn smoke_with_seed(seed: u64) -> ExperimentResult {
     let mut cfg = SystemConfig::smoke(BalancerConfig::with(
@@ -41,6 +42,36 @@ fn identical_seeds_give_identical_everything() {
     {
         assert_eq!(x.means(0.0), y.means(0.0));
     }
+}
+
+#[test]
+fn traces_are_bit_identical_across_identical_seeds() {
+    // The trace log hashes every span event, VLRT attribution, and stall
+    // window in order, so equal digests mean the two runs saw the exact
+    // same per-request history.
+    let traced = |seed: u64| {
+        let mut cfg = SystemConfig::smoke(BalancerConfig::with(
+            PolicyKind::TotalRequest,
+            MechanismKind::Original,
+        ));
+        cfg.seed = seed;
+        cfg.trace = TraceConfig::enabled_default();
+        run_experiment(cfg)
+            .expect("smoke config is valid")
+            .trace
+            .expect("tracing was enabled")
+    };
+    let a = traced(7);
+    let b = traced(7);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.summary.vlrt_total, b.summary.vlrt_total);
+    assert_eq!(a.digest(), b.digest(), "trace digests diverge across runs");
+    let c = traced(8);
+    assert_ne!(
+        a.digest(),
+        c.digest(),
+        "different seeds must yield different trace histories"
+    );
 }
 
 #[test]
