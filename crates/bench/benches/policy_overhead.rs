@@ -20,7 +20,7 @@ fn bench_select(c: &mut Criterion) {
                     lb.endpoint_acquired(now, picked);
                     lb.response_received(now, picked, 2_048, SimDuration::from_millis(3));
                     picked
-                })
+                });
             });
         }
     }
@@ -39,7 +39,7 @@ fn bench_full_request_cycle(c: &mut Criterion) {
                 let picked = lb.select(now, &[false; 4]).unwrap();
                 lb.endpoint_acquired(now, picked);
                 lb.response_received(now, picked, black_box(16_384), SimDuration::from_millis(3));
-            })
+            });
         });
     }
     group.finish();
@@ -66,7 +66,7 @@ fn bench_endpoint_failure_path(c: &mut Criterion) {
                     SimDuration::from_millis(1),
                 );
                 advice
-            })
+            });
         });
     }
     group.finish();

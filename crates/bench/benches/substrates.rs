@@ -24,7 +24,7 @@ fn bench_event_queue(c: &mut Criterion) {
             t += 1;
             q.push(when + SimDuration::from_micros(t % 97 + 1), e);
             black_box(e)
-        })
+        });
     });
     group.finish();
 }
@@ -52,7 +52,7 @@ fn bench_simulation_loop(c: &mut Criterion) {
             sim.schedule(SimTime::ZERO, Ev::Tick(10_000));
             sim.run_to_completion();
             black_box(sim.events_processed())
-        })
+        });
     });
     group.finish();
 }
@@ -74,7 +74,7 @@ fn bench_cpu_model(c: &mut Criterion) {
                 CompletionOutcome::Finished { finished, .. } => black_box(finished),
                 CompletionOutcome::Stale => unreachable!(),
             }
-        })
+        });
     });
     group.bench_function("freeze_unfreeze_with_4_running", |b| {
         let mut cpu = CpuModel::new(4);
@@ -86,7 +86,7 @@ fn bench_cpu_model(c: &mut Criterion) {
             cpu.freeze(now);
             now += SimDuration::from_micros(100);
             black_box(cpu.unfreeze(now).len())
-        })
+        });
     });
     group.finish();
 }
@@ -100,7 +100,7 @@ fn bench_page_cache(c: &mut Criterion) {
             dirty_hard_limit_bytes: u64::MAX,
             flush_interval: SimDuration::from_secs(5),
         });
-        b.iter(|| pc.write(black_box(1_500)))
+        b.iter(|| pc.write(black_box(1_500)));
     });
     group.bench_function("flush_cycle", |b| {
         let mut pc = PageCache::new(PageCacheConfig::testbed_default());
@@ -109,7 +109,7 @@ fn bench_page_cache(c: &mut Criterion) {
             let bytes = pc.begin_flush(FlushTrigger::Interval);
             pc.complete_flush(bytes);
             black_box(bytes)
-        })
+        });
     });
     group.finish();
 }
@@ -122,14 +122,14 @@ fn bench_net_structures(c: &mut Criterion) {
         b.iter(|| {
             q.offer(black_box(1u64));
             q.pop()
-        })
+        });
     });
     group.bench_function("pool_acquire_release", |b| {
         let mut pool = ConnectionPool::new(50);
         b.iter(|| {
             pool.acquire();
             pool.release();
-        })
+        });
     });
     group.finish();
 }

@@ -21,7 +21,7 @@
 //! write-back duration. The load balancer's reaction to that freeze is the
 //! object of study.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -65,7 +65,10 @@ pub struct NTierSystem {
     apaches: Vec<ApacheServer>,
     tomcats: Vec<TomcatServer>,
     mysql: MySqlServer,
-    requests: HashMap<u64, RequestState>,
+    /// In-flight requests by id. A `BTreeMap` (not `HashMap`) so that
+    /// any future iteration is key-ordered and deterministic — the
+    /// `no-hash-order` simlint rule keeps it that way.
+    requests: BTreeMap<u64, RequestState>,
     /// Requests blocked in get_endpoint per target Tomcat (the paper's
     /// queue measurements attribute these to the target server).
     endpoint_waiters: Vec<usize>,
@@ -95,6 +98,7 @@ impl NTierSystem {
         let apaches = (0..cfg.apaches)
             .map(|_| {
                 let balancer = Balancer::new(cfg.balancer.clone(), cfg.tomcats)
+                    // simlint::allow(panic-hygiene): cfg.validate() above already accepted the balancer config
                     .expect("balancer config validated with system config");
                 ApacheServer::new(
                     Machine::new(cfg.apache_machine.clone()),
@@ -126,7 +130,7 @@ impl NTierSystem {
             apaches,
             tomcats,
             mysql,
-            requests: HashMap::new(),
+            requests: BTreeMap::new(),
             endpoint_waiters: vec![0; cfg.tomcats],
             session_affinity: if cfg.balancer.sticky_sessions {
                 vec![None; cfg.population.clients()]
@@ -278,6 +282,35 @@ impl NTierSystem {
         self.next_request
     }
 
+    // ---- request-table access ------------------------------------------
+    //
+    // Associated functions rather than methods so callers keep disjoint
+    // borrows of the other fields. A miss in any of them means an event
+    // outlived its request without its handler checking first — a
+    // corrupted state machine that must abort the run instead of limping
+    // on with silently wrong accounting.
+
+    fn live(requests: &BTreeMap<u64, RequestState>, id: RequestId) -> &RequestState {
+        requests
+            .get(&id.0)
+            // simlint::allow(panic-hygiene): an earlier transition inserted this id and nothing retired it; a miss is a state-machine bug
+            .expect("live request vanished")
+    }
+
+    fn live_mut(requests: &mut BTreeMap<u64, RequestState>, id: RequestId) -> &mut RequestState {
+        requests
+            .get_mut(&id.0)
+            // simlint::allow(panic-hygiene): an earlier transition inserted this id and nothing retired it; a miss is a state-machine bug
+            .expect("live request vanished")
+    }
+
+    fn remove_live(requests: &mut BTreeMap<u64, RequestState>, id: RequestId) -> RequestState {
+        requests
+            .remove(&id.0)
+            // simlint::allow(panic-hygiene): completion and failure each retire a request exactly once; a double retire is a state-machine bug
+            .expect("live request retired twice")
+    }
+
     // ---- helpers -------------------------------------------------------
 
     fn link_delay(&mut self) -> SimDuration {
@@ -356,10 +389,7 @@ impl NTierSystem {
         id: RequestId,
         holds_worker: bool,
     ) {
-        let r = self
-            .requests
-            .remove(&id.0)
-            .expect("failing unknown request");
+        let r = Self::remove_live(&mut self.requests, id);
         self.tracer
             .failed(id, now, now.saturating_since(r.first_issued));
         self.telemetry.failed_requests += 1;
@@ -392,10 +422,7 @@ impl NTierSystem {
         id: RequestId,
     ) {
         let cost = {
-            let r = self
-                .requests
-                .get_mut(&id.0)
-                .expect("admitting unknown request");
+            let r = Self::live_mut(&mut self.requests, id);
             r.admitted_at = Some(now);
             self.cfg.mix.get(r.interaction).apache_cost
         };
@@ -414,7 +441,7 @@ impl NTierSystem {
         id: RequestId,
     ) {
         let cost = {
-            let r = &self.requests[&id.0];
+            let r = Self::live(&self.requests, id);
             self.cfg.mix.get(r.interaction).tomcat_cost
         };
         self.tracer.backend_started(id, now);
@@ -472,10 +499,9 @@ impl NTierSystem {
             Offer::Dropped => {
                 self.telemetry.record_drop(now);
                 self.tracer.dropped(id, now, attempt);
-                let rto = {
-                    let r = self.requests.get_mut(&id.0).expect("request vanished");
-                    r.retransmit.on_drop(&self.cfg.rto)
-                };
+                let rto = Self::live_mut(&mut self.requests, id)
+                    .retransmit
+                    .on_drop(&self.cfg.rto);
                 match rto {
                     Some(delay) => {
                         self.telemetry.retransmits += 1;
@@ -567,8 +593,8 @@ impl NTierSystem {
         id: RequestId,
         b: usize,
     ) {
-        let a = self.requests[&id.0].apache;
-        let was_waiting = self.requests[&id.0].phase == Phase::EndpointWait;
+        let a = Self::live(&self.requests, id).apache;
+        let was_waiting = Self::live(&self.requests, id).phase == Phase::EndpointWait;
         match self.apaches[a].pools[b].acquire() {
             Acquire::Ok => {
                 if was_waiting {
@@ -585,10 +611,10 @@ impl NTierSystem {
                 let probes = self.apaches[a].balancer.probes_before_send();
                 let probe_timeout = self.apaches[a].balancer.probe_timeout();
                 if self.cfg.balancer.sticky_sessions {
-                    let client = self.requests[&id.0].client.0;
+                    let client = Self::live(&self.requests, id).client.0;
                     self.session_affinity[client] = Some(b);
                 }
-                let r = self.requests.get_mut(&id.0).expect("request vanished");
+                let r = Self::live_mut(&mut self.requests, id);
                 r.backend = Some(b);
                 r.pending_backend = None;
                 r.wait_started = None;
@@ -609,7 +635,7 @@ impl NTierSystem {
             }
             Acquire::Exhausted => {
                 let elapsed = {
-                    let r = self.requests.get_mut(&id.0).expect("request vanished");
+                    let r = Self::live_mut(&mut self.requests, id);
                     let start = *r.wait_started.get_or_insert(now);
                     now.saturating_since(start)
                 };
@@ -622,7 +648,7 @@ impl NTierSystem {
                             self.endpoint_waiters[b] += 1;
                         }
                         self.tracer.endpoint_busy(id, now, b, sleep);
-                        let r = self.requests.get_mut(&id.0).expect("request vanished");
+                        let r = Self::live_mut(&mut self.requests, id);
                         r.pending_backend = Some(b);
                         r.phase = Phase::EndpointWait;
                         sched.at(now + sleep, Event::EndpointRetry { request: id });
@@ -632,7 +658,7 @@ impl NTierSystem {
                             self.endpoint_waiters[b] -= 1;
                         }
                         self.tracer.endpoint_gave_up(id, now, b);
-                        let r = self.requests.get_mut(&id.0).expect("request vanished");
+                        let r = Self::live_mut(&mut self.requests, id);
                         r.exclude[b] = true;
                         r.pending_backend = None;
                         r.wait_started = None;
@@ -650,6 +676,7 @@ impl NTierSystem {
         };
         let b = r
             .pending_backend
+            // simlint::allow(panic-hygiene): Phase::EndpointWait stores the backend being retried before scheduling EndpointRetry
             .expect("endpoint retry without a pending backend");
         self.try_endpoint(now, sched, id, b);
     }
@@ -663,7 +690,10 @@ impl NTierSystem {
         if r.phase != Phase::Probing {
             return; // probe already timed out
         }
-        let t = r.backend.expect("probe without a backend");
+        let t = r
+            .backend
+            // simlint::allow(panic-hygiene): Phase::Probing implies an acquired backend
+            .expect("probe without a backend");
         if self.tomcats[t].machine.is_stalled() {
             self.tomcats[t].probe_waiters.push(id);
         } else {
@@ -691,7 +721,12 @@ impl NTierSystem {
         if r.phase != Phase::Probing {
             return; // the reply won the race
         }
-        let (a, b) = (r.apache, r.backend.take().expect("probe without a backend"));
+        let a = r.apache;
+        let b = r
+            .backend
+            .take()
+            // simlint::allow(panic-hygiene): Phase::Probing implies an acquired backend
+            .expect("probe without a backend");
         r.acquired_at = None;
         r.exclude[b] = true;
         r.phase = Phase::Routing;
@@ -703,8 +738,9 @@ impl NTierSystem {
     }
 
     fn on_arrive_tomcat(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>, id: RequestId) {
-        let t = self.requests[&id.0]
+        let t = Self::live(&self.requests, id)
             .backend
+            // simlint::allow(panic-hygiene): Phase::AtTomcat implies an acquired backend
             .expect("arrived without a backend");
         let free = self.tomcats[t].has_free_thread();
         self.tracer.arrived_backend(id, now, t, !free);
@@ -728,13 +764,10 @@ impl NTierSystem {
             CompletionOutcome::Finished { finished, started } => {
                 Self::schedule_started(sched, ServerRef::Tomcat(t), started);
                 let id = RequestId(finished.0);
-                let queries = {
-                    let r = self.requests.get_mut(&id.0).expect("request vanished");
-                    let q = self.cfg.mix.get(r.interaction).db_queries;
-                    r.db_remaining = q;
-                    q
-                };
-                let _ = queries;
+                {
+                    let r = Self::live_mut(&mut self.requests, id);
+                    r.db_remaining = self.cfg.mix.get(r.interaction).db_queries;
+                }
                 sched.immediately(Event::DbDispatch { request: id });
             }
         }
@@ -742,9 +775,11 @@ impl NTierSystem {
 
     fn on_db_dispatch(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>, id: RequestId) {
         let (t, remaining) = {
-            let r = &self.requests[&id.0];
+            let r = Self::live(&self.requests, id);
             (
-                r.backend.expect("db dispatch without backend"),
+                r.backend
+                    // simlint::allow(panic-hygiene): a request past routing always carries its backend
+                    .expect("db dispatch without backend"),
                 r.db_remaining,
             )
         };
@@ -754,10 +789,7 @@ impl NTierSystem {
         }
         match self.tomcats[t].db_pool.acquire() {
             Acquire::Ok => {
-                self.requests
-                    .get_mut(&id.0)
-                    .expect("request vanished")
-                    .phase = Phase::AtDatabase;
+                Self::live_mut(&mut self.requests, id).phase = Phase::AtDatabase;
                 self.tracer.db_dispatched(id, now, remaining - 1);
                 let d = self.link_delay();
                 sched.at(now + d, Event::ArriveMysql { request: id });
@@ -770,7 +802,7 @@ impl NTierSystem {
 
     fn on_arrive_mysql(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>, id: RequestId) {
         let cost = {
-            let r = &self.requests[&id.0];
+            let r = Self::live(&self.requests, id);
             self.cfg.mix.get(r.interaction).db_cost_per_query
         };
         self.mysql.note_query();
@@ -796,26 +828,23 @@ impl NTierSystem {
     }
 
     fn on_db_reply(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>, id: RequestId) {
-        let t = self.requests[&id.0]
+        let t = Self::live(&self.requests, id)
             .backend
+            // simlint::allow(panic-hygiene): a request past routing always carries its backend
             .expect("db reply without backend");
         self.tomcats[t].db_pool.release();
         // Hand the freed connection to the next waiter, if any.
         if let Some(waiter) = self.tomcats[t].db_waiters.pop_front() {
             let got = self.tomcats[t].db_pool.acquire();
             debug_assert_eq!(got, Acquire::Ok);
-            let w = self
-                .requests
-                .get_mut(&waiter.0)
-                .expect("waiting request vanished");
+            let w = Self::live_mut(&mut self.requests, waiter);
             w.phase = Phase::AtDatabase;
             let w_remaining = w.db_remaining;
             self.tracer.db_dispatched(waiter, now, w_remaining - 1);
             let d = self.link_delay();
             sched.at(now + d, Event::ArriveMysql { request: waiter });
         }
-        let r = self.requests.get_mut(&id.0).expect("request vanished");
-        r.db_remaining -= 1;
+        Self::live_mut(&mut self.requests, id).db_remaining -= 1;
         sched.immediately(Event::DbDispatch { request: id });
     }
 
@@ -829,7 +858,7 @@ impl NTierSystem {
         t: usize,
     ) {
         let log_bytes = {
-            let r = &self.requests[&id.0];
+            let r = Self::live(&self.requests, id);
             self.cfg.mix.get(r.interaction).log_bytes
         };
         if let Some(trigger) = self.tomcats[t].machine.log_write(log_bytes) {
@@ -839,10 +868,7 @@ impl NTierSystem {
         if let Some(next) = self.tomcats[t].pending.pop_front() {
             self.start_tomcat_work(now, sched, t, next);
         }
-        self.requests
-            .get_mut(&id.0)
-            .expect("request vanished")
-            .phase = Phase::Responding;
+        Self::live_mut(&mut self.requests, id).phase = Phase::Responding;
         self.tracer.responding(id, now);
         let d = self.link_delay();
         sched.at(now + d, Event::ApacheReply { request: id });
@@ -850,15 +876,14 @@ impl NTierSystem {
 
     fn on_apache_reply(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>, id: RequestId) {
         let (a, b, traffic, latency) = {
-            let r = self
-                .requests
-                .get_mut(&id.0)
-                .expect("reply for unknown request");
+            let r = Self::live_mut(&mut self.requests, id);
             r.replied_at = Some(now);
             let inter = self.cfg.mix.get(r.interaction);
             (
                 r.apache,
-                r.backend.expect("reply without backend"),
+                r.backend
+                    // simlint::allow(panic-hygiene): Phase::Responding implies an acquired backend
+                    .expect("reply without backend"),
                 inter.traffic_bytes(),
                 now.saturating_since(r.acquired_at.unwrap_or(now)),
             )
@@ -879,10 +904,7 @@ impl NTierSystem {
     }
 
     fn on_client_done(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>, id: RequestId) {
-        let r = self
-            .requests
-            .remove(&id.0)
-            .expect("completed unknown request");
+        let r = Self::remove_live(&mut self.requests, id);
         let rt = now.saturating_since(r.first_issued);
         self.tracer.completed(id, now, rt);
         self.telemetry.record_completion(now, rt);
@@ -1047,7 +1069,7 @@ impl Model for NTierSystem {
             Event::ClientRetransmit { request } => self.on_client_retransmit(now, sched, request),
             Event::ArriveApache { request } => self.on_arrive_apache(now, sched, request),
             Event::ApacheCpuDone { apache, key } => {
-                self.on_apache_cpu_done(now, sched, apache, key)
+                self.on_apache_cpu_done(now, sched, apache, key);
             }
             Event::RouteRequest { request } => self.on_route(now, sched, request),
             Event::EndpointRetry { request } => self.on_endpoint_retry(now, sched, request),
@@ -1056,7 +1078,7 @@ impl Model for NTierSystem {
             Event::ProbeReply { request } => self.on_probe_reply(now, sched, request),
             Event::ProbeTimeout { request } => self.on_probe_timeout(now, sched, request),
             Event::TomcatCpuDone { tomcat, key } => {
-                self.on_tomcat_cpu_done(now, sched, tomcat, key)
+                self.on_tomcat_cpu_done(now, sched, tomcat, key);
             }
             Event::DbDispatch { request } => self.on_db_dispatch(now, sched, request),
             Event::ArriveMysql { request } => self.on_arrive_mysql(now, sched, request),

@@ -16,7 +16,7 @@
 //! either way (tracing is purely observational — it never schedules or
 //! perturbs anything).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mlb_metrics::spans::{RequestTrace, SpanKind, StallKind, TraceLog};
 use mlb_metrics::summary::VLRT_THRESHOLD;
@@ -69,7 +69,10 @@ impl Default for TraceConfig {
 #[derive(Debug)]
 pub struct Tracer {
     enabled: bool,
-    live: HashMap<u64, RequestTrace>,
+    /// In-flight traces by request id. A `BTreeMap` (not `HashMap`) so
+    /// that any future iteration is key-ordered and deterministic — the
+    /// `no-hash-order` simlint rule keeps it that way.
+    live: BTreeMap<u64, RequestTrace>,
     log: TraceLog,
 }
 
@@ -78,7 +81,7 @@ impl Tracer {
     pub fn new(cfg: &TraceConfig) -> Self {
         Tracer {
             enabled: cfg.enabled,
-            live: HashMap::new(),
+            live: BTreeMap::new(),
             log: TraceLog::new(cfg.recent_capacity, cfg.vlrt_capacity),
         }
     }

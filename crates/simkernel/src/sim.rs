@@ -243,7 +243,11 @@ impl<M: Model> Simulation<M> {
                     };
                 }
                 Some(_) => {
-                    let (time, event) = self.queue.pop().expect("peeked event vanished");
+                    let (time, event) = self
+                        .queue
+                        .pop()
+                        // simlint::allow(panic-hygiene): peek_time() just returned Some and nothing else pops the queue
+                        .expect("peeked event vanished");
                     self.now = time;
                     let mut halt = false;
                     let mut sched = Scheduler {

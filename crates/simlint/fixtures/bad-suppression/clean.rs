@@ -1,0 +1,8 @@
+// Fixture: clean under `bad-suppression` — a well-formed, justified
+// suppression that actually silences a finding on the next line.
+
+pub fn deliberate_ambient_draw() -> u64 {
+    // simlint::allow(no-ambient-rng): fixture demonstrating a justified, used suppression
+    let mut rng = thread_rng();
+    rng.gen_range(0..100)
+}

@@ -1,0 +1,6 @@
+// Fixture: triggers `bad-suppression`. The allowance below never
+// matches a finding — stale suppressions are hygiene debt and are
+// themselves reported (and cannot be suppressed).
+
+// simlint::allow(no-wall-clock): nothing here reads the clock, so this never matches
+pub fn noop() {}

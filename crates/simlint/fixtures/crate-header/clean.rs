@@ -1,0 +1,5 @@
+//! Fixture: clean under `crate-header` — a compliant crate root.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

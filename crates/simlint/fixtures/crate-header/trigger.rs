@@ -1,0 +1,4 @@
+//! Fixture: triggers `crate-header` — a crate root that forgot its
+//! `#![forbid(unsafe_code)]` header.
+
+pub fn noop() {}

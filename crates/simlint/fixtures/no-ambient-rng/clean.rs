@@ -1,0 +1,8 @@
+// Fixture: clean under `no-ambient-rng`. All randomness derives from a
+// named stream of the experiment's SeedSequence, so the same seed always
+// yields the same draws.
+
+pub fn jitter_us(seeds: &mut SeedSequence) -> u64 {
+    let mut rng = seeds.stream("jitter");
+    rng.next_u64() % 100
+}

@@ -1,0 +1,8 @@
+// Fixture: triggers `no-ambient-rng`. thread_rng() seeds itself from the
+// OS, so every run draws a different sequence — the fixed-seed
+// reproducibility contract is silently broken.
+
+pub fn jitter_us() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen_range(0..100)
+}

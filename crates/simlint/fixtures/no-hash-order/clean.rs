@@ -1,0 +1,11 @@
+// Fixture: clean under `no-hash-order`. BTreeMap iteration is
+// key-ordered and deterministic, and keyed access into a HashMap is fine
+// — only its iteration order is unstable.
+
+pub fn total(counts: &BTreeMap<u64, u64>, probe: &HashMap<u64, u64>) -> u64 {
+    let mut sum = 0;
+    for v in counts.values() {
+        sum += v;
+    }
+    sum + probe.get(&0).copied().unwrap_or(0)
+}

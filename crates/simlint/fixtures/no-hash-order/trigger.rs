@@ -1,0 +1,11 @@
+// Fixture: triggers `no-hash-order`. Iterating a HashMap visits entries
+// in RandomState order, which differs between processes — any simulation
+// output derived from this loop is nondeterministic.
+
+pub fn total(counts: &HashMap<u64, u64>) -> u64 {
+    let mut sum = 0;
+    for v in counts.values() {
+        sum += v;
+    }
+    sum
+}

@@ -1,0 +1,6 @@
+// Fixture: clean under `no-wall-clock`. Simulation time flows from the
+// event queue as SimTime/SimDuration values, never from the host clock.
+
+pub fn elapsed_sim(now: SimTime, start: SimTime) -> SimDuration {
+    now.saturating_since(start)
+}

@@ -1,0 +1,8 @@
+// Fixture: triggers `no-wall-clock`. Reading the host clock inside
+// simulation code makes runs irreproducible — two runs of the same seed
+// would observe different "now" values.
+
+pub fn elapsed_wall() -> std::time::Duration {
+    let start = Instant::now();
+    start.elapsed()
+}

@@ -1,0 +1,17 @@
+// Fixture: clean under `panic-hygiene`. Either handle the None arm, or
+// keep the panic and write the invariant down in a justified
+// suppression.
+
+pub fn lookup_or_zero(requests: &BTreeMap<u64, u64>, id: u64) -> u64 {
+    match requests.get(&id) {
+        Some(v) => *v,
+        None => 0,
+    }
+}
+
+pub fn lookup_invariant(requests: &BTreeMap<u64, u64>, id: u64) -> u64 {
+    *requests
+        .get(&id)
+        // simlint::allow(panic-hygiene): the caller inserted this id earlier in the same transition
+        .expect("request vanished")
+}

@@ -1,0 +1,7 @@
+// Fixture: triggers `panic-hygiene`. A bare .expect() in an event-loop
+// hot path tears down the whole simulation with no statement of the
+// invariant that was supposed to hold.
+
+pub fn lookup(requests: &BTreeMap<u64, u64>, id: u64) -> u64 {
+    *requests.get(&id).expect("request vanished")
+}

@@ -1,0 +1,15 @@
+// Fixture: triggers `span-attribution`. `Ghost` is declared but never
+// constructed as `SpanKind::Ghost`, so a request carrying it would fall
+// out of VLRT attribution without anyone noticing.
+
+pub enum SpanKind {
+    Issued,
+    Ghost,
+}
+
+pub fn label(kind: &SpanKind) -> &'static str {
+    match kind {
+        SpanKind::Issued => "issued",
+        _ => "other",
+    }
+}

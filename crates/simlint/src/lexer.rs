@@ -1,0 +1,534 @@
+//! A hand-rolled Rust lexer, just deep enough for linting.
+//!
+//! The workspace builds with no registry access, so `syn`/`proc-macro2`
+//! are off the table; fortunately none of the simlint rules need a full
+//! parse. What they *do* need is a token stream that never confuses
+//! code with non-code: a `HashMap` inside a string literal or a doc
+//! comment must not trigger `no-hash-order`, and a suppression comment
+//! must be recognized wherever rustfmt puts it. The lexer therefore
+//! handles the entire literal/comment surface of the language — nested
+//! block comments, raw strings with arbitrary hash fences, byte and raw
+//! byte strings, char-vs-lifetime disambiguation, raw identifiers —
+//! while treating everything between literals as identifiers, numbers
+//! and single-character punctuation.
+//!
+//! Every token carries its 1-based line and column so findings map to
+//! `file:line:col` diagnostics.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`for`, `in`, `HashMap`, `r#type`, ...).
+    Ident,
+    /// A `// ...` comment (doc comments included), text without `//`.
+    LineComment,
+    /// A `/* ... */` comment (nesting handled), text without fences.
+    BlockComment,
+    /// Any string-ish literal: `"..."`, `r#"..."#`, `b"..."`, `br"..."`.
+    Str,
+    /// A character or byte literal: `'a'`, `b'\n'`.
+    Char,
+    /// A lifetime such as `'a` (including `'static`, `'_`).
+    Lifetime,
+    /// A numeric literal, suffix included (`1_000u64`, `0xff`, `1.5e3`).
+    Number,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Identifier/keyword text, or comment body. Empty for literals and
+    /// punctuation (no rule needs literal contents).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Cursor<'a> {
+    chars: std::str::Chars<'a>,
+    peeked: Option<char>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars(),
+            peeked: None,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        if self.peeked.is_none() {
+            self.peeked = self.chars.next();
+        }
+        self.peeked
+    }
+
+    /// Peeks one character past [`Cursor::peek`] without consuming.
+    fn peek2(&mut self) -> Option<char> {
+        self.peek();
+        self.chars.clone().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peeked.take().or_else(|| self.chars.next())?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Lexes `src` into a token stream. The lexer never fails: malformed
+/// input (say, an unterminated string) simply ends the current token at
+/// end of file, which is the forgiving behavior a linter wants.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' {
+            match cur.peek2() {
+                Some('/') => {
+                    cur.bump();
+                    cur.bump();
+                    let mut text = String::new();
+                    while let Some(n) = cur.peek() {
+                        if n == '\n' {
+                            break;
+                        }
+                        text.push(n);
+                        cur.bump();
+                    }
+                    out.push(Token {
+                        kind: TokenKind::LineComment,
+                        text,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+                Some('*') => {
+                    cur.bump();
+                    cur.bump();
+                    let mut depth = 1u32;
+                    let mut text = String::new();
+                    while depth > 0 {
+                        match (cur.peek(), cur.peek2()) {
+                            (Some('/'), Some('*')) => {
+                                depth += 1;
+                                cur.bump();
+                                cur.bump();
+                                text.push_str("/*");
+                            }
+                            (Some('*'), Some('/')) => {
+                                depth -= 1;
+                                cur.bump();
+                                cur.bump();
+                                if depth > 0 {
+                                    text.push_str("*/");
+                                }
+                            }
+                            (Some(n), _) => {
+                                text.push(n);
+                                cur.bump();
+                            }
+                            (None, _) => break,
+                        }
+                    }
+                    out.push(Token {
+                        kind: TokenKind::BlockComment,
+                        text,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if c == '"' {
+            cur.bump();
+            lex_string_body(&mut cur);
+            out.push(Token {
+                kind: TokenKind::Str,
+                text: String::new(),
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '\'' {
+            cur.bump();
+            // Lifetime iff the next char starts an identifier and the one
+            // after it does not close a char literal ('a' is a char, 'ab
+            // and 'static are lifetimes, '_' is the char underscore).
+            let next = cur.peek();
+            let after = cur.peek2();
+            let is_lifetime =
+                matches!(next, Some(n) if n.is_alphabetic() || n == '_') && after != Some('\'');
+            if is_lifetime {
+                let mut text = String::new();
+                while let Some(n) = cur.peek() {
+                    if n.is_alphanumeric() || n == '_' {
+                        text.push(n);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            } else {
+                // Char literal: consume up to the closing quote, honoring
+                // escapes.
+                while let Some(n) = cur.bump() {
+                    match n {
+                        '\\' => {
+                            cur.bump();
+                        }
+                        '\'' => break,
+                        _ => {}
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Char,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            while let Some(n) = cur.peek() {
+                if n.is_alphanumeric() || n == '_' {
+                    text.push(n);
+                    cur.bump();
+                } else if n == '.' {
+                    // `1.5` continues the number; `0..n` does not.
+                    match cur.peek2() {
+                        Some(d) if d.is_ascii_digit() && !text.contains('.') => {
+                            text.push(n);
+                            cur.bump();
+                        }
+                        _ => break,
+                    }
+                } else {
+                    break;
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::Number,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            // Raw strings / byte strings / raw identifiers first: the
+            // prefixes r, b, br, rb#… look like identifier starts.
+            if let Some(tok) = lex_raw_or_byte(&mut cur, line, col) {
+                out.push(tok);
+                continue;
+            }
+            let mut text = String::new();
+            while let Some(n) = cur.peek() {
+                if n.is_alphanumeric() || n == '_' {
+                    text.push(n);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        cur.bump();
+        out.push(Token {
+            kind: TokenKind::Punct(c),
+            text: String::new(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Consumes a plain `"..."` body (opening quote already consumed).
+fn lex_string_body(cur: &mut Cursor<'_>) {
+    while let Some(n) = cur.bump() {
+        match n {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw string `r##"..."##` body: `hashes` is the fence width
+/// (opening `r`/hashes/quote already consumed).
+fn lex_raw_string_body(cur: &mut Cursor<'_>, hashes: u32) {
+    'outer: while let Some(n) = cur.bump() {
+        if n != '"' {
+            continue;
+        }
+        let mut seen = 0;
+        while seen < hashes {
+            if cur.peek() == Some('#') {
+                cur.bump();
+                seen += 1;
+            } else {
+                continue 'outer;
+            }
+        }
+        return;
+    }
+}
+
+/// Recognizes `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br"…"`/`rb` forms and
+/// raw identifiers `r#ident` at the cursor. Returns `None` when the text
+/// is an ordinary identifier (cursor untouched in that case).
+fn lex_raw_or_byte(cur: &mut Cursor<'_>, line: u32, col: u32) -> Option<Token> {
+    let c = cur.peek()?;
+    if c != 'r' && c != 'b' {
+        return None;
+    }
+    // Look ahead without consuming: clone the underlying iterator.
+    let mut ahead = {
+        let mut v = Vec::new();
+        if let Some(p) = cur.peeked {
+            v.push(p);
+        }
+        let it = cur.chars.clone();
+        v.extend(it.take(4));
+        v
+    };
+    ahead.push('\0'); // padding so indexing is safe
+    let second = ahead.get(1).copied().unwrap_or('\0');
+    match (c, second) {
+        ('b', '\'') => {
+            cur.bump(); // b
+            cur.bump(); // '
+            while let Some(n) = cur.bump() {
+                match n {
+                    '\\' => {
+                        cur.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            Some(Token {
+                kind: TokenKind::Char,
+                text: String::new(),
+                line,
+                col,
+            })
+        }
+        ('b', '"') => {
+            cur.bump();
+            cur.bump();
+            lex_string_body(cur);
+            Some(Token {
+                kind: TokenKind::Str,
+                text: String::new(),
+                line,
+                col,
+            })
+        }
+        ('r', '"') => {
+            cur.bump();
+            cur.bump();
+            lex_raw_string_body(cur, 0);
+            Some(Token {
+                kind: TokenKind::Str,
+                text: String::new(),
+                line,
+                col,
+            })
+        }
+        ('r', '#') | ('b', 'r') | ('r', 'b') => {
+            // Distinguish r#"…" (raw string) from r#ident (raw ident) and
+            // from a plain identifier starting with these letters (rb_x).
+            let prefix_len = if second == '#' { 1 } else { 2 };
+            let mut i = prefix_len;
+            let mut hashes = 0u32;
+            while ahead.get(i).copied() == Some('#') {
+                hashes += 1;
+                i += 1;
+            }
+            if ahead.get(i).copied() == Some('"') {
+                // Only a limited lookahead window is cloned above; re-walk
+                // with real consumption now that the shape is confirmed.
+                for _ in 0..prefix_len {
+                    cur.bump();
+                }
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                cur.bump(); // opening quote
+                lex_raw_string_body(cur, hashes);
+                return Some(Token {
+                    kind: TokenKind::Str,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            }
+            if second == '#' && hashes == 1 {
+                // r#ident — lex as an identifier without the prefix.
+                cur.bump();
+                cur.bump();
+                let mut text = String::new();
+                while let Some(n) = cur.peek() {
+                    if n.is_alphanumeric() || n == '_' {
+                        text.push(n);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                return Some(Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn words_in_strings_and_comments_are_not_idents() {
+        let src = r##"
+            let x = "HashMap in a string";
+            // HashMap in a line comment
+            /* HashMap /* nested */ still comment */
+            let y = r#"HashMap raw "quoted" here"#;
+            let z = b"HashMap bytes";
+            real_ident
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_owned()), "{ids:?}");
+        assert!(ids.contains(&"real_ident".to_owned()));
+    }
+
+    #[test]
+    fn comments_keep_text_and_position() {
+        let toks = lex("let a = 1; // simlint::allow(rule): why\nnext");
+        let c = toks.iter().find(|t| t.is_comment()).unwrap();
+        assert_eq!(c.text, " simlint::allow(rule): why");
+        assert_eq!(c.line, 1);
+        let next = toks.iter().find(|t| t.is_ident("next")).unwrap();
+        assert_eq!(next.line, 2);
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = lex("for i in 0..10 { let f = 1.5e3; let h = 0xff_u32; }");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e3", "0xff_u32"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_idents() {
+        let ids = idents("let r#type = 1; let rb_x = 2;");
+        assert!(ids.contains(&"type".to_owned()));
+        assert!(ids.contains(&"rb_x".to_owned()));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn double_colon_is_two_puncts() {
+        let toks = lex("Instant::now()");
+        assert!(toks[0].is_ident("Instant"));
+        assert!(toks[1].is_punct(':'));
+        assert!(toks[2].is_punct(':'));
+        assert!(toks[3].is_ident("now"));
+    }
+}

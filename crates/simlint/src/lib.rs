@@ -1,0 +1,342 @@
+#![forbid(unsafe_code)]
+//! `mlb-simlint` — a workspace determinism & simulation-hygiene linter.
+//!
+//! The reproduction's headline results (VLRT retransmission clusters,
+//! the policy-remedy improvement factor, bit-identical FNV-1a trace
+//! digests) are only as credible as the simulator's determinism. This
+//! crate enforces the invariants that determinism rests on, as named,
+//! suppressible static-analysis rules over the whole workspace:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `no-wall-clock` | sim-crate library code never reads the host clock |
+//! | `no-hash-order` | no iteration over `HashMap`/`HashSet` in sim-crate library code |
+//! | `no-ambient-rng` | all randomness flows from seeded `simkernel::rng` streams |
+//! | `panic-hygiene` | `unwrap`/`expect` in event-loop hot paths carry a written invariant |
+//! | `crate-header` | every crate root carries `#![forbid(unsafe_code)]` |
+//! | `span-attribution` | every `SpanKind` variant is constructed by the tracer |
+//! | `bad-suppression` | suppressions are justified and actually used |
+//!
+//! Everything is hand-rolled (lexer included) because the build
+//! environment has no registry access: no `syn`, no `proc-macro2`, no
+//! `serde`. See [`lexer`] for what the token stream does and does not
+//! understand.
+//!
+//! # Suppressions
+//!
+//! A finding is silenced by a comment on the same line or the line
+//! directly above it:
+//!
+//! ```text
+//! // simlint::allow(panic-hygiene): a live RequestId always maps to a request
+//! .expect("unknown live request");
+//! ```
+//!
+//! The justification after the colon is mandatory, and a suppression
+//! that never matches a finding is itself reported (`bad-suppression`),
+//! so stale allowances cannot accumulate.
+//!
+//! # Entry points
+//!
+//! * [`lint_workspace`] — lint a whole workspace rooted at a path (this
+//!   is what the tier-1 integration test and the CI step call);
+//! * [`lint_source`] — lint one in-memory file under an explicit
+//!   [`rules::FileInput`]-style context (what the fixture tests use);
+//! * the `mlb-simlint` binary — `cargo run -p mlb-simlint -- --workspace
+//!   [--json]`.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use std::fs;
+use std::path::Path;
+
+use lexer::{lex, Token};
+use report::{parse_suppressions, Finding, Report, Suppression};
+use rules::{check_file, rule_named, span_attribution, FileInput, SPAN_DECL_PATH, SPAN_REF_PATHS};
+use workspace::{DiscoverError, FileRole, Workspace};
+
+/// Whether `rel_path` is a crate root (`src/lib.rs` or `src/main.rs`).
+fn is_crate_root(rel_path: &str) -> bool {
+    rel_path.ends_with("src/lib.rs") || rel_path.ends_with("src/main.rs")
+}
+
+struct FileData {
+    rel_path: String,
+    tokens: Vec<Token>,
+    suppressions: Vec<Suppression>,
+    used: Vec<bool>,
+}
+
+/// Lints the workspace rooted at `root` and returns the full report,
+/// sorted for stable output.
+///
+/// # Errors
+///
+/// Returns [`DiscoverError`] when the workspace layout cannot be read
+/// (missing manifests, unreadable directories) — *not* for findings,
+/// which are data in the report.
+pub fn lint_workspace(root: &Path) -> Result<Report, DiscoverError> {
+    let ws = Workspace::discover(root)?;
+    let mut report = Report::default();
+    let mut files: Vec<FileData> = Vec::new();
+    let mut raw: Vec<Finding> = Vec::new();
+
+    for f in &ws.files {
+        let src = fs::read_to_string(&f.abs_path)
+            .map_err(|e| DiscoverError(format!("reading {}: {e}", f.rel_path)))?;
+        let tokens = lex(&src);
+        let (suppressions, malformed) = parse_suppressions(&tokens);
+        for (line, col, msg) in malformed {
+            raw.push(Finding {
+                rule: "bad-suppression",
+                path: f.rel_path.clone(),
+                line,
+                col,
+                message: msg,
+            });
+        }
+        for s in &suppressions {
+            for r in &s.rules {
+                if rule_named(r).is_none() {
+                    raw.push(Finding {
+                        rule: "bad-suppression",
+                        path: f.rel_path.clone(),
+                        line: s.line,
+                        col: 1,
+                        message: format!("suppression names unknown rule `{r}`"),
+                    });
+                }
+            }
+        }
+        let input = FileInput {
+            crate_name: &f.crate_name,
+            role: f.role,
+            rel_path: &f.rel_path,
+            tokens: &tokens,
+            is_crate_root: is_crate_root(&f.rel_path),
+        };
+        raw.extend(check_file(&input));
+        report.files_scanned.push(f.rel_path.clone());
+        let used = vec![false; suppressions.len()];
+        files.push(FileData {
+            rel_path: f.rel_path.clone(),
+            tokens,
+            suppressions,
+            used,
+        });
+    }
+
+    // Workspace-level rule: span-attribution.
+    if let Some(decl) = files.iter().find(|f| f.rel_path == SPAN_DECL_PATH) {
+        let refs: Vec<(String, Vec<Token>)> = SPAN_REF_PATHS
+            .iter()
+            .filter_map(|p| {
+                files
+                    .iter()
+                    .find(|f| f.rel_path == *p)
+                    .map(|f| (f.rel_path.clone(), f.tokens.clone()))
+            })
+            .collect();
+        raw.extend(span_attribution(SPAN_DECL_PATH, &decl.tokens, &refs));
+    }
+
+    // Apply suppressions: a justified allow on the finding's line or the
+    // line directly above silences it. `bad-suppression` findings are
+    // themselves unsuppressible.
+    for finding in raw {
+        let mut silenced = None;
+        if finding.rule != "bad-suppression" {
+            if let Some(fd) = files.iter_mut().find(|fd| fd.rel_path == finding.path) {
+                for (i, s) in fd.suppressions.iter().enumerate() {
+                    let covers_line = s.line == finding.line || s.line + 1 == finding.line;
+                    if covers_line && s.rules.iter().any(|r| r == finding.rule) {
+                        fd.used[i] = true;
+                        silenced = Some(s.justification.clone());
+                        break;
+                    }
+                }
+            }
+        }
+        match silenced {
+            Some(why) => report.suppressed.push((finding, why)),
+            None => report.findings.push(finding),
+        }
+    }
+
+    // Unused suppressions are stale hygiene debt.
+    for fd in &files {
+        for (s, used) in fd.suppressions.iter().zip(&fd.used) {
+            if !used {
+                report.findings.push(Finding {
+                    rule: "bad-suppression",
+                    path: fd.rel_path.clone(),
+                    line: s.line,
+                    col: 1,
+                    message: format!(
+                        "suppression for `{}` never matched a finding; delete it",
+                        s.rules.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+
+    report.sort();
+    Ok(report)
+}
+
+/// Lints one in-memory source file under an explicit context, applying
+/// the same suppression semantics as [`lint_workspace`]. Used by the
+/// fixture tests; the `span-attribution` rule (workspace-level) treats
+/// the file as both the declaration and the attribution site, so a
+/// self-contained fixture can exercise it.
+pub fn lint_source(
+    src: &str,
+    crate_name: &str,
+    role: FileRole,
+    rel_path: &str,
+    crate_root: bool,
+) -> Vec<Finding> {
+    let tokens = lex(src);
+    let (suppressions, malformed) = parse_suppressions(&tokens);
+    let mut raw: Vec<Finding> = Vec::new();
+    for (line, col, msg) in malformed {
+        raw.push(Finding {
+            rule: "bad-suppression",
+            path: rel_path.to_owned(),
+            line,
+            col,
+            message: msg,
+        });
+    }
+    for s in &suppressions {
+        for r in &s.rules {
+            if rule_named(r).is_none() {
+                raw.push(Finding {
+                    rule: "bad-suppression",
+                    path: rel_path.to_owned(),
+                    line: s.line,
+                    col: 1,
+                    message: format!("suppression names unknown rule `{r}`"),
+                });
+            }
+        }
+    }
+    let input = FileInput {
+        crate_name,
+        role,
+        rel_path,
+        tokens: &tokens,
+        is_crate_root: crate_root,
+    };
+    raw.extend(check_file(&input));
+    if !rules::span_variants(&tokens).is_empty() {
+        raw.extend(span_attribution(
+            rel_path,
+            &tokens,
+            &[(rel_path.to_owned(), tokens.clone())],
+        ));
+    }
+    let mut used = vec![false; suppressions.len()];
+    let mut out = Vec::new();
+    for finding in raw {
+        let mut silenced = false;
+        if finding.rule != "bad-suppression" {
+            for (i, s) in suppressions.iter().enumerate() {
+                let covers = s.line == finding.line || s.line + 1 == finding.line;
+                if covers && s.rules.iter().any(|r| r == finding.rule) {
+                    used[i] = true;
+                    silenced = true;
+                    break;
+                }
+            }
+        }
+        if !silenced {
+            out.push(finding);
+        }
+    }
+    for (s, u) in suppressions.iter().zip(&used) {
+        if !u {
+            out.push(Finding {
+                rule: "bad-suppression",
+                path: rel_path.to_owned(),
+                line: s.line,
+                col: 1,
+                message: format!(
+                    "suppression for `{}` never matched a finding; delete it",
+                    s.rules.join(", ")
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_on_previous_line_silences_and_is_used() {
+        let src = "\
+// simlint::allow(no-ambient-rng): fixture demonstrating suppression
+let r = thread_rng();
+";
+        let f = lint_source(
+            src,
+            "mlb-ntier",
+            FileRole::Lib,
+            "crates/ntier/src/x.rs",
+            false,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unused_suppression_is_reported() {
+        let src = "// simlint::allow(no-wall-clock): nothing here uses the clock\nlet x = 1;\n";
+        let f = lint_source(
+            src,
+            "mlb-ntier",
+            FileRole::Lib,
+            "crates/ntier/src/x.rs",
+            false,
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "bad-suppression");
+    }
+
+    #[test]
+    fn unknown_rule_in_suppression_is_reported() {
+        let src = "// simlint::allow(no-such-rule): hmm\nlet r = thread_rng();\n";
+        let f = lint_source(
+            src,
+            "mlb-ntier",
+            FileRole::Lib,
+            "crates/ntier/src/x.rs",
+            false,
+        );
+        assert!(f.iter().any(|f| f.rule == "bad-suppression"));
+        assert!(f.iter().any(|f| f.rule == "no-ambient-rng"));
+    }
+
+    #[test]
+    fn whole_workspace_is_clean() {
+        // The repository itself must lint clean — this is the same gate
+        // the tier-1 integration test enforces, kept here as a unit test
+        // so `cargo test -p mlb-simlint` alone proves it.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("simlint lives two levels under the root");
+        let report = lint_workspace(root).expect("workspace discovery");
+        assert!(
+            report.is_clean(),
+            "workspace has simlint findings:\n{}",
+            report.render_human()
+        );
+    }
+}

@@ -1,0 +1,109 @@
+#![forbid(unsafe_code)]
+//! The `mlb-simlint` command-line front end.
+//!
+//! ```text
+//! cargo run -p mlb-simlint -- --workspace            # human diagnostics
+//! cargo run -p mlb-simlint -- --workspace --json     # machine-readable (CI)
+//! cargo run -p mlb-simlint -- --list-rules
+//! ```
+//!
+//! Exit status: 0 when the scan is clean, 1 when unsuppressed findings
+//! exist, 2 on usage or discovery errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mlb_simlint::rules::RULES;
+
+fn usage() -> &'static str {
+    "usage: mlb-simlint --workspace [--root <dir>] [--json]\n\
+     \x20      mlb-simlint --list-rules\n\
+     \n\
+     Scans the cargo workspace for violations of the simulation\n\
+     determinism invariants. See README.md \"Determinism guarantees\"."
+}
+
+/// Finds the workspace root: `--root` wins; otherwise walk up from the
+/// current directory looking for a `Cargo.toml` with a `[workspace]`
+/// table (works both from the repo root and from inside a crate).
+fn find_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
+    if let Some(r) = explicit {
+        return Some(r);
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut json = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if list_rules {
+        for r in RULES {
+            println!("{:<18} {}", r.name, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !workspace {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    }
+    let Some(root) = find_root(root) else {
+        eprintln!("could not locate a workspace root (try --root)");
+        return ExitCode::from(2);
+    };
+    match mlb_simlint::lint_workspace(Path::new(&root)) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,655 @@
+//! The simulation-hygiene rules.
+//!
+//! Each rule guards one invariant that the reproduction's headline
+//! numbers (the 1 s/2 s/3 s VLRT clusters, the policy-remedy factor, the
+//! bit-identical trace digests) silently depend on. Rules are heuristic
+//! token-stream checks, not type-checked analyses: they are tuned to be
+//! zero-noise on this workspace and to catch the realistic regression
+//! (someone iterates a `HashMap`, someone reads the host clock inside
+//! the event loop), not to be sound against adversarial code.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Finding;
+use crate::workspace::FileRole;
+
+/// Static description of one registered rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleMeta {
+    /// Registered name, used in findings and suppression comments.
+    pub name: &'static str,
+    /// One-line summary for `--list-rules` and docs.
+    pub summary: &'static str,
+}
+
+/// Crates whose library sources are simulation state machines: inside
+/// them, time must flow from the event queue and iteration order must be
+/// deterministic. `mlb-metrics` is included beyond the six crates the
+/// issue names because trace digests hash its data structures directly.
+pub const SIM_CRATES: [&str; 7] = [
+    "mlb-simkernel",
+    "mlb-osmodel",
+    "mlb-netmodel",
+    "mlb-workload",
+    "mlb-metrics",
+    "mlb-core",
+    "mlb-ntier",
+];
+
+/// Event-loop hot paths where a panic tears down the whole simulation:
+/// `unwrap`/`expect` there must carry a written invariant argument.
+pub const HOT_PATHS: [&str; 2] = ["crates/simkernel/src/sim.rs", "crates/ntier/src/system.rs"];
+
+/// Where the `SpanKind` vocabulary is declared.
+pub const SPAN_DECL_PATH: &str = "crates/metrics/src/spans.rs";
+
+/// Files that must construct every `SpanKind` variant — the tracer is
+/// the only component that feeds spans into VLRT attribution, so a
+/// variant it never emits silently falls out of the accounting.
+pub const SPAN_REF_PATHS: [&str; 1] = ["crates/ntier/src/trace.rs"];
+
+/// Every registered rule. The fixture meta-test enforces one triggering
+/// and one clean fixture per entry.
+pub const RULES: [RuleMeta; 7] = [
+    RuleMeta {
+        name: "no-wall-clock",
+        summary: "Instant::now/SystemTime banned in sim-crate library code; sim time must come from the event queue",
+    },
+    RuleMeta {
+        name: "no-hash-order",
+        summary: "iterating a HashMap/HashSet in sim-crate library code is nondeterministic; key by BTreeMap or access by key",
+    },
+    RuleMeta {
+        name: "no-ambient-rng",
+        summary: "thread_rng/rand::random/OsRng/from_entropy banned; all randomness flows from the seeded simkernel::rng streams",
+    },
+    RuleMeta {
+        name: "panic-hygiene",
+        summary: "unwrap()/expect() in the event-loop hot paths requires a justified suppression",
+    },
+    RuleMeta {
+        name: "crate-header",
+        summary: "every crate root must carry #![forbid(unsafe_code)]",
+    },
+    RuleMeta {
+        name: "span-attribution",
+        summary: "every SpanKind variant must be constructed by the tracer, or it falls out of VLRT accounting",
+    },
+    RuleMeta {
+        name: "bad-suppression",
+        summary: "simlint::allow comments must name a known rule, carry a justification, and actually suppress something",
+    },
+];
+
+/// Looks up a rule by name.
+pub fn rule_named(name: &str) -> Option<&'static RuleMeta> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// Per-file context handed to the rules.
+#[derive(Debug, Clone, Copy)]
+pub struct FileInput<'a> {
+    /// Owning package name.
+    pub crate_name: &'a str,
+    /// Role of the file within its crate.
+    pub role: FileRole,
+    /// Workspace-relative path.
+    pub rel_path: &'a str,
+    /// Lexed token stream (comments included).
+    pub tokens: &'a [Token],
+    /// Whether this file is a crate root (`src/lib.rs` / `src/main.rs`).
+    pub is_crate_root: bool,
+}
+
+impl FileInput<'_> {
+    fn in_sim_crate(&self) -> bool {
+        SIM_CRATES.contains(&self.crate_name)
+    }
+
+    fn is_shim(&self) -> bool {
+        self.rel_path.starts_with("shims/")
+    }
+}
+
+/// Runs every per-file rule on one file, returning raw (unsuppressed)
+/// findings.
+pub fn check_file(input: &FileInput<'_>) -> Vec<Finding> {
+    let code: Vec<&Token> = input.tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut findings = Vec::new();
+    if input.in_sim_crate() && input.role == FileRole::Lib {
+        no_wall_clock(input, &code, &mut findings);
+        no_hash_order(input, &code, &mut findings);
+    }
+    if !input.is_shim() {
+        no_ambient_rng(input, &code, &mut findings);
+    }
+    if HOT_PATHS.contains(&input.rel_path) {
+        panic_hygiene(input, &code, &mut findings);
+    }
+    if input.is_crate_root {
+        crate_header(input, &code, &mut findings);
+    }
+    findings
+}
+
+fn finding(input: &FileInput<'_>, rule: &'static str, t: &Token, message: String) -> Finding {
+    Finding {
+        rule,
+        path: input.rel_path.to_owned(),
+        line: t.line,
+        col: t.col,
+        message,
+    }
+}
+
+/// `no-wall-clock`: `Instant::now(...)` or any `SystemTime` mention.
+fn no_wall_clock(input: &FileInput<'_>, code: &[&Token], out: &mut Vec<Finding>) {
+    for (i, t) in code.iter().enumerate() {
+        if t.is_ident("SystemTime") {
+            out.push(finding(
+                input,
+                "no-wall-clock",
+                t,
+                "SystemTime read in simulation code; sim time must flow from the event queue \
+                 (use SimTime/SimDuration)"
+                    .to_owned(),
+            ));
+        }
+        if t.is_ident("Instant")
+            && matches!(code.get(i + 1), Some(n) if n.is_punct(':'))
+            && matches!(code.get(i + 2), Some(n) if n.is_punct(':'))
+            && matches!(code.get(i + 3), Some(n) if n.is_ident("now"))
+        {
+            out.push(finding(
+                input,
+                "no-wall-clock",
+                t,
+                "Instant::now() in simulation code; wall-clock reads make runs irreproducible \
+                 (bench harness timing is exempt by scope)"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
+/// Methods whose results depend on a hash map's internal ordering.
+const ORDER_SENSITIVE_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// `no-hash-order`: collect names bound to `HashMap`/`HashSet`, then flag
+/// order-sensitive method calls and `for … in` loops over them.
+fn no_hash_order(input: &FileInput<'_>, code: &[&Token], out: &mut Vec<Finding>) {
+    let mut hash_names: Vec<String> = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        if let Some(name) = bound_name(code, i) {
+            if !hash_names.contains(&name) {
+                hash_names.push(name);
+            }
+        }
+    }
+    for (i, t) in code.iter().enumerate() {
+        // `name.iter()`-style calls on a hash-typed binding.
+        if t.kind == TokenKind::Ident && hash_names.contains(&t.text) {
+            // Skip path uses like `module::name`.
+            if i > 0 && code[i - 1].is_punct(':') {
+                continue;
+            }
+            if matches!(code.get(i + 1), Some(n) if n.is_punct('.'))
+                && matches!(code.get(i + 3), Some(n) if n.is_punct('('))
+            {
+                if let Some(m) = code.get(i + 2) {
+                    if m.kind == TokenKind::Ident
+                        && ORDER_SENSITIVE_METHODS.contains(&m.text.as_str())
+                    {
+                        out.push(finding(
+                            input,
+                            "no-hash-order",
+                            m,
+                            format!(
+                                "`{}.{}()` iterates a HashMap/HashSet in simulation code; \
+                                 iteration order is nondeterministic — use a BTreeMap or keyed access",
+                                t.text, m.text
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        // Direct constructor iteration: `HashMap::new().iter()` etc. is
+        // silly but cheap to catch via the same method scan on the type
+        // name itself.
+        if (t.is_ident("HashMap") || t.is_ident("HashSet"))
+            && matches!(code.get(i + 1), Some(n) if n.is_punct('.'))
+        {
+            if let Some(m) = code.get(i + 2) {
+                if m.kind == TokenKind::Ident && ORDER_SENSITIVE_METHODS.contains(&m.text.as_str())
+                {
+                    out.push(finding(
+                        input,
+                        "no-hash-order",
+                        m,
+                        "iterating a freshly built HashMap/HashSet; iteration order is \
+                         nondeterministic"
+                            .to_owned(),
+                    ));
+                }
+            }
+        }
+        // `for pat in <expr containing a bare hash name> {`
+        if t.is_ident("for") {
+            let Some(in_idx) = (i + 1..code.len().min(i + 40)).find(|&j| code[j].is_ident("in"))
+            else {
+                continue;
+            };
+            let Some(brace_idx) =
+                (in_idx + 1..code.len().min(in_idx + 40)).find(|&j| code[j].is_punct('{'))
+            else {
+                continue;
+            };
+            for j in in_idx + 1..brace_idx {
+                let tok = code[j];
+                if tok.kind != TokenKind::Ident || !hash_names.contains(&tok.text) {
+                    continue;
+                }
+                // Keyed or method access is judged by the method scan
+                // above; a bare name (optionally `&`/`&mut`-prefixed)
+                // means the map itself is iterated.
+                let followed_by = code.get(j + 1);
+                let keyed = matches!(followed_by, Some(n) if n.is_punct('.') || n.is_punct('['));
+                if !keyed {
+                    out.push(finding(
+                        input,
+                        "no-hash-order",
+                        tok,
+                        format!(
+                            "`for … in {}` iterates a HashMap/HashSet in simulation code; \
+                             iteration order is nondeterministic — use a BTreeMap",
+                            tok.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Given `code[i]` == `HashMap`/`HashSet`, finds the binding name: either
+/// a type ascription (`name: [path::]HashMap<…>`, `&mut` and lifetimes
+/// skipped) or a constructor assignment (`let [mut] name = HashMap::…`).
+fn bound_name(code: &[&Token], i: usize) -> Option<String> {
+    // Walk back over a path prefix: `std :: collections ::`.
+    let mut j = i;
+    while j >= 2 && code[j - 1].is_punct(':') && code[j - 2].is_punct(':') {
+        j -= 2;
+        if j >= 1 && code[j - 1].kind == TokenKind::Ident {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    // Skip reference/mutability/lifetime noise between `:` and the type.
+    let mut k = j;
+    while k >= 1 {
+        let prev = code[k - 1];
+        if prev.is_punct('&') || prev.is_ident("mut") || prev.kind == TokenKind::Lifetime {
+            k -= 1;
+        } else {
+            break;
+        }
+    }
+    if k >= 2 && code[k - 1].is_punct(':') && !code[k - 2].is_punct(':') {
+        let name = code[k - 2];
+        if name.kind == TokenKind::Ident {
+            return Some(name.text.clone());
+        }
+    }
+    // `let [mut] name = HashMap::new()` / `= HashMap::with_capacity(…)`.
+    if i >= 2 && code[i - 1].is_punct('=') && code[i - 2].kind == TokenKind::Ident {
+        return Some(code[i - 2].text.clone());
+    }
+    None
+}
+
+/// `no-ambient-rng`: unseeded randomness sources.
+fn no_ambient_rng(input: &FileInput<'_>, code: &[&Token], out: &mut Vec<Finding>) {
+    for (i, t) in code.iter().enumerate() {
+        let banned = if t.is_ident("thread_rng") {
+            Some("thread_rng()")
+        } else if t.is_ident("OsRng") {
+            Some("OsRng")
+        } else if t.is_ident("from_entropy") {
+            Some("from_entropy()")
+        } else if t.is_ident("rand")
+            && matches!(code.get(i + 1), Some(n) if n.is_punct(':'))
+            && matches!(code.get(i + 2), Some(n) if n.is_punct(':'))
+            && matches!(code.get(i + 3), Some(n) if n.is_ident("random"))
+        {
+            Some("rand::random()")
+        } else {
+            None
+        };
+        if let Some(b) = banned {
+            out.push(finding(
+                input,
+                "no-ambient-rng",
+                t,
+                format!(
+                    "{b} draws ambient (unseeded) randomness; derive a stream from \
+                     mlb_simkernel::rng::SeedSequence instead"
+                ),
+            ));
+        }
+    }
+}
+
+/// `panic-hygiene`: `.unwrap(` / `.expect(` in event-loop hot paths.
+fn panic_hygiene(input: &FileInput<'_>, code: &[&Token], out: &mut Vec<Finding>) {
+    for (i, t) in code.iter().enumerate() {
+        if !t.is_punct('.') {
+            continue;
+        }
+        let Some(m) = code.get(i + 1) else { continue };
+        if !(m.is_ident("unwrap") || m.is_ident("expect")) {
+            continue;
+        }
+        if !matches!(code.get(i + 2), Some(n) if n.is_punct('(')) {
+            continue;
+        }
+        out.push(finding(
+            input,
+            "panic-hygiene",
+            m,
+            format!(
+                ".{}() in an event-loop hot path; justify the invariant with a \
+                 simlint::allow suppression or handle the None/Err arm",
+                m.text
+            ),
+        ));
+    }
+}
+
+/// `crate-header`: the crate root must `#![forbid(unsafe_code)]`.
+fn crate_header(input: &FileInput<'_>, code: &[&Token], out: &mut Vec<Finding>) {
+    let has = code.iter().enumerate().any(|(i, t)| {
+        t.is_ident("forbid")
+            && matches!(code.get(i + 1), Some(n) if n.is_punct('('))
+            && matches!(code.get(i + 2), Some(n) if n.is_ident("unsafe_code"))
+    });
+    if !has {
+        out.push(Finding {
+            rule: "crate-header",
+            path: input.rel_path.to_owned(),
+            line: 1,
+            col: 1,
+            message: "crate root lacks #![forbid(unsafe_code)]".to_owned(),
+        });
+    }
+}
+
+/// Extracts the variant names of `enum SpanKind` from a token stream.
+pub fn span_variants(tokens: &[Token]) -> Vec<(String, u32)> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let Some(start) = code
+        .windows(2)
+        .position(|w| w[0].is_ident("enum") && w[1].is_ident("SpanKind"))
+    else {
+        return Vec::new();
+    };
+    let Some(open) = (start..code.len()).find(|&i| code[i].is_punct('{')) else {
+        return Vec::new();
+    };
+    let mut variants = Vec::new();
+    let (mut brace, mut bracket, mut paren) = (1i32, 0i32, 0i32);
+    let mut expect_variant = true;
+    let mut idx = open + 1;
+    while idx < code.len() && brace > 0 {
+        let t = code[idx];
+        match t.kind {
+            TokenKind::Punct('{') => brace += 1,
+            TokenKind::Punct('}') => {
+                brace -= 1;
+                if brace == 1 {
+                    expect_variant = true; // end of a struct-variant body
+                }
+            }
+            TokenKind::Punct('[') => bracket += 1,
+            TokenKind::Punct(']') => bracket -= 1,
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => paren -= 1,
+            TokenKind::Punct(',') if brace == 1 && bracket == 0 && paren == 0 => {
+                expect_variant = true;
+            }
+            TokenKind::Ident
+                if expect_variant
+                    && brace == 1
+                    && bracket == 0
+                    && paren == 0
+                    && t.text.starts_with(char::is_uppercase) =>
+            {
+                variants.push((t.text.clone(), t.line));
+                expect_variant = false;
+            }
+            _ => {}
+        }
+        idx += 1;
+    }
+    variants
+}
+
+/// `span-attribution`: every variant declared in `decl_tokens` must be
+/// constructed (as `SpanKind::<Variant>`) somewhere in `ref_tokens`.
+/// Returns findings anchored at the unreferenced variant declarations.
+pub fn span_attribution(
+    decl_path: &str,
+    decl_tokens: &[Token],
+    ref_tokens: &[(String, Vec<Token>)],
+) -> Vec<Finding> {
+    let variants = span_variants(decl_tokens);
+    if variants.is_empty() {
+        return vec![Finding {
+            rule: "span-attribution",
+            path: decl_path.to_owned(),
+            line: 1,
+            col: 1,
+            message: "could not locate `enum SpanKind`; the span-attribution rule is wired to a \
+                      declaration that no longer exists"
+                .to_owned(),
+        }];
+    }
+    let mut referenced: Vec<String> = Vec::new();
+    for (_, tokens) in ref_tokens {
+        let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+        for i in 0..code.len() {
+            if code[i].is_ident("SpanKind")
+                && matches!(code.get(i + 1), Some(n) if n.is_punct(':'))
+                && matches!(code.get(i + 2), Some(n) if n.is_punct(':'))
+            {
+                if let Some(v) = code.get(i + 3) {
+                    if v.kind == TokenKind::Ident && !referenced.contains(&v.text) {
+                        referenced.push(v.text.clone());
+                    }
+                }
+            }
+        }
+    }
+    let sources: Vec<&str> = ref_tokens.iter().map(|(p, _)| p.as_str()).collect();
+    variants
+        .iter()
+        .filter(|(v, _)| !referenced.contains(v))
+        .map(|(v, line)| Finding {
+            rule: "span-attribution",
+            path: decl_path.to_owned(),
+            line: *line,
+            col: 1,
+            message: format!(
+                "SpanKind::{v} is declared but never constructed in {}; requests carrying it \
+                 would silently fall out of VLRT attribution",
+                sources.join(", ")
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn sim_lib_input<'a>(tokens: &'a [Token]) -> FileInput<'a> {
+        FileInput {
+            crate_name: "mlb-ntier",
+            role: FileRole::Lib,
+            rel_path: "crates/ntier/src/system.rs",
+            tokens,
+            is_crate_root: false,
+        }
+    }
+
+    #[test]
+    fn wall_clock_flags_instant_now_but_not_simtime() {
+        let toks = lex("let t = Instant::now(); let s = SimTime::ZERO; let i: Instant = x;");
+        let f = check_file(&sim_lib_input(&toks));
+        let wall: Vec<_> = f.iter().filter(|f| f.rule == "no-wall-clock").collect();
+        assert_eq!(wall.len(), 1); // the bare `Instant` type mention passes
+    }
+
+    #[test]
+    fn hash_order_tracks_field_and_let_bindings() {
+        let src = "
+            struct S { live: HashMap<u64, V> }
+            fn f(s: &mut S) {
+                let mut seen = HashSet::new();
+                for (k, v) in &s.live {}
+                let _ = s.live.get(&3);
+                for x in &seen {}
+                seen.insert(1);
+                let keyed = s.live[&7];
+            }
+        ";
+        let toks = lex(src);
+        let f = check_file(&sim_lib_input(&toks));
+        let hits: Vec<_> = f.iter().filter(|f| f.rule == "no-hash-order").collect();
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits[0].message.contains("live") || hits[1].message.contains("live"));
+    }
+
+    #[test]
+    fn hash_order_flags_iter_methods() {
+        let src = "
+            fn f(m: &HashMap<u64, V>) {
+                for k in m.keys() {}
+                let v: Vec<_> = m.values().collect();
+                m.get(&1);
+            }
+        ";
+        let f = check_file(&sim_lib_input(&lex(src)));
+        assert_eq!(
+            f.iter().filter(|f| f.rule == "no-hash-order").count(),
+            2,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn hash_order_ignores_btreemap_and_nonsim_roles() {
+        let src = "struct S { m: BTreeMap<u64, V> } fn f(s: &S) { for x in &s.m {} }";
+        let toks = lex(src);
+        assert!(check_file(&sim_lib_input(&toks)).is_empty());
+        let bench = FileInput {
+            crate_name: "mlb-bench",
+            role: FileRole::Lib,
+            rel_path: "crates/bench/src/runs.rs",
+            tokens: &toks,
+            is_crate_root: false,
+        };
+        assert!(check_file(&bench).iter().all(|f| f.rule != "no-hash-order"));
+    }
+
+    #[test]
+    fn ambient_rng_flags_thread_rng_everywhere_but_shims() {
+        let toks = lex("let mut rng = thread_rng(); let x: u8 = rand::random();");
+        let mut input = sim_lib_input(&toks);
+        assert_eq!(
+            check_file(&input)
+                .iter()
+                .filter(|f| f.rule == "no-ambient-rng")
+                .count(),
+            2
+        );
+        input.rel_path = "shims/rand/src/lib.rs";
+        input.crate_name = "rand";
+        assert!(check_file(&input)
+            .iter()
+            .all(|f| f.rule != "no-ambient-rng"));
+    }
+
+    #[test]
+    fn panic_hygiene_only_binds_hot_paths() {
+        let toks =
+            lex("let v = map.get(&k).expect(\"state bug\"); let w = o.unwrap(); u.unwrap_or(3);");
+        let mut input = sim_lib_input(&toks);
+        assert_eq!(
+            check_file(&input)
+                .iter()
+                .filter(|f| f.rule == "panic-hygiene")
+                .count(),
+            2
+        );
+        input.rel_path = "crates/ntier/src/servers.rs";
+        assert!(check_file(&input).iter().all(|f| f.rule != "panic-hygiene"));
+    }
+
+    #[test]
+    fn crate_header_checks_roots_only() {
+        let toks = lex("//! docs\n#![forbid(unsafe_code)]\npub fn f() {}");
+        let mut input = sim_lib_input(&toks);
+        input.is_crate_root = true;
+        assert!(check_file(&input).iter().all(|f| f.rule != "crate-header"));
+        let missing = lex("pub fn f() {}");
+        input.tokens = &missing;
+        assert_eq!(
+            check_file(&input)
+                .iter()
+                .filter(|f| f.rule == "crate-header")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn span_variants_parse_struct_and_unit_variants() {
+        let src = "
+            pub enum SpanKind {
+                Issued { client: u64, apache: u16 },
+                Admitted,
+                DbDispatched { remaining: u32 },
+            }
+        ";
+        let vars: Vec<String> = span_variants(&lex(src))
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        assert_eq!(vars, vec!["Issued", "Admitted", "DbDispatched"]);
+    }
+
+    #[test]
+    fn span_attribution_reports_unreferenced_variants() {
+        let decl = lex("pub enum SpanKind { Issued, Ghost }");
+        let refs = vec![("tracer.rs".to_owned(), lex("self.push(SpanKind::Issued);"))];
+        let f = span_attribution("spans.rs", &decl, &refs);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("Ghost"));
+    }
+}

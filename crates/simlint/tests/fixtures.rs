@@ -1,0 +1,110 @@
+//! The fixture corpus contract: every registered rule ships one
+//! triggering and one clean snippet under `fixtures/<rule>/`, and each
+//! behaves as labeled when linted under its rule's natural context.
+//! Adding a rule without fixtures fails the meta-test; a rule whose
+//! heuristic rots fails the trigger test.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mlb_simlint::lint_source;
+use mlb_simlint::rules::RULES;
+use mlb_simlint::workspace::FileRole;
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+/// The lint context each rule's fixtures are evaluated under:
+/// (crate name, role, workspace-relative path, is-crate-root).
+fn context(rule: &str) -> (&'static str, FileRole, &'static str, bool) {
+    match rule {
+        "no-wall-clock" | "no-hash-order" | "no-ambient-rng" => (
+            "mlb-simkernel",
+            FileRole::Lib,
+            "crates/simkernel/src/fixture.rs",
+            false,
+        ),
+        // panic-hygiene only binds the event-loop hot paths, so the
+        // fixture borrows one of their paths.
+        "panic-hygiene" => (
+            "mlb-ntier",
+            FileRole::Lib,
+            "crates/ntier/src/system.rs",
+            false,
+        ),
+        "crate-header" => (
+            "mlb-simkernel",
+            FileRole::Lib,
+            "crates/simkernel/src/lib.rs",
+            true,
+        ),
+        "span-attribution" => (
+            "mlb-metrics",
+            FileRole::Lib,
+            "crates/metrics/src/fixture.rs",
+            false,
+        ),
+        "bad-suppression" => (
+            "mlb-ntier",
+            FileRole::Lib,
+            "crates/ntier/src/fixture.rs",
+            false,
+        ),
+        other => panic!(
+            "rule `{other}` has no fixture context — register one here and add \
+             fixtures/{other}/{{trigger,clean}}.rs"
+        ),
+    }
+}
+
+fn read(rule: &str, which: &str) -> String {
+    let path = fixture_dir().join(rule).join(format!("{which}.rs"));
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("every rule needs {}: {e}", path.display()))
+}
+
+#[test]
+fn every_rule_has_a_triggering_and_a_clean_fixture() {
+    for rule in RULES {
+        let dir = fixture_dir().join(rule.name);
+        assert!(
+            dir.join("trigger.rs").is_file(),
+            "rule `{}` lacks fixtures/{}/trigger.rs",
+            rule.name,
+            rule.name
+        );
+        assert!(
+            dir.join("clean.rs").is_file(),
+            "rule `{}` lacks fixtures/{}/clean.rs",
+            rule.name,
+            rule.name
+        );
+    }
+}
+
+#[test]
+fn trigger_fixtures_trigger_their_rule() {
+    for rule in RULES {
+        let (krate, role, rel, root) = context(rule.name);
+        let findings = lint_source(&read(rule.name, "trigger"), krate, role, rel, root);
+        assert!(
+            findings.iter().any(|f| f.rule == rule.name),
+            "fixtures/{}/trigger.rs did not trigger `{}`; findings: {findings:?}",
+            rule.name,
+            rule.name
+        );
+    }
+}
+
+#[test]
+fn clean_fixtures_are_clean() {
+    for rule in RULES {
+        let (krate, role, rel, root) = context(rule.name);
+        let findings = lint_source(&read(rule.name, "clean"), krate, role, rel, root);
+        assert!(
+            findings.is_empty(),
+            "fixtures/{}/clean.rs has findings: {findings:?}",
+            rule.name
+        );
+    }
+}

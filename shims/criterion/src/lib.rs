@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline shim for the subset of the `criterion` API used by this
 //! workspace's benches.
 //!
@@ -69,6 +70,7 @@ impl IntoBenchmarkLabel for String {
 }
 
 /// Passed to the measured closure; drives the timing loop.
+#[derive(Debug)]
 pub struct Bencher {
     /// Median nanoseconds per iteration, filled in by `iter`.
     ns_per_iter: f64,
@@ -102,6 +104,7 @@ impl Bencher {
 }
 
 /// A named collection of benchmarks.
+#[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     name: String,
     _parent: &'a mut Criterion,
@@ -141,7 +144,7 @@ impl BenchmarkGroup<'_> {
 }
 
 /// The benchmark driver.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct Criterion {}
 
 impl Criterion {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline shim for the subset of the `rand` 0.8 API used by this
 //! workspace.
 //!
@@ -54,7 +55,7 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
         (**self).next_u64()
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        (**self).fill_bytes(dest)
+        (**self).fill_bytes(dest);
     }
 }
 

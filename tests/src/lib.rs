@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Host crate for the workspace's cross-crate integration tests.
 //!
 //! The tests live in `tests/tests/`; this library intentionally exports

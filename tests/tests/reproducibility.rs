@@ -75,6 +75,43 @@ fn traces_are_bit_identical_across_identical_seeds() {
 }
 
 #[test]
+fn trace_digests_match_pre_btreemap_golden_values() {
+    // Golden digests captured on the HashMap-backed request tables
+    // *before* `NTierSystem::requests` and `Tracer::live` moved to
+    // `BTreeMap`. Byte-identical digests prove the container migration
+    // changed no observable behavior — only keyed access was ever used,
+    // never iteration order. If an intentional model change breaks
+    // these, re-capture them in the same commit and say why.
+    let traced = |seed: u64| {
+        let mut cfg = SystemConfig::smoke(BalancerConfig::with(
+            PolicyKind::TotalRequest,
+            MechanismKind::Original,
+        ));
+        cfg.seed = seed;
+        cfg.trace = TraceConfig::enabled_default();
+        run_experiment(cfg)
+            .expect("smoke config is valid")
+            .trace
+            .expect("tracing was enabled")
+    };
+    for (seed, digest, completed, vlrt) in [
+        (7u64, 0x65f93bed2ae175cb_u64, 16_156u64, 873u64),
+        (8, 0xbd91f4ce1dc729a4, 15_484, 847),
+        (42, 0x0b12e81742847ad2, 15_692, 767),
+    ] {
+        let log = traced(seed);
+        assert_eq!(
+            log.digest(),
+            digest,
+            "seed {seed}: trace digest drifted from the pre-migration golden value"
+        );
+        assert_eq!(log.completed, completed, "seed {seed}: completed count");
+        assert_eq!(log.failed, 0, "seed {seed}: failed count");
+        assert_eq!(log.summary.vlrt_total, vlrt, "seed {seed}: VLRT count");
+    }
+}
+
+#[test]
 fn different_seeds_give_different_runs() {
     let a = smoke_with_seed(1);
     let b = smoke_with_seed(2);

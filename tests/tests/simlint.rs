@@ -1,0 +1,30 @@
+//! Tier-1 determinism-hygiene gate: the whole workspace must lint clean
+//! under `mlb-simlint`. This is the same scan CI runs via
+//! `cargo run -p mlb-simlint -- --workspace --json`; keeping it in the
+//! tier-1 suite means a plain `cargo test` refuses wall-clock reads,
+//! hash-order iteration, ambient RNG, unjustified hot-path panics,
+//! missing `#![forbid(unsafe_code)]` headers, and unattributed
+//! `SpanKind` variants before they can perturb the paper's numbers.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_simlint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests crate sits directly under the workspace root");
+    let report = mlb_simlint::lint_workspace(root).expect("workspace discovery");
+    assert!(
+        report.is_clean(),
+        "the workspace has simlint findings — fix them or add a justified \
+         `// simlint::allow(<rule>): <why>` suppression:\n{}",
+        report.render_human()
+    );
+    // The scan must actually be scanning: a discovery regression that
+    // silently skips crates would pass `is_clean` vacuously.
+    assert!(
+        report.files_scanned.len() >= 40,
+        "suspiciously few files scanned ({}); workspace discovery regressed?",
+        report.files_scanned.len()
+    );
+}
