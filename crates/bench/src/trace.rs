@@ -10,6 +10,7 @@
 
 use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
 use mlb_metrics::csv::CsvTable;
+use mlb_metrics::heatmap::AttributionHeatmap;
 use mlb_metrics::spans::{Segment, TraceLog};
 use mlb_ntier::config::SystemConfig;
 use mlb_ntier::experiment::run_experiment;
@@ -21,6 +22,12 @@ use crate::figures::Figure;
 /// Fully rendered causal chains shown on the terminal (the CSV carries
 /// every retained chain).
 const CHAINS_SHOWN: usize = 3;
+
+/// Heatmap window width: the paper's 50 ms monitoring resolution.
+const HEATMAP_WINDOW: SimDuration = SimDuration::from_millis(50);
+
+/// Upper bound on ASCII heatmap rows (bands merge to fit).
+const HEATMAP_ROWS: usize = 40;
 
 /// Builds the `trace` artifact: one traced run of the unstable
 /// `Original total_request` configuration at `secs` simulated seconds.
@@ -71,6 +78,10 @@ pub(crate) fn trace_figure(log: &TraceLog, secs: u64) -> Figure {
             text.push_str(&cause.render(&log.stalls));
         }
     }
+
+    let heatmap = AttributionHeatmap::from_trace_log(log, HEATMAP_WINDOW);
+    text.push('\n');
+    text.push_str(&heatmap.render_ascii(HEATMAP_ROWS));
 
     text.push_str(&format!(
         "\nShape check vs paper:\n\
@@ -133,6 +144,7 @@ pub(crate) fn trace_figure(log: &TraceLog, secs: u64) -> Figure {
         csvs: vec![
             ("trace_attribution".to_owned(), attribution),
             ("trace_vlrt_chains".to_owned(), chains),
+            ("fig_attribution_heatmap".to_owned(), heatmap.to_csv()),
         ],
     }
 }
@@ -167,11 +179,27 @@ mod tests {
         let fig = trace_figure(&log, 10);
         assert_eq!(fig.id, "trace");
         assert!(fig.text.contains("Shape check vs paper"));
-        assert_eq!(fig.csvs.len(), 2);
+        assert_eq!(fig.csvs.len(), 3);
         assert_eq!(fig.csvs[0].0, "trace_attribution");
         assert_eq!(fig.csvs[1].0, "trace_vlrt_chains");
+        assert_eq!(fig.csvs[2].0, "fig_attribution_heatmap");
         // One attribution row per segment, always.
         assert!(fig.csvs[0].1.to_csv_string().lines().count() == 1 + Segment::ALL.len());
+        assert!(fig.text.contains("VLRT attribution heatmap"));
+    }
+
+    #[test]
+    fn heatmap_csv_covers_the_vlrt_chains() {
+        let log = traced_smoke();
+        let hm = AttributionHeatmap::from_trace_log(&log, HEATMAP_WINDOW);
+        assert_eq!(hm.chains(), log.vlrt_causes().len() as u64);
+        let fig = trace_figure(&log, 10);
+        let (_, table) = &fig.csvs[2];
+        assert_eq!(table.headers().len(), 2 + Segment::ALL.len());
+        assert!(
+            table.row_count() > 0,
+            "smoke VLRTs must populate the heatmap"
+        );
     }
 
     #[test]

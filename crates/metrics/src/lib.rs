@@ -11,6 +11,15 @@
 //!   % normal, plus table rendering.
 //! * [`spans`] — per-request span traces (milliScope-style) and VLRT
 //!   root-cause attribution against millibottleneck windows.
+//! * [`registry`] — the streaming telemetry bus: named counters, gauges
+//!   and log-scale histograms aggregated into fixed sub-50 ms windows
+//!   with integer-µs accumulation, drained through pluggable sinks
+//!   (JSONL, CSV, in-memory).
+//! * [`detector`] — online millibottleneck detection over the registry's
+//!   window stream (iowait-saturated / queue-spike / frozen-backend
+//!   flags, merged into window-aligned `StallWindow`s).
+//! * [`heatmap`] — per-window × per-segment VLRT attribution heatmap
+//!   (ASCII + `fig_attribution_heatmap.csv`).
 //! * [`csv`] — plain CSV emission for external re-plotting.
 //! * [`ascii`] — terminal line/bar charts so every figure is visible
 //!   directly in the harness output.
@@ -21,13 +30,21 @@
 
 pub mod ascii;
 pub mod csv;
+pub mod detector;
+pub mod heatmap;
 pub mod histogram;
+pub mod registry;
 pub mod series;
 pub mod spans;
 pub mod summary;
 
 pub use csv::CsvTable;
+pub use detector::{DetectorConfig, DetectorFlag, FlagKind, MillibottleneckDetector};
+pub use heatmap::AttributionHeatmap;
 pub use histogram::ResponseTimeHistogram;
+pub use registry::{
+    fnv1a, CsvSink, JsonlSink, MemorySink, MetricId, MetricKind, MetricSink, Registry, WindowRecord,
+};
 pub use series::{WindowAggregate, WindowedCounter, WindowedSeries};
 pub use spans::{
     AttributionSummary, RequestTrace, Segment, SpanEvent, SpanKind, StallKind, StallWindow,

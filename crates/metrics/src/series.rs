@@ -191,6 +191,7 @@ impl WindowedSeries {
         }
         let b = &mut self.buckets[idx];
         b.count += 1;
+        // simlint::allow(no-float-accum): deterministic arrival-order fold within one window; digests hash derived counters, not this field
         b.sum += value;
         b.max = b.max.max(value);
         b.min = b.min.min(value);

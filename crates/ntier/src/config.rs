@@ -9,6 +9,7 @@ use mlb_simkernel::time::SimDuration;
 use mlb_workload::clients::ClientPopulation;
 use mlb_workload::mix::InteractionMix;
 
+use crate::metrics::MetricsConfig;
 use crate::trace::TraceConfig;
 
 /// Complete description of one n-tier experiment.
@@ -70,6 +71,9 @@ pub struct SystemConfig {
     /// Per-request event tracing (off by default; purely observational —
     /// enabling it never changes the simulation's outcome).
     pub trace: TraceConfig,
+    /// Streaming telemetry registry + online millibottleneck detector
+    /// (off by default; purely observational, like tracing).
+    pub metrics: MetricsConfig,
 }
 
 impl SystemConfig {
@@ -104,6 +108,7 @@ impl SystemConfig {
             apache_log_bytes: 500,
             routing_budget: SimDuration::from_secs(2),
             trace: TraceConfig::disabled(),
+            metrics: MetricsConfig::disabled(),
         }
     }
 
@@ -237,6 +242,21 @@ impl SystemConfig {
                     .into(),
             );
         }
+        if self.trace.sample_every == 0 {
+            return Err("trace.sample_every must be >= 1 (1 = trace everything)".into());
+        }
+        if self.metrics.enabled {
+            if self.metrics.window.is_zero() {
+                return Err("metrics.window must be positive".into());
+            }
+            if self.metrics.window > SimDuration::from_millis(50) {
+                return Err(
+                    "metrics.window must be <= 50 ms: millibottlenecks last 10s–100s \
+                     of ms and coarser windows average them away"
+                        .into(),
+                );
+            }
+        }
         if let Some(w) = &self.balancer.weights {
             if w.len() != self.tomcats {
                 return Err(format!(
@@ -321,5 +341,26 @@ mod tests {
         let mut c = SystemConfig::smoke(bal());
         c.duration = SimDuration::ZERO;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_sample_every() {
+        let mut c = SystemConfig::smoke(bal());
+        c.trace.sample_every = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_bounds_the_metrics_window() {
+        let mut c = SystemConfig::smoke(bal());
+        c.metrics = MetricsConfig::enabled_default();
+        assert!(c.validate().is_ok());
+        c.metrics.window = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+        c.metrics.window = SimDuration::from_millis(60);
+        assert!(c.validate().is_err(), "sub-50 ms windows are the contract");
+        // A disabled subsystem's window is not validated.
+        c.metrics.enabled = false;
+        assert!(c.validate().is_ok());
     }
 }

@@ -5,6 +5,7 @@ use mlb_simkernel::sim::Simulation;
 use mlb_simkernel::time::SimTime;
 
 use crate::config::SystemConfig;
+use crate::metrics::MetricsReport;
 use crate::system::{InvalidSystemConfigError, NTierSystem};
 use crate::telemetry::Telemetry;
 
@@ -36,6 +37,9 @@ pub struct ExperimentResult {
     /// Per-request span traces and VLRT attribution, when
     /// [`SystemConfig::trace`] was enabled.
     pub trace: Option<TraceLog>,
+    /// Streaming registry export and online detector outcome, when
+    /// [`SystemConfig::metrics`] was enabled.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl ExperimentResult {
@@ -115,7 +119,7 @@ fn package(system: NTierSystem, events_processed: u64) -> ExperimentResult {
     ));
     let inflight_at_end = system.inflight();
     let requests_issued = system.requests_issued();
-    let (telemetry, trace) = system.into_parts();
+    let (telemetry, trace, metrics) = system.into_parts();
     ExperimentResult {
         label,
         events_processed,
@@ -129,6 +133,7 @@ fn package(system: NTierSystem, events_processed: u64) -> ExperimentResult {
         requests_issued,
         telemetry,
         trace,
+        metrics,
     }
 }
 

@@ -37,6 +37,7 @@
 pub mod config;
 pub mod events;
 pub mod experiment;
+pub mod metrics;
 pub mod request;
 pub mod servers;
 pub mod system;
@@ -45,6 +46,7 @@ pub mod trace;
 
 pub use config::SystemConfig;
 pub use experiment::{run_experiment, ExperimentResult};
+pub use metrics::{LiveMetrics, MetricsConfig, MetricsReport};
 pub use system::{InvalidSystemConfigError, NTierSystem};
 pub use telemetry::{PhaseBreakdown, Telemetry};
 pub use trace::{TraceConfig, Tracer};
@@ -53,6 +55,7 @@ pub use trace::{TraceConfig, Tracer};
 pub mod prelude {
     pub use crate::config::SystemConfig;
     pub use crate::experiment::{run_experiment, ExperimentResult};
+    pub use crate::metrics::MetricsConfig;
     pub use crate::system::NTierSystem;
     pub use crate::telemetry::Telemetry;
     pub use crate::trace::TraceConfig;

@@ -1,0 +1,327 @@
+//! System-side wiring of the streaming telemetry registry and the
+//! online millibottleneck detector.
+//!
+//! [`LiveMetrics`] bundles one [`Registry`] (every layer's instruments,
+//! registered by name at construction in a fixed order) with one
+//! [`MillibottleneckDetector`] fed integer per-window deltas at each
+//! monitor tick. Like tracing, the whole subsystem is **observational**:
+//! it never schedules events or perturbs any random stream, so enabling
+//! it leaves a run's trace digests byte-identical — an invariant the
+//! observability integration tests assert.
+//!
+//! Instrument map (registration order):
+//!
+//! | layer | instrument | kind |
+//! |-------|-----------|------|
+//! | simkernel | `sim.events` (handled per window) | counter |
+//! | simkernel | `sim.event_queue_depth` | gauge |
+//! | netmodel | `net.drops`, `net.retransmits` | counters |
+//! | ntier | `ntier.completions`, `ntier.failures` | counters |
+//! | ntier | `ntier.rt_us` (response times) | histogram |
+//! | per server | `<server>.queue_depth`, `<server>.dirty_bytes`, `<server>.iowait_us` | gauges |
+//! | per backend | `lb.tomcat<i>` (policy lb_value) | gauge |
+
+use mlb_metrics::detector::{DetectorConfig, DetectorFlag, MillibottleneckDetector};
+use mlb_metrics::registry::{JsonlSink, MetricId, Registry};
+use mlb_metrics::spans::StallWindow;
+use mlb_simkernel::time::{SimDuration, SimTime};
+
+/// Configuration of the streaming telemetry subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsConfig {
+    /// Master switch. When off, the system carries no registry and every
+    /// hook is a single `Option` check.
+    pub enabled: bool,
+    /// Registry aggregation window. The paper's monitoring resolution
+    /// argument (millibottlenecks last 10s–100s of ms) wants sub-50 ms
+    /// windows; [`MetricsConfig::enabled_default`] uses 25 ms.
+    pub window: SimDuration,
+    /// Queue depth at or above which the detector flags a queue spike.
+    pub queue_spike_threshold: u64,
+}
+
+impl MetricsConfig {
+    /// Telemetry off (the default).
+    pub fn disabled() -> Self {
+        MetricsConfig {
+            enabled: false,
+            window: SimDuration::from_millis(25),
+            queue_spike_threshold: 100,
+        }
+    }
+
+    /// Telemetry on with a 25 ms registry window.
+    pub fn enabled_default() -> Self {
+        MetricsConfig {
+            enabled: true,
+            ..MetricsConfig::disabled()
+        }
+    }
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig::disabled()
+    }
+}
+
+/// Instrument handles, registered once at construction.
+#[derive(Debug)]
+struct Instruments {
+    events: MetricId,
+    event_queue_depth: MetricId,
+    drops: MetricId,
+    retransmits: MetricId,
+    completions: MetricId,
+    failures: MetricId,
+    rt_us: MetricId,
+    /// Per server slot: queue depth, dirty bytes, iowait delta.
+    queue: Vec<MetricId>,
+    dirty: Vec<MetricId>,
+    iowait: Vec<MetricId>,
+    /// Per backend: policy lb_value.
+    lb: Vec<MetricId>,
+}
+
+/// The live telemetry bundle carried by a running `NTierSystem`.
+#[derive(Debug)]
+pub struct LiveMetrics {
+    registry: Registry,
+    detector: MillibottleneckDetector,
+    ids: Instruments,
+    /// Monitor tick interval (= detector window width).
+    interval: SimDuration,
+    /// Previous cumulative (busy_us, iowait_us) per server slot, for
+    /// integer window deltas.
+    last_cpu: Vec<(u64, u64)>,
+}
+
+impl LiveMetrics {
+    /// Builds the registry + detector for an `apaches`×`tomcats`×1
+    /// topology sampled every `interval` (the system's
+    /// `sample_interval`).
+    pub fn new(cfg: &MetricsConfig, apaches: usize, tomcats: usize, interval: SimDuration) -> Self {
+        let mut labels: Vec<String> = Vec::with_capacity(apaches + tomcats + 1);
+        for i in 0..apaches {
+            labels.push(format!("apache{}", i + 1));
+        }
+        for i in 0..tomcats {
+            labels.push(format!("tomcat{}", i + 1));
+        }
+        labels.push("mysql".to_owned());
+
+        let mut registry = Registry::new(cfg.window);
+        let ids = Instruments {
+            events: registry.register_counter("sim.events"),
+            event_queue_depth: registry.register_gauge("sim.event_queue_depth"),
+            drops: registry.register_counter("net.drops"),
+            retransmits: registry.register_counter("net.retransmits"),
+            completions: registry.register_counter("ntier.completions"),
+            failures: registry.register_counter("ntier.failures"),
+            rt_us: registry.register_histogram("ntier.rt_us"),
+            queue: labels
+                .iter()
+                .map(|l| registry.register_gauge(&format!("{l}.queue_depth")))
+                .collect(),
+            dirty: labels
+                .iter()
+                .map(|l| registry.register_gauge(&format!("{l}.dirty_bytes")))
+                .collect(),
+            iowait: labels
+                .iter()
+                .map(|l| registry.register_gauge(&format!("{l}.iowait_us")))
+                .collect(),
+            lb: (0..tomcats)
+                .map(|i| registry.register_gauge(&format!("lb.tomcat{}", i + 1)))
+                .collect(),
+        };
+        let detector = MillibottleneckDetector::new(
+            interval,
+            labels,
+            DetectorConfig {
+                queue_spike_threshold: cfg.queue_spike_threshold,
+            },
+        );
+        let server_count = detector.server_count();
+        LiveMetrics {
+            registry,
+            detector,
+            ids,
+            interval,
+            last_cpu: vec![(0, 0); server_count],
+        }
+    }
+
+    /// One simulation event was handled.
+    #[inline]
+    pub fn on_event(&mut self, now: SimTime) {
+        self.registry.incr(self.ids.events, now, 1);
+    }
+
+    /// An accept-queue drop happened.
+    pub fn on_drop(&mut self, now: SimTime) {
+        self.registry.incr(self.ids.drops, now, 1);
+    }
+
+    /// A TCP retransmission was scheduled.
+    pub fn on_retransmit(&mut self, now: SimTime) {
+        self.registry.incr(self.ids.retransmits, now, 1);
+    }
+
+    /// A request completed with response time `rt_us`.
+    pub fn on_completion(&mut self, now: SimTime, rt_us: u64) {
+        self.registry.incr(self.ids.completions, now, 1);
+        self.registry.observe(self.ids.rt_us, now, rt_us);
+    }
+
+    /// A request terminally failed.
+    pub fn on_failure(&mut self, now: SimTime) {
+        self.registry.incr(self.ids.failures, now, 1);
+    }
+
+    /// Samples the event-loop depth at a monitor tick.
+    pub fn sample_event_queue(&mut self, now: SimTime, pending: usize) {
+        self.registry
+            .gauge_set(self.ids.event_queue_depth, now, pending as u64);
+    }
+
+    /// Samples one server at a monitor tick: cumulative core-µs counters
+    /// (differenced internally), queue depth and dirty bytes — and feeds
+    /// the detector the closed window.
+    pub fn sample_server(
+        &mut self,
+        now: SimTime,
+        slot: usize,
+        busy_cum_us: u64,
+        iowait_cum_us: u64,
+        queue_depth: u64,
+        dirty_bytes: u64,
+    ) {
+        let (last_busy, last_iowait) = self.last_cpu[slot];
+        let busy_delta = busy_cum_us.saturating_sub(last_busy);
+        let iowait_delta = iowait_cum_us.saturating_sub(last_iowait);
+        self.last_cpu[slot] = (busy_cum_us, iowait_cum_us);
+
+        self.registry
+            .gauge_set(self.ids.queue[slot], now, queue_depth);
+        self.registry
+            .gauge_set(self.ids.dirty[slot], now, dirty_bytes);
+        self.registry
+            .gauge_set(self.ids.iowait[slot], now, iowait_delta);
+
+        // The tick at t = k·interval closes window k−1.
+        let window = (now.as_micros() / self.interval.as_micros()).saturating_sub(1);
+        self.detector.observe(
+            window,
+            slot,
+            iowait_delta,
+            busy_delta,
+            queue_depth,
+            dirty_bytes,
+        );
+    }
+
+    /// Samples one backend's policy lb_value at a monitor tick.
+    pub fn sample_lb(&mut self, now: SimTime, backend: usize, lb_value: u64) {
+        self.registry.gauge_set(self.ids.lb[backend], now, lb_value);
+    }
+
+    /// The registry (e.g. for incremental draining mid-run).
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// The online detector's current state.
+    pub fn detector(&self) -> &MillibottleneckDetector {
+        &self.detector
+    }
+
+    /// Closes the tail window and any open detector runs, drains the
+    /// remaining records into a JSONL sink, and packages the outcome.
+    pub fn into_report(mut self) -> MetricsReport {
+        self.registry.finish();
+        self.detector.finish();
+        let mut sink = JsonlSink::new();
+        self.registry.drain_into(&mut sink);
+        MetricsReport {
+            jsonl: sink.into_string(),
+            stalls: self.detector.stalls().to_vec(),
+            flags: self.detector.flags().to_vec(),
+            window: self.interval,
+            last_window: self.detector.last_window(),
+        }
+    }
+}
+
+/// End-of-run telemetry outcome, carried by
+/// [`crate::experiment::ExperimentResult`].
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// JSONL export of every closed registry window (integer-only,
+    /// byte-stable; see `mlb_metrics::registry::JsonlSink`).
+    pub jsonl: String,
+    /// Stall windows the online detector emitted.
+    pub stalls: Vec<StallWindow>,
+    /// Per-window flags (iowait-saturated / queue-spike / frozen-backend).
+    pub flags: Vec<DetectorFlag>,
+    /// Detector window width (the system's sample interval).
+    pub window: SimDuration,
+    /// Highest window ordinal the detector observed.
+    pub last_window: Option<u64>,
+}
+
+impl MetricsReport {
+    /// FNV-1a digest of the JSONL export — the golden value the
+    /// observability tests pin per seed.
+    pub fn digest(&self) -> u64 {
+        mlb_metrics::registry::fnv1a(self.jsonl.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_metrics::detector::FlagKind;
+
+    #[test]
+    fn registration_order_is_stable_and_layers_are_covered() {
+        let lm = LiveMetrics::new(
+            &MetricsConfig::enabled_default(),
+            2,
+            2,
+            SimDuration::from_millis(50),
+        );
+        assert_eq!(lm.registry.name(lm.ids.events), "sim.events");
+        assert_eq!(lm.registry.name(lm.ids.queue[0]), "apache1.queue_depth");
+        assert_eq!(lm.registry.name(lm.ids.dirty[2]), "tomcat1.dirty_bytes");
+        assert_eq!(lm.registry.name(lm.ids.iowait[4]), "mysql.iowait_us");
+        assert_eq!(lm.registry.name(lm.ids.lb[1]), "lb.tomcat2");
+        // 7 global + 3 gauges × 5 servers + 2 lb gauges.
+        assert_eq!(lm.registry.len(), 24);
+    }
+
+    #[test]
+    fn sample_server_differences_cumulative_counters() {
+        let mut lm = LiveMetrics::new(
+            &MetricsConfig::enabled_default(),
+            1,
+            1,
+            SimDuration::from_millis(50),
+        );
+        let tick = SimTime::from_millis(50);
+        // Window 0 for tomcat1 (slot 1): 30 ms of iowait, frozen, queued.
+        lm.sample_server(tick, 1, 0, 30_000, 5, 1_000);
+        let tick2 = SimTime::from_millis(100);
+        // Window 1: thawed, dirty dropped (flush completed).
+        lm.sample_server(tick2, 1, 20_000, 30_000, 0, 100);
+        let report = lm.into_report();
+        assert_eq!(report.stalls.len(), 1);
+        assert_eq!(report.stalls[0].server, "tomcat1");
+        assert!(report
+            .flags
+            .iter()
+            .any(|f| f.kind == FlagKind::IowaitSaturated && f.window == 0));
+        assert!(report.jsonl.contains("\"metric\":\"tomcat1.iowait_us\""));
+        assert_ne!(report.digest(), 0);
+    }
+}

@@ -27,6 +27,7 @@ use std::fmt;
 
 use mlb_core::types::BackendId;
 use mlb_core::{Balancer, EndpointAdvice};
+use mlb_metrics::detector::MillibottleneckDetector;
 use mlb_metrics::spans::{StallKind, TraceLog};
 use mlb_netmodel::accept_queue::Offer;
 use mlb_netmodel::pool::Acquire;
@@ -39,6 +40,7 @@ use mlb_workload::clients::ClientId;
 
 use crate::config::SystemConfig;
 use crate::events::{Event, ServerRef};
+use crate::metrics::{LiveMetrics, MetricsReport};
 use crate::request::{Phase, RequestId, RequestState};
 use crate::servers::{ApacheServer, MySqlServer, TomcatServer};
 use crate::telemetry::Telemetry;
@@ -77,6 +79,9 @@ pub struct NTierSystem {
     session_affinity: Vec<Option<usize>>,
     telemetry: Telemetry,
     tracer: Tracer,
+    /// Streaming registry + online detector, when `cfg.metrics` is on.
+    /// Observational-only, like the tracer.
+    metrics: Option<LiveMetrics>,
     next_request: u64,
     horizon: SimTime,
     mix_rng: Xoshiro256StarStar,
@@ -122,6 +127,10 @@ impl NTierSystem {
         let mysql = MySqlServer::new(Machine::new(cfg.mysql_machine.clone()));
         let telemetry = Telemetry::new(cfg.apaches, cfg.tomcats, cfg.sample_interval);
         let tracer = Tracer::new(&cfg.trace);
+        let metrics = cfg
+            .metrics
+            .enabled
+            .then(|| LiveMetrics::new(&cfg.metrics, cfg.apaches, cfg.tomcats, cfg.sample_interval));
         Ok(NTierSystem {
             horizon: SimTime::ZERO + cfg.duration,
             mix_rng: seeds.stream("mix"),
@@ -139,6 +148,7 @@ impl NTierSystem {
             },
             telemetry,
             tracer,
+            metrics,
             next_request: 0,
             cfg,
         })
@@ -251,10 +261,26 @@ impl NTierSystem {
         self.tracer.log()
     }
 
-    /// Consumes the system, returning its telemetry and (if tracing was
-    /// enabled) the per-request trace log.
-    pub fn into_parts(self) -> (Telemetry, Option<TraceLog>) {
-        (self.telemetry, self.tracer.into_log())
+    /// The live telemetry bundle, when `cfg.metrics` is enabled — for
+    /// incremental draining of the registry mid-run.
+    pub fn live_metrics_mut(&mut self) -> Option<&mut LiveMetrics> {
+        self.metrics.as_mut()
+    }
+
+    /// The online detector's state so far, when metrics are enabled.
+    pub fn detector(&self) -> Option<&MillibottleneckDetector> {
+        self.metrics.as_ref().map(LiveMetrics::detector)
+    }
+
+    /// Consumes the system, returning its telemetry, the per-request
+    /// trace log (if tracing was enabled), and the telemetry registry's
+    /// end-of-run report (if metrics were enabled).
+    pub fn into_parts(self) -> (Telemetry, Option<TraceLog>, Option<MetricsReport>) {
+        (
+            self.telemetry,
+            self.tracer.into_log(),
+            self.metrics.map(LiveMetrics::into_report),
+        )
     }
 
     /// The Apache servers (for post-run inspection).
@@ -393,6 +419,9 @@ impl NTierSystem {
         self.tracer
             .failed(id, now, now.saturating_since(r.first_issued));
         self.telemetry.failed_requests += 1;
+        if let Some(m) = self.metrics.as_mut() {
+            m.on_failure(now);
+        }
         if holds_worker {
             self.release_worker_and_admit(now, sched, r.apache);
         }
@@ -499,12 +528,18 @@ impl NTierSystem {
             Offer::Dropped => {
                 self.telemetry.record_drop(now);
                 self.tracer.dropped(id, now, attempt);
+                if let Some(m) = self.metrics.as_mut() {
+                    m.on_drop(now);
+                }
                 let rto = Self::live_mut(&mut self.requests, id)
                     .retransmit
                     .on_drop(&self.cfg.rto);
                 match rto {
                     Some(delay) => {
                         self.telemetry.retransmits += 1;
+                        if let Some(m) = self.metrics.as_mut() {
+                            m.on_retransmit(now);
+                        }
                         self.tracer
                             .retransmit_scheduled(id, now, attempt + 1, delay);
                         sched.at(now + delay, Event::ClientRetransmit { request: id });
@@ -908,6 +943,9 @@ impl NTierSystem {
         let rt = now.saturating_since(r.first_issued);
         self.tracer.completed(id, now, rt);
         self.telemetry.record_completion(now, rt);
+        if let Some(m) = self.metrics.as_mut() {
+            m.on_completion(now, rt.as_micros());
+        }
         // Fold the request's time into the phase breakdown. The timestamps
         // chain first_issued → arrived → admitted → routed → acquired →
         // replied → now, so the segments partition the response time.
@@ -1053,6 +1091,44 @@ impl NTierSystem {
         for (t, &v) in self.apaches[0].balancer.lb_values().iter().enumerate() {
             self.telemetry.lb_values[t].record(stamp, v as f64);
         }
+        // The streaming registry + online detector see the same levels
+        // and the same cumulative CPU counters (differenced to integer
+        // window deltas inside `sample_server`), in slot order.
+        if let Some(m) = self.metrics.as_mut() {
+            m.sample_event_queue(now, sched.pending());
+            for (i, a) in self.apaches.iter().enumerate() {
+                m.sample_server(
+                    now,
+                    i,
+                    a.machine.cpu.busy_core_micros(now),
+                    a.machine.cpu.iowait_core_micros(now),
+                    a.queued_requests() as u64,
+                    a.machine.dirty_bytes(),
+                );
+            }
+            for (i, t) in self.tomcats.iter().enumerate() {
+                let committed = t.queued_requests() + self.endpoint_waiters[i];
+                m.sample_server(
+                    now,
+                    apaches + i,
+                    t.machine.cpu.busy_core_micros(now),
+                    t.machine.cpu.iowait_core_micros(now),
+                    committed as u64,
+                    t.machine.dirty_bytes(),
+                );
+            }
+            m.sample_server(
+                now,
+                apaches + tomcats,
+                self.mysql.machine.cpu.busy_core_micros(now),
+                self.mysql.machine.cpu.iowait_core_micros(now),
+                self.mysql.queued_requests() as u64,
+                self.mysql.machine.dirty_bytes(),
+            );
+            for (t, &v) in self.apaches[0].balancer.lb_values().iter().enumerate() {
+                m.sample_lb(now, t, v);
+            }
+        }
         let next = now + self.cfg.sample_interval;
         if next <= self.horizon {
             sched.at(next, Event::MonitorSample);
@@ -1064,6 +1140,9 @@ impl Model for NTierSystem {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<'_, Event>) {
+        if let Some(m) = self.metrics.as_mut() {
+            m.on_event(now);
+        }
         match event {
             Event::ClientIssue { client } => self.on_client_issue(now, sched, client),
             Event::ClientRetransmit { request } => self.on_client_retransmit(now, sched, request),

@@ -277,6 +277,7 @@ impl Telemetry {
         let mut n = 0u64;
         for w in windows {
             if let Some(m) = w.mean() {
+                // simlint::allow(no-float-accum): read-side index-order fold for a display-only mean; never feeds a digest
                 sum += m;
                 n += 1;
             }

@@ -35,6 +35,14 @@ pub struct TraceConfig {
     pub recent_capacity: usize,
     /// Fully-reconstructed VLRT causal chains retained for rendering.
     pub vlrt_capacity: usize,
+    /// 1-in-N deterministic request sampling: only requests whose id is
+    /// divisible by `sample_every` are traced (1 = trace everything).
+    /// Ids are issued sequentially, so a sampled run's traces are a
+    /// strict subset — event for event — of the full-trace run's, and
+    /// the selection is identical across platforms and reruns. Stall
+    /// windows are always recorded; they are per-server, not
+    /// per-request. Must be ≥ 1.
+    pub sample_every: u64,
 }
 
 impl TraceConfig {
@@ -44,6 +52,7 @@ impl TraceConfig {
             enabled: false,
             recent_capacity: 0,
             vlrt_capacity: 0,
+            sample_every: 1,
         }
     }
 
@@ -55,6 +64,16 @@ impl TraceConfig {
             enabled: true,
             recent_capacity: 1 << 20,
             vlrt_capacity: 4_096,
+            sample_every: 1,
+        }
+    }
+
+    /// Full tracing of every `every`-th request (production-scale runs
+    /// where retaining every trace would be too heavy).
+    pub fn sampled(every: u64) -> Self {
+        TraceConfig {
+            sample_every: every,
+            ..TraceConfig::enabled_default()
         }
     }
 }
@@ -69,6 +88,8 @@ impl Default for TraceConfig {
 #[derive(Debug)]
 pub struct Tracer {
     enabled: bool,
+    /// 1-in-N id sampling (see [`TraceConfig::sample_every`]).
+    sample_every: u64,
     /// In-flight traces by request id. A `BTreeMap` (not `HashMap`) so
     /// that any future iteration is key-ordered and deterministic — the
     /// `no-hash-order` simlint rule keeps it that way.
@@ -81,9 +102,16 @@ impl Tracer {
     pub fn new(cfg: &TraceConfig) -> Self {
         Tracer {
             enabled: cfg.enabled,
+            sample_every: cfg.sample_every.max(1),
             live: BTreeMap::new(),
             log: TraceLog::new(cfg.recent_capacity, cfg.vlrt_capacity),
         }
+    }
+
+    /// Whether request `id` is selected by the 1-in-N sampler.
+    #[inline]
+    fn sampled(&self, id: RequestId) -> bool {
+        id.0.is_multiple_of(self.sample_every)
     }
 
     /// Whether tracing is on.
@@ -103,7 +131,7 @@ impl Tracer {
 
     #[inline]
     fn push(&mut self, id: RequestId, at: SimTime, kind: SpanKind) {
-        if !self.enabled {
+        if !self.enabled || !self.sampled(id) {
             return;
         }
         self.live
@@ -260,7 +288,7 @@ impl Tracer {
     /// The client received the response; the trace is finalized into the
     /// log and attributed if `rt` exceeds the VLRT threshold.
     pub fn completed(&mut self, id: RequestId, at: SimTime, rt: SimDuration) {
-        if !self.enabled {
+        if !self.enabled || !self.sampled(id) {
             return;
         }
         if let Some(mut trace) = self.live.remove(&id.0) {
@@ -272,7 +300,7 @@ impl Tracer {
     /// The request terminally failed `elapsed` after its first
     /// transmission; the trace is finalized as failed.
     pub fn failed(&mut self, id: RequestId, at: SimTime, elapsed: SimDuration) {
-        if !self.enabled {
+        if !self.enabled || !self.sampled(id) {
             return;
         }
         if let Some(mut trace) = self.live.remove(&id.0) {
@@ -351,6 +379,27 @@ mod tests {
         let log = tr.log().unwrap();
         assert_eq!(log.stalls[0].server, "tomcat2");
         assert_eq!(log.stalls[1].server, "apache1");
+    }
+
+    #[test]
+    fn sampling_selects_exactly_the_divisible_ids() {
+        let mut tr = Tracer::new(&TraceConfig::sampled(3));
+        for raw in 0..10u64 {
+            let id = RequestId(raw);
+            tr.issued(id, t(raw), 0, 0);
+            tr.completed(id, t(raw + 1), SimDuration::from_millis(1));
+        }
+        let log = tr.log().unwrap();
+        assert_eq!(log.completed, 4); // ids 0, 3, 6, 9
+        let ids: Vec<u64> = log.recent().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn stalls_are_recorded_regardless_of_sampling() {
+        let mut tr = Tracer::new(&TraceConfig::sampled(1_000));
+        tr.stall(ServerRef::MySql, StallKind::Flush, t(0), t(100));
+        assert_eq!(tr.log().unwrap().stalls.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,20 @@
+// Fixture: clean under `no-float-accum`. Accumulated state is integral
+// (microseconds and counts); floats appear only on the read side, where
+// a single conversion cannot drift.
+
+pub struct Window {
+    sum_us: u64,
+    count: u64,
+}
+
+pub fn record(w: &mut Window, value_us: u64) {
+    w.sum_us += value_us;
+    w.count += 1;
+}
+
+pub fn mean_ms(w: &Window) -> f64 {
+    if w.count == 0 {
+        return 0.0;
+    }
+    w.sum_us as f64 / w.count as f64 / 1_000.0
+}

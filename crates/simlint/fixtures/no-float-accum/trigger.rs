@@ -1,0 +1,18 @@
+// Fixture: triggers `no-float-accum`. Running f64 sums in telemetry
+// accumulation paths drift with summation order and platform rounding —
+// two runs that process the same samples can disagree in the last bits,
+// which is fatal for byte-identical golden exports.
+
+pub struct Window {
+    sum: f64,
+    count: u64,
+}
+
+pub fn record(w: &mut Window, value: f64) {
+    w.sum += value;
+    w.count += 1;
+}
+
+pub fn total_ms(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>()
+}

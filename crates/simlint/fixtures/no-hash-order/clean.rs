@@ -9,3 +9,21 @@ pub fn total(counts: &BTreeMap<u64, u64>, probe: &HashMap<u64, u64>) -> u64 {
     }
     sum + probe.get(&0).copied().unwrap_or(0)
 }
+
+// Chains off calls returning ordered maps — or keyed probes into a
+// hash-returning call — are fine; only order-sensitive iteration of a
+// hash collection is flagged.
+impl Table {
+    fn rows(&self) -> &BTreeMap<u64, u64> {
+        &self.rows
+    }
+
+    fn probe(&self) -> &HashMap<u64, u64> {
+        &self.probe
+    }
+
+    pub fn snapshot(&self) -> (Vec<u64>, u64) {
+        let ordered = self.rows().keys().copied().collect();
+        (ordered, self.probe().get(&0).copied().unwrap_or(0))
+    }
+}

@@ -9,3 +9,15 @@ pub fn total(counts: &HashMap<u64, u64>) -> u64 {
     }
     sum
 }
+
+// Chain receivers are just as unstable: the map comes back from a call,
+// not a binding, but its iteration order is still RandomState's.
+impl Table {
+    fn live(&self) -> &HashMap<u64, u64> {
+        &self.live
+    }
+
+    pub fn drain_order(&self) -> Vec<u64> {
+        self.live().keys().copied().collect()
+    }
+}

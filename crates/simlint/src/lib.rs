@@ -15,6 +15,7 @@
 //! | `panic-hygiene` | `unwrap`/`expect` in event-loop hot paths carry a written invariant |
 //! | `crate-header` | every crate root carries `#![forbid(unsafe_code)]` |
 //! | `span-attribution` | every `SpanKind` variant is constructed by the tracer |
+//! | `no-float-accum` | telemetry/metrics paths accumulate integers, not `f64` sums |
 //! | `bad-suppression` | suppressions are justified and actually used |
 //!
 //! Everything is hand-rolled (lexer included) because the build

@@ -42,6 +42,17 @@ pub const HOT_PATHS: [&str; 2] = ["crates/simkernel/src/sim.rs", "crates/ntier/s
 /// Where the `SpanKind` vocabulary is declared.
 pub const SPAN_DECL_PATH: &str = "crates/metrics/src/spans.rs";
 
+/// Telemetry/metrics accumulation paths where running sums feed golden
+/// digests or cross-run comparisons: accumulating `f64` there drifts
+/// with summation order and platform rounding, so totals must be
+/// carried as integer microseconds/counts and converted on read.
+pub const FLOAT_ACCUM_PATHS: [&str; 4] = [
+    "crates/metrics/src/registry.rs",
+    "crates/metrics/src/detector.rs",
+    "crates/metrics/src/series.rs",
+    "crates/ntier/src/telemetry.rs",
+];
+
 /// Files that must construct every `SpanKind` variant — the tracer is
 /// the only component that feeds spans into VLRT attribution, so a
 /// variant it never emits silently falls out of the accounting.
@@ -49,7 +60,7 @@ pub const SPAN_REF_PATHS: [&str; 1] = ["crates/ntier/src/trace.rs"];
 
 /// Every registered rule. The fixture meta-test enforces one triggering
 /// and one clean fixture per entry.
-pub const RULES: [RuleMeta; 7] = [
+pub const RULES: [RuleMeta; 8] = [
     RuleMeta {
         name: "no-wall-clock",
         summary: "Instant::now/SystemTime banned in sim-crate library code; sim time must come from the event queue",
@@ -73,6 +84,10 @@ pub const RULES: [RuleMeta; 7] = [
     RuleMeta {
         name: "span-attribution",
         summary: "every SpanKind variant must be constructed by the tracer, or it falls out of VLRT accounting",
+    },
+    RuleMeta {
+        name: "no-float-accum",
+        summary: "f64 running sums in telemetry/metrics accumulation paths drift with rounding; accumulate integer micros and convert on read",
     },
     RuleMeta {
         name: "bad-suppression",
@@ -124,6 +139,9 @@ pub fn check_file(input: &FileInput<'_>) -> Vec<Finding> {
     }
     if HOT_PATHS.contains(&input.rel_path) {
         panic_hygiene(input, &code, &mut findings);
+    }
+    if FLOAT_ACCUM_PATHS.contains(&input.rel_path) {
+        no_float_accum(input, &code, &mut findings);
     }
     if input.is_crate_root {
         crate_header(input, &code, &mut findings);
@@ -185,8 +203,10 @@ const ORDER_SENSITIVE_METHODS: [&str; 10] = [
     "retain",
 ];
 
-/// `no-hash-order`: collect names bound to `HashMap`/`HashSet`, then flag
-/// order-sensitive method calls and `for … in` loops over them.
+/// `no-hash-order`: collect names bound to `HashMap`/`HashSet` and
+/// functions returning them, then flag order-sensitive method calls,
+/// `for … in` loops over the bindings, and method chains hanging off the
+/// returning calls (`self.live().iter()`).
 fn no_hash_order(input: &FileInput<'_>, code: &[&Token], out: &mut Vec<Finding>) {
     let mut hash_names: Vec<String> = Vec::new();
     for (i, t) in code.iter().enumerate() {
@@ -199,6 +219,7 @@ fn no_hash_order(input: &FileInput<'_>, code: &[&Token], out: &mut Vec<Finding>)
             }
         }
     }
+    let hash_fns = hash_returning_fns(code);
     for (i, t) in code.iter().enumerate() {
         // `name.iter()`-style calls on a hash-typed binding.
         if t.kind == TokenKind::Ident && hash_names.contains(&t.text) {
@@ -223,6 +244,38 @@ fn no_hash_order(input: &FileInput<'_>, code: &[&Token], out: &mut Vec<Finding>)
                                 t.text, m.text
                             ),
                         ));
+                    }
+                }
+            }
+        }
+        // Chain receivers: `self.live().iter()` where `fn live` returns
+        // a HashMap/HashSet. The receiver is the call, not a binding, so
+        // the name scan above never sees it.
+        if t.kind == TokenKind::Ident
+            && hash_fns.contains(&t.text)
+            && !matches!(i.checked_sub(1).map(|p| code[p]), Some(p) if p.is_ident("fn"))
+            && matches!(code.get(i + 1), Some(n) if n.is_punct('('))
+        {
+            if let Some(close) = matching_paren(code, i + 1) {
+                if matches!(code.get(close + 1), Some(n) if n.is_punct('.'))
+                    && matches!(code.get(close + 3), Some(n) if n.is_punct('('))
+                {
+                    if let Some(m) = code.get(close + 2) {
+                        if m.kind == TokenKind::Ident
+                            && ORDER_SENSITIVE_METHODS.contains(&m.text.as_str())
+                        {
+                            out.push(finding(
+                                input,
+                                "no-hash-order",
+                                m,
+                                format!(
+                                    "`{}().{}()` iterates the HashMap/HashSet returned by \
+                                     `fn {}`; iteration order is nondeterministic — use a \
+                                     BTreeMap or keyed access",
+                                    t.text, m.text, t.text
+                                ),
+                            ));
+                        }
                     }
                 }
             }
@@ -285,6 +338,65 @@ fn no_hash_order(input: &FileInput<'_>, code: &[&Token], out: &mut Vec<Finding>)
     }
 }
 
+/// Collects names of functions whose declared return type mentions
+/// `HashMap`/`HashSet`: `fn live(&self) -> &HashMap<K, V>`. The scan is
+/// bounded (a signature fitting in ~80 tokens) and stops at the body
+/// brace, so generic bounds inside the body never leak in.
+fn hash_returning_fns(code: &[&Token]) -> Vec<String> {
+    let mut fns = Vec::new();
+    for i in 0..code.len() {
+        if !code[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name) = code.get(i + 1).filter(|n| n.kind == TokenKind::Ident) else {
+            continue;
+        };
+        let end = code.len().min(i + 80);
+        let mut j = i + 2;
+        let mut ret = None;
+        while j + 1 < end {
+            let t = code[j];
+            if t.is_punct('{') || t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('-') && code[j + 1].is_punct('>') {
+                ret = Some(j + 2);
+                break;
+            }
+            j += 1;
+        }
+        let Some(start) = ret else { continue };
+        for t in code.iter().take(end).skip(start) {
+            if t.is_punct('{') || t.is_punct(';') {
+                break;
+            }
+            if (t.is_ident("HashMap") || t.is_ident("HashSet")) && !fns.contains(&name.text) {
+                fns.push(name.text.clone());
+                break;
+            }
+        }
+    }
+    fns
+}
+
+/// Given `code[open]` == `(`, returns the index of the matching `)`
+/// within a bounded window, or `None` if it does not close in range.
+fn matching_paren(code: &[&Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let window = code.len().min(open + 80);
+    for (j, t) in code.iter().enumerate().take(window).skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
 /// Given `code[i]` == `HashMap`/`HashSet`, finds the binding name: either
 /// a type ascription (`name: [path::]HashMap<…>`, `&mut` and lifetimes
 /// skipped) or a constructor assignment (`let [mut] name = HashMap::…`).
@@ -320,6 +432,81 @@ fn bound_name(code: &[&Token], i: usize) -> Option<String> {
         return Some(code[i - 2].text.clone());
     }
     None
+}
+
+/// `no-float-accum`: running `f64`/`f32` sums in the telemetry and
+/// metrics accumulation paths. Tracks names bound to a float — type
+/// ascriptions (`sum: f64`, struct fields included) and float-literal
+/// initialisers (`let mut sum = 0.0`) — then flags `+=` onto them and
+/// `.sum::<f64>()` folds. Float *reads* (averages, shares) are fine;
+/// only the accumulated state must stay integral.
+fn no_float_accum(input: &FileInput<'_>, code: &[&Token], out: &mut Vec<Finding>) {
+    let mut float_names: Vec<String> = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        // `name : f64` ascription (fields, params, lets alike). The
+        // pre-colon guard skips path segments like `std::f64`.
+        if (t.is_ident("f64") || t.is_ident("f32"))
+            && i >= 2
+            && code[i - 1].is_punct(':')
+            && !code[i - 2].is_punct(':')
+            && code[i - 2].kind == TokenKind::Ident
+        {
+            let name = &code[i - 2].text;
+            if !float_names.contains(name) {
+                float_names.push(name.clone());
+            }
+        }
+        // `let [mut] name = 0.0` — Number tokens keep their text, so a
+        // decimal point or an explicit float suffix marks the literal.
+        if t.kind == TokenKind::Number
+            && (t.text.contains('.') || t.text.ends_with("f64") || t.text.ends_with("f32"))
+            && i >= 2
+            && code[i - 1].is_punct('=')
+            && !code[i - 2].is_punct('=')
+            && !code[i - 2].is_punct('+')
+            && code[i - 2].kind == TokenKind::Ident
+        {
+            let name = &code[i - 2].text;
+            if !float_names.contains(name) {
+                float_names.push(name.clone());
+            }
+        }
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && float_names.contains(&t.text)
+            && matches!(code.get(i + 1), Some(n) if n.is_punct('+'))
+            && matches!(code.get(i + 2), Some(n) if n.is_punct('='))
+        {
+            out.push(finding(
+                input,
+                "no-float-accum",
+                t,
+                format!(
+                    "`{} +=` accumulates a float in a telemetry/metrics path; running sums \
+                     drift with summation order — accumulate integer micros/counts and \
+                     convert on read",
+                    t.text
+                ),
+            ));
+        }
+        // `.sum::<f64>()` folds hide the same drift behind an iterator.
+        if t.is_ident("sum")
+            && matches!(code.get(i + 1), Some(n) if n.is_punct(':'))
+            && matches!(code.get(i + 2), Some(n) if n.is_punct(':'))
+            && matches!(code.get(i + 3), Some(n) if n.is_punct('<'))
+            && matches!(code.get(i + 4), Some(n) if n.is_ident("f64") || n.is_ident("f32"))
+        {
+            out.push(finding(
+                input,
+                "no-float-accum",
+                t,
+                ".sum::<f64>() folds floats in a telemetry/metrics path; sum integer \
+                 micros/counts and convert on read"
+                    .to_owned(),
+            ));
+        }
+    }
 }
 
 /// `no-ambient-rng`: unseeded randomness sources.
@@ -575,6 +762,91 @@ mod tests {
             is_crate_root: false,
         };
         assert!(check_file(&bench).iter().all(|f| f.rule != "no-hash-order"));
+    }
+
+    #[test]
+    fn hash_order_flags_method_chain_receivers() {
+        let src = "
+            impl S {
+                fn live(&self) -> &HashMap<u64, V> { &self.live }
+                fn f(&self) {
+                    for k in self.live().keys() {}
+                    let v = self.live().get(&3);
+                }
+            }
+        ";
+        let f = check_file(&sim_lib_input(&lex(src)));
+        let hits: Vec<_> = f.iter().filter(|f| f.rule == "no-hash-order").collect();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("live().keys()"));
+    }
+
+    #[test]
+    fn hash_order_ignores_chains_on_nonhash_fns() {
+        let src = "
+            impl S {
+                fn rows(&self) -> &BTreeMap<u64, V> { &self.rows }
+                fn f(&self) { for k in self.rows().keys() {} }
+            }
+        ";
+        assert!(check_file(&sim_lib_input(&lex(src))).is_empty());
+    }
+
+    fn float_accum_input<'a>(tokens: &'a [Token]) -> FileInput<'a> {
+        FileInput {
+            crate_name: "mlb-metrics",
+            role: FileRole::Lib,
+            rel_path: "crates/metrics/src/registry.rs",
+            tokens,
+            is_crate_root: false,
+        }
+    }
+
+    #[test]
+    fn float_accum_flags_sums_but_not_integer_counters() {
+        let src = "
+            struct W { sum: f64, count: u64 }
+            fn f(w: &mut W, value: f64) {
+                w.sum += value;
+                w.count += 1;
+                let mut acc = 0.0;
+                acc += value;
+                let mut n = 0;
+                n += 1;
+            }
+        ";
+        let f = check_file(&float_accum_input(&lex(src)));
+        let hits: Vec<_> = f.iter().filter(|f| f.rule == "no-float-accum").collect();
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().any(|h| h.message.contains("`sum +=`")));
+        assert!(hits.iter().any(|h| h.message.contains("`acc +=`")));
+    }
+
+    #[test]
+    fn float_accum_flags_iterator_folds_and_binds_paths_only() {
+        let toks = lex("let t = xs.iter().map(|x| x.ms).sum::<f64>();");
+        let f = check_file(&float_accum_input(&toks));
+        assert_eq!(
+            f.iter().filter(|f| f.rule == "no-float-accum").count(),
+            1,
+            "{f:?}"
+        );
+        // Outside the accumulation paths the same code is untouched.
+        let mut input = float_accum_input(&toks);
+        input.rel_path = "crates/metrics/src/csv.rs";
+        assert!(check_file(&input)
+            .iter()
+            .all(|f| f.rule != "no-float-accum"));
+    }
+
+    #[test]
+    fn float_accum_allows_float_reads() {
+        let src = "
+            fn avg(sum_us: u64, n: u64) -> f64 {
+                sum_us as f64 / n as f64 / 1_000.0
+            }
+        ";
+        assert!(check_file(&float_accum_input(&lex(src))).is_empty());
     }
 
     #[test]

@@ -51,6 +51,14 @@ fn context(rule: &str) -> (&'static str, FileRole, &'static str, bool) {
             "crates/ntier/src/fixture.rs",
             false,
         ),
+        // no-float-accum only binds the telemetry/metrics accumulation
+        // paths, so the fixture borrows one of them.
+        "no-float-accum" => (
+            "mlb-metrics",
+            FileRole::Lib,
+            "crates/metrics/src/registry.rs",
+            false,
+        ),
         other => panic!(
             "rule `{other}` has no fixture context — register one here and add \
              fixtures/{other}/{{trigger,clean}}.rs"
