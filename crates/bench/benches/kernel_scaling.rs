@@ -1,0 +1,90 @@
+//! Population scale-sweep bench: the first entry of the BENCH trajectory.
+//!
+//! Runs `paper_4x4` at growing client populations under both event-queue
+//! backends and writes `BENCH_kernel.json` at the workspace root (CI
+//! archives it per commit). Two gates:
+//!
+//! * **kernel (hold churn)** — at 16× the paper's population (1.12 M
+//!   pending events) the wheel must push/pop at least 3× as fast as the
+//!   `BinaryHeap` baseline. This is the data structure measured alone.
+//! * **full system** — the end-to-end events/sec win at 16× must stay
+//!   above 1.5×. The model's own per-event work (routing over 64
+//!   Tomcats, service sampling, telemetry) dilutes the kernel ratio, so
+//!   this floor is deliberately lower; the JSON records both numbers.
+//!
+//! `MLB_SCALE_SWEEP=smoke` shrinks the sweep to 1×/4× with a short
+//! horizon for CI; the gates then only sanity-check that the wheel is
+//! not slower than the heap.
+
+use std::path::PathBuf;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlb_bench::{run_scale_sweep, ScaleSweepConfig};
+
+/// Kernel acceptance bar: wheel-over-heap queue ops/sec in the hold
+/// churn at the 16× pending-set size.
+const HOLD_SPEEDUP_FLOOR_AT_16X: f64 = 3.0;
+/// Full-system acceptance bar: end-to-end events/sec at 16×.
+const SYSTEM_SPEEDUP_FLOOR_AT_16X: f64 = 1.5;
+
+fn workspace_root() -> PathBuf {
+    // benches run with the package directory (crates/bench) as cwd.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+fn scale_sweep_gate(_c: &mut Criterion) {
+    let smoke = std::env::var("MLB_SCALE_SWEEP").as_deref() == Ok("smoke");
+    let cfg = if smoke {
+        ScaleSweepConfig::smoke()
+    } else {
+        ScaleSweepConfig::full()
+    };
+    eprintln!(
+        "kernel scale-sweep ({}): scales {:?}, {} sim-s per run, seeds {:?}",
+        if smoke { "smoke" } else { "full" },
+        cfg.scales,
+        cfg.secs,
+        cfg.seeds
+    );
+    let report = run_scale_sweep(&cfg);
+    report.write_json(&workspace_root().join("BENCH_kernel.json"));
+
+    for &scale in &cfg.scales {
+        let system = report.speedup_at(scale).expect("both backends measured");
+        let hold = report.hold_speedup_at(scale).expect("both backends held");
+        println!(
+            "kernel scaling: wheel/heap speedup at {scale}x = {system:.2}x system, {hold:.2}x hold"
+        );
+    }
+    if smoke {
+        // CI-sized populations are too small for the wheel's asymptotic
+        // win; just require it not to regress below the heap.
+        let s = report.speedup_at(1).expect("1x measured");
+        assert!(
+            s > 0.8,
+            "wheel slower than heap even at 1x ({s:.2}x) — kernel regression"
+        );
+        let h = report.hold_speedup_at(1).expect("1x held");
+        assert!(
+            h > 1.0,
+            "wheel hold churn slower than heap at 1x ({h:.2}x) — kernel regression"
+        );
+    } else {
+        let h = report.hold_speedup_at(16).expect("16x held");
+        assert!(
+            h >= HOLD_SPEEDUP_FLOOR_AT_16X,
+            "kernel hold speedup at 16x is {h:.2}x, below the {HOLD_SPEEDUP_FLOOR_AT_16X:.1}x floor"
+        );
+        let s = report.speedup_at(16).expect("16x measured");
+        assert!(
+            s >= SYSTEM_SPEEDUP_FLOOR_AT_16X,
+            "end-to-end wheel/heap speedup at 16x is {s:.2}x, below the {SYSTEM_SPEEDUP_FLOOR_AT_16X:.1}x floor"
+        );
+    }
+}
+
+criterion_group!(benches, scale_sweep_gate);
+criterion_main!(benches);

@@ -13,7 +13,6 @@ use mlb_netmodel::retransmit::RtoSchedule;
 use mlb_ntier::config::SystemConfig;
 use mlb_ntier::experiment::{run_experiment, ExperimentResult};
 use mlb_simkernel::time::SimDuration;
-use std::thread;
 
 use crate::figures::Figure;
 
@@ -46,26 +45,15 @@ pub fn build_ablation(id: &str, secs: u64) -> Figure {
 
 /// Runs a set of labelled configurations in parallel.
 fn run_all(configs: Vec<(String, SystemConfig)>) -> Vec<(String, ExperimentResult)> {
-    thread::scope(|scope| {
-        let handles: Vec<_> = configs
-            .into_iter()
-            .map(|(label, cfg)| {
-                scope.spawn(move || {
-                    let r = run_experiment(cfg).expect("ablation config is valid");
-                    eprintln!(
-                        "  [{label:<28}] avg={:.2}ms vlrt={:.2}% drops={}",
-                        r.telemetry.response.avg_ms(),
-                        r.telemetry.response.pct_vlrt(),
-                        r.telemetry.drops
-                    );
-                    (label, r)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("ablation run panicked"))
-            .collect()
+    crate::par_runs(configs, |(label, cfg)| {
+        let r = run_experiment(cfg).expect("ablation config is valid");
+        eprintln!(
+            "  [{label:<28}] avg={:.2}ms vlrt={:.2}% drops={}",
+            r.telemetry.response.avg_ms(),
+            r.telemetry.response.pct_vlrt(),
+            r.telemetry.drops
+        );
+        (label, r)
     })
 }
 

@@ -30,7 +30,6 @@ use mlb_metrics::summary::{render_table, TableRow};
 use mlb_ntier::config::SystemConfig;
 use mlb_ntier::experiment::{run_experiment, ExperimentResult};
 use mlb_simkernel::time::SimDuration;
-use std::thread;
 
 use crate::figures::Figure;
 
@@ -64,26 +63,15 @@ pub fn build_extension(id: &str, secs: u64) -> Figure {
 }
 
 fn run_all(configs: Vec<(String, SystemConfig)>) -> Vec<(String, ExperimentResult)> {
-    thread::scope(|scope| {
-        let handles: Vec<_> = configs
-            .into_iter()
-            .map(|(label, cfg)| {
-                scope.spawn(move || {
-                    let r = run_experiment(cfg).expect("extension config is valid");
-                    eprintln!(
-                        "  [{label:<34}] avg={:.2}ms vlrt={:.2}% drops={}",
-                        r.telemetry.response.avg_ms(),
-                        r.telemetry.response.pct_vlrt(),
-                        r.telemetry.drops
-                    );
-                    (label, r)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("extension run panicked"))
-            .collect()
+    crate::par_runs(configs, |(label, cfg)| {
+        let r = run_experiment(cfg).expect("extension config is valid");
+        eprintln!(
+            "  [{label:<34}] avg={:.2}ms vlrt={:.2}% drops={}",
+            r.telemetry.response.avg_ms(),
+            r.telemetry.response.pct_vlrt(),
+            r.telemetry.drops
+        );
+        (label, r)
     })
 }
 

@@ -12,7 +12,6 @@ use mlb_metrics::csv::CsvTable;
 use mlb_ntier::config::SystemConfig;
 use mlb_ntier::experiment::{run_experiment, ExperimentResult};
 use mlb_simkernel::time::SimDuration;
-use std::thread;
 
 use crate::figures::Figure;
 
@@ -64,24 +63,19 @@ pub fn build_robustness(secs: u64) -> Figure {
         (PolicyKind::TotalRequest, MechanismKind::SkipToBusy),
         (PolicyKind::CurrentLoad, MechanismKind::Original),
     ];
-    let results: Vec<(usize, u64, ExperimentResult)> = thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (ci, &(policy, mech)) in combos.iter().enumerate() {
-            for &seed in &SEEDS {
-                handles.push(scope.spawn(move || {
-                    let mut cfg = SystemConfig::paper_4x4(BalancerConfig::with(policy, mech));
-                    cfg.seed = seed;
-                    cfg.duration = SimDuration::from_secs(secs);
-                    let r = run_experiment(cfg).expect("valid preset");
-                    (ci, seed, r)
-                }));
-            }
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("robustness run panicked"))
-            .collect()
-    });
+    let items: Vec<(usize, PolicyKind, MechanismKind, u64)> = combos
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, &(policy, mech))| SEEDS.iter().map(move |&seed| (ci, policy, mech, seed)))
+        .collect();
+    let results: Vec<(usize, u64, ExperimentResult)> =
+        crate::par_runs(items, |(ci, policy, mech, seed)| {
+            let mut cfg = SystemConfig::paper_4x4(BalancerConfig::with(policy, mech));
+            cfg.seed = seed;
+            cfg.duration = SimDuration::from_secs(secs);
+            let r = run_experiment(cfg).expect("valid preset");
+            (ci, seed, r)
+        });
 
     let mut text = String::new();
     let mut csv = CsvTable::with_columns(&["combo", "seed", "avg_rt_ms", "pct_vlrt", "drops"]);

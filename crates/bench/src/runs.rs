@@ -11,7 +11,6 @@ use mlb_ntier::config::SystemConfig;
 use mlb_ntier::experiment::{run_experiment, ExperimentResult};
 use mlb_simkernel::time::SimDuration;
 use std::collections::HashMap;
-use std::thread;
 
 /// The distinct experiment configurations the paper's artifacts need.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -120,32 +119,21 @@ impl RunCache {
         let mut unique: Vec<RunKey> = keys.to_vec();
         unique.sort();
         unique.dedup();
-        let mut results = HashMap::new();
-        thread::scope(|scope| {
-            let handles: Vec<_> = unique
-                .iter()
-                .map(|&key| {
-                    scope.spawn(move || {
-                        let start = std::time::Instant::now();
-                        let result =
-                            run_experiment(key.config(secs)).expect("preset config is valid");
-                        eprintln!(
-                            "  [{:<20}] {:>7} requests, {:>3} millibottlenecks, {:>6} drops ({:.1}s wall)",
-                            key.slug(),
-                            result.telemetry.response.total(),
-                            result.total_millibottlenecks(),
-                            result.telemetry.drops,
-                            start.elapsed().as_secs_f64()
-                        );
-                        (key, result)
-                    })
-                })
-                .collect();
-            for h in handles {
-                let (key, result) = h.join().expect("experiment thread panicked");
-                results.insert(key, result);
-            }
-        });
+        let results: HashMap<RunKey, ExperimentResult> = crate::par_runs(unique, |key| {
+            let start = std::time::Instant::now();
+            let result = run_experiment(key.config(secs)).expect("preset config is valid");
+            eprintln!(
+                "  [{:<20}] {:>7} requests, {:>3} millibottlenecks, {:>6} drops ({:.1}s wall)",
+                key.slug(),
+                result.telemetry.response.total(),
+                result.total_millibottlenecks(),
+                result.telemetry.drops,
+                start.elapsed().as_secs_f64()
+            );
+            (key, result)
+        })
+        .into_iter()
+        .collect();
         RunCache { results }
     }
 

@@ -1,0 +1,449 @@
+//! Population scale-sweep: kernel throughput as the testbed grows.
+//!
+//! The paper's testbed is fixed at 70 000 clients; the simulator is not.
+//! This sweep runs the `paper_4x4` scenario at 1×/4×/16×/64× the paper's
+//! client population — scaling the Apache and Tomcat counts with it so the
+//! per-server load stays at the paper's operating point — and measures
+//! the *kernel*: events per wall-clock second, wall-clock seconds per
+//! simulated second, and the peak event-queue length.
+//!
+//! Every point is run under both event-queue backends
+//! ([`QueueKind::Wheel`], the default, and [`QueueKind::Heap`], the
+//! `BinaryHeap` reference), so the report carries the wheel-over-heap
+//! speedup per scale. The two backends produce bit-identical simulations
+//! (a property test and an end-to-end digest test prove it), which makes
+//! the comparison a pure kernel benchmark: same events, same order, same
+//! results — different data structure.
+//!
+//! The sweep is the first entry of the repo's BENCH trajectory: its JSON
+//! report (`BENCH_kernel.json`) is a machine-readable record that CI
+//! archives per commit.
+
+use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
+use mlb_ntier::config::SystemConfig;
+use mlb_ntier::system::NTierSystem;
+use mlb_simkernel::queue::{EventQueue, QueueKind};
+use mlb_simkernel::sim::Simulation;
+use mlb_simkernel::time::{SimDuration, SimTime};
+use mlb_workload::clients::ClientPopulation;
+
+use crate::par_runs;
+
+/// What to sweep and how long to run each point.
+#[derive(Debug, Clone)]
+pub struct ScaleSweepConfig {
+    /// Population multipliers relative to the paper's 70 000 clients.
+    pub scales: Vec<usize>,
+    /// Simulated seconds per run.
+    pub secs: u64,
+    /// Seeds fanned per (scale, backend) point; throughput is aggregated
+    /// over all of them.
+    pub seeds: Vec<u64>,
+    /// Event-queue depth samples taken per run (evenly spaced horizons).
+    pub slices: u64,
+}
+
+impl ScaleSweepConfig {
+    /// The full sweep the BENCH trajectory records: 1×/4×/16×/64×.
+    pub fn full() -> Self {
+        ScaleSweepConfig {
+            scales: vec![1, 4, 16, 64],
+            secs: 2,
+            seeds: vec![7, 8],
+            slices: 8,
+        }
+    }
+
+    /// A CI-sized smoke sweep: 1×/4×, one seed, one simulated second.
+    pub fn smoke() -> Self {
+        ScaleSweepConfig {
+            scales: vec![1, 4],
+            secs: 1,
+            seeds: vec![7],
+            slices: 4,
+        }
+    }
+}
+
+/// One measured point: a (scale, backend) pair aggregated over seeds.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Population multiplier.
+    pub scale: usize,
+    /// Clients simulated at this scale.
+    pub clients: usize,
+    /// Event-queue backend measured.
+    pub queue: QueueKind,
+    /// Kernel events processed, summed over seeds.
+    pub events_processed: u64,
+    /// Events per wall-clock second (total events / total wall).
+    pub events_per_sec: f64,
+    /// Wall-clock seconds spent per simulated second (mean over seeds).
+    pub wall_secs_per_sim_sec: f64,
+    /// Deepest sampled event queue across all seeds.
+    pub peak_queue_len: usize,
+    /// Requests completed, summed over seeds (sanity: the two backends
+    /// must agree on this at the same scale).
+    pub requests_completed: u64,
+}
+
+/// One *hold* microbenchmark point: queue ops/sec at a pending-set size.
+#[derive(Debug, Clone)]
+pub struct HoldPoint {
+    /// Population multiplier whose steady-state pending set this mimics.
+    pub scale: usize,
+    /// Events kept pending throughout the churn.
+    pub pending: usize,
+    /// Event-queue backend measured.
+    pub queue: QueueKind,
+    /// Pop-one/push-one operations per wall-clock second.
+    pub ops_per_sec: f64,
+}
+
+/// The finished sweep.
+#[derive(Debug, Clone)]
+pub struct ScaleSweepReport {
+    /// Sweep parameters.
+    pub config: ScaleSweepConfig,
+    /// All full-system points, ordered by (scale, backend).
+    pub points: Vec<ScalePoint>,
+    /// Kernel-only *hold* points, ordered by (scale, backend).
+    pub hold: Vec<HoldPoint>,
+}
+
+fn kind_name(kind: QueueKind) -> &'static str {
+    match kind {
+        QueueKind::Wheel => "wheel",
+        QueueKind::Heap => "heap",
+    }
+}
+
+fn point_config(scale: usize, kind: QueueKind, seed: u64, secs: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_4x4(BalancerConfig::with(
+        PolicyKind::TotalRequest,
+        MechanismKind::Original,
+    ));
+    cfg.apaches *= scale;
+    cfg.tomcats *= scale;
+    cfg.population = ClientPopulation::new(
+        cfg.population.clients() * scale,
+        cfg.population.think_time_mean(),
+        cfg.apaches,
+    );
+    cfg.duration = SimDuration::from_secs(secs);
+    cfg.seed = seed;
+    cfg.queue = kind;
+    cfg
+}
+
+struct RunStats {
+    events: u64,
+    wall_secs: f64,
+    peak_queue: usize,
+    completed: u64,
+}
+
+fn run_point(scale: usize, kind: QueueKind, seed: u64, secs: u64, slices: u64) -> RunStats {
+    let cfg = point_config(scale, kind, seed, secs);
+    let mut sim: Simulation<NTierSystem> =
+        NTierSystem::build_simulation(cfg).expect("scaled preset is valid");
+    let total_us = secs * 1_000_000;
+    let start = std::time::Instant::now();
+    let mut peak_queue = 0usize;
+    for i in 1..=slices {
+        sim.run_until(SimTime::from_micros(total_us * i / slices));
+        peak_queue = peak_queue.max(sim.pending());
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    let events = sim.events_processed();
+    let completed = sim.model().telemetry().response.total();
+    RunStats {
+        events,
+        wall_secs,
+        peak_queue,
+        completed,
+    }
+}
+
+/// The classic *hold* kernel microbenchmark: keep `pending` events in
+/// the queue and churn pop-one/push-one `ops` times, re-inserting each
+/// popped event a think-time-like interval (mean 7 s, the paper's
+/// RUBBoS think time) into the future. Returns operations per wall-clock
+/// second.
+///
+/// This isolates the event-queue data structure from the n-tier model:
+/// the pending-set size is exactly what a closed-loop population of
+/// `pending` clients keeps in the queue at steady state, but no routing,
+/// service, or telemetry work happens between queue touches. The
+/// wheel-over-heap ratio of this number is the kernel speedup proper;
+/// the full-system sweep shows how much of it survives model cost.
+pub fn hold_ops_per_sec(kind: QueueKind, pending: usize, ops: u64, seed: u64) -> f64 {
+    // Deterministic xorshift64*; spread is ~uniform on [0, 14 s), which
+    // exercises several wheel levels like real think timers do.
+    let mut state = seed | 1;
+    let mut next_us = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state % 14_000_000
+    };
+    let mut q: EventQueue<u32> = EventQueue::with_capacity_and_kind(pending, kind);
+    for i in 0..pending {
+        q.push(SimTime::from_micros(next_us()), i as u32);
+    }
+    let start = std::time::Instant::now();
+    for _ in 0..ops {
+        let (t, ev) = q.pop().expect("hold queue never drains");
+        q.push(t + SimDuration::from_micros(next_us()), ev);
+    }
+    ops as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Runs the sweep: every scale × both backends × every seed.
+///
+/// Seeds (and the two backends) of one scale run in parallel; scales run
+/// one after another so the biggest population's memory footprint is
+/// never multiplied by the number of scales.
+pub fn run_scale_sweep(cfg: &ScaleSweepConfig) -> ScaleSweepReport {
+    let mut points = Vec::new();
+    for &scale in &cfg.scales {
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            let items: Vec<u64> = cfg.seeds.clone();
+            let secs = cfg.secs;
+            let slices = cfg.slices;
+            let stats = par_runs(items, |seed| run_point(scale, kind, seed, secs, slices));
+            let events: u64 = stats.iter().map(|s| s.events).sum();
+            let wall: f64 = stats.iter().map(|s| s.wall_secs).sum();
+            let completed: u64 = stats.iter().map(|s| s.completed).sum();
+            let peak_queue = stats.iter().map(|s| s.peak_queue).max().unwrap_or(0);
+            let sim_secs = (secs * cfg.seeds.len() as u64) as f64;
+            let point = ScalePoint {
+                scale,
+                clients: 70_000 * scale,
+                queue: kind,
+                events_processed: events,
+                events_per_sec: events as f64 / wall.max(1e-9),
+                wall_secs_per_sim_sec: wall / sim_secs.max(1e-9),
+                peak_queue_len: peak_queue,
+                requests_completed: completed,
+            };
+            eprintln!(
+                "  [scale {:>3}x {:<5}] {:>10.0} events/s, {:>6.3} wall-s/sim-s, peak queue {:>8}",
+                scale,
+                kind_name(kind),
+                point.events_per_sec,
+                point.wall_secs_per_sim_sec,
+                point.peak_queue_len,
+            );
+            points.push(point);
+        }
+    }
+    // Kernel-only hold churn at each scale's steady-state pending size.
+    // Cheap relative to the full-system runs, so a fixed op count is fine.
+    const HOLD_OPS: u64 = 2_000_000;
+    let mut hold = Vec::new();
+    for &scale in &cfg.scales {
+        let pending = 70_000 * scale;
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            let ops_per_sec = hold_ops_per_sec(kind, pending, HOLD_OPS, 0x9E37_79B9);
+            eprintln!(
+                "  [hold  {:>3}x {:<5}] {:>10.0} queue ops/s at {:>8} pending",
+                scale,
+                kind_name(kind),
+                ops_per_sec,
+                pending,
+            );
+            hold.push(HoldPoint {
+                scale,
+                pending,
+                queue: kind,
+                ops_per_sec,
+            });
+        }
+    }
+    ScaleSweepReport {
+        config: cfg.clone(),
+        points,
+        hold,
+    }
+}
+
+impl ScaleSweepReport {
+    /// The point for a given (scale, backend), if measured.
+    pub fn point(&self, scale: usize, kind: QueueKind) -> Option<&ScalePoint> {
+        self.points
+            .iter()
+            .find(|p| p.scale == scale && p.queue == kind)
+    }
+
+    /// Wheel-over-heap events/sec speedup at a scale, if both backends
+    /// were measured there.
+    pub fn speedup_at(&self, scale: usize) -> Option<f64> {
+        let wheel = self.point(scale, QueueKind::Wheel)?;
+        let heap = self.point(scale, QueueKind::Heap)?;
+        Some(wheel.events_per_sec / heap.events_per_sec.max(1e-9))
+    }
+
+    /// Wheel-over-heap queue-ops/sec speedup of the kernel-only *hold*
+    /// churn at a scale, if both backends were measured there.
+    pub fn hold_speedup_at(&self, scale: usize) -> Option<f64> {
+        let wheel = self
+            .hold
+            .iter()
+            .find(|p| p.scale == scale && p.queue == QueueKind::Wheel)?;
+        let heap = self
+            .hold
+            .iter()
+            .find(|p| p.scale == scale && p.queue == QueueKind::Heap)?;
+        Some(wheel.ops_per_sec / heap.ops_per_sec.max(1e-9))
+    }
+
+    /// Serializes the report as pretty-printed JSON (handwritten — the
+    /// workspace carries no serde).
+    pub fn to_json(&self) -> String {
+        let mut out =
+            String::from("{\n  \"bench\": \"kernel_scaling\",\n  \"base\": \"paper_4x4\",\n");
+        out.push_str(&format!("  \"sim_secs_per_run\": {},\n", self.config.secs));
+        out.push_str(&format!(
+            "  \"seeds\": [{}],\n",
+            self.config
+                .seeds
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"scale\": {}, \"clients\": {}, \"backend\": \"{}\", \
+                 \"events_processed\": {}, \"events_per_sec\": {:.1}, \
+                 \"wall_secs_per_sim_sec\": {:.6}, \"peak_queue_len\": {}, \
+                 \"requests_completed\": {}}}{}\n",
+                p.scale,
+                p.clients,
+                kind_name(p.queue),
+                p.events_processed,
+                p.events_per_sec,
+                p.wall_secs_per_sim_sec,
+                p.peak_queue_len,
+                p.requests_completed,
+                if i + 1 == self.points.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ],\n  \"hold\": [\n");
+        for (i, p) in self.hold.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"scale\": {}, \"pending\": {}, \"backend\": \"{}\", \
+                 \"ops_per_sec\": {:.1}}}{}\n",
+                p.scale,
+                p.pending,
+                kind_name(p.queue),
+                p.ops_per_sec,
+                if i + 1 == self.hold.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ],\n  \"speedup_wheel_over_heap\": {");
+        let mut first = true;
+        for &scale in &self.config.scales {
+            if let Some(s) = self.speedup_at(scale) {
+                if !first {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{scale}\": {s:.2}"));
+                first = false;
+            }
+        }
+        out.push_str("},\n  \"hold_speedup_wheel_over_heap\": {");
+        first = true;
+        for &scale in &self.config.scales {
+            if let Some(s) = self.hold_speedup_at(scale) {
+                if !first {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{scale}\": {s:.2}"));
+                first = false;
+            }
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn write_json(&self, path: &std::path::Path) {
+        std::fs::write(path, self.to_json()).expect("write BENCH_kernel.json");
+        eprintln!("  wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_backends_complete_the_same_requests() {
+        // The scale-sweep's comparison is only meaningful because the two
+        // backends run bit-identical simulations; check the invariant at a
+        // tiny scale so the full bench can trust events/sec differences
+        // are pure kernel cost.
+        let wheel = run_point(1, QueueKind::Wheel, 7, 1, 2);
+        let heap = run_point(1, QueueKind::Heap, 7, 1, 2);
+        assert_eq!(wheel.events, heap.events);
+        assert_eq!(wheel.completed, heap.completed);
+        assert_eq!(wheel.peak_queue, heap.peak_queue);
+    }
+
+    #[test]
+    fn report_json_is_well_formed_enough() {
+        let report = ScaleSweepReport {
+            config: ScaleSweepConfig {
+                scales: vec![1],
+                secs: 1,
+                seeds: vec![7],
+                slices: 2,
+            },
+            points: vec![ScalePoint {
+                scale: 1,
+                clients: 70_000,
+                queue: QueueKind::Wheel,
+                events_processed: 10,
+                events_per_sec: 5.0,
+                wall_secs_per_sim_sec: 2.0,
+                peak_queue_len: 3,
+                requests_completed: 4,
+            }],
+            hold: vec![HoldPoint {
+                scale: 1,
+                pending: 70_000,
+                queue: QueueKind::Wheel,
+                ops_per_sec: 100.0,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"kernel_scaling\""));
+        assert!(json.contains("\"backend\": \"wheel\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn hold_churn_runs_on_both_backends() {
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            let ops = hold_ops_per_sec(kind, 1_000, 10_000, 42);
+            assert!(ops > 0.0);
+        }
+    }
+
+    #[test]
+    fn scaled_configs_stay_valid() {
+        for scale in [1usize, 4, 16, 64] {
+            let cfg = point_config(scale, QueueKind::Wheel, 7, 1);
+            assert_eq!(cfg.population.clients(), 70_000 * scale);
+            assert_eq!(cfg.population.front_ends(), cfg.apaches);
+            cfg.validate().expect("scaled preset must validate");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Manual timing probe for the hold microbenchmark — run with
+//! `cargo test -p mlb-bench --release --test hold_probe -- --ignored --nocapture`
+//! to see per-(population, backend) churn rates before launching the
+//! full sweep.
+
+use mlb_bench::scaling::hold_ops_per_sec;
+use mlb_simkernel::queue::QueueKind;
+
+#[test]
+#[ignore = "timing probe, run manually with --ignored --nocapture"]
+fn hold_timing_probe() {
+    for scale in [1usize, 4, 16, 64] {
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            let pending = 70_000 * scale;
+            let start = std::time::Instant::now();
+            let ops = hold_ops_per_sec(kind, pending, 200_000, 0x9E37_79B9);
+            eprintln!(
+                "scale {scale:>2}x pending {pending:>8} {kind:?}: {:.2}M ops/s ({:.2}s)",
+                ops / 1e6,
+                start.elapsed().as_secs_f64()
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "timing probe, run manually with --ignored --nocapture"]
+fn build_timing_probe() {
+    use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
+    use mlb_ntier::config::SystemConfig;
+    use mlb_ntier::system::NTierSystem;
+    use mlb_workload::clients::ClientPopulation;
+    for scale in [1usize, 4, 16] {
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            let mut cfg = SystemConfig::paper_4x4(BalancerConfig::with(
+                PolicyKind::TotalRequest,
+                MechanismKind::Original,
+            ));
+            cfg.apaches *= scale;
+            cfg.tomcats *= scale;
+            cfg.population = ClientPopulation::new(
+                cfg.population.clients() * scale,
+                cfg.population.think_time_mean(),
+                cfg.apaches,
+            );
+            cfg.queue = kind;
+            let start = std::time::Instant::now();
+            let sim = NTierSystem::build_simulation(cfg).unwrap();
+            eprintln!(
+                "build scale {scale:>2}x {kind:?}: {:.2}s ({} pending)",
+                start.elapsed().as_secs_f64(),
+                sim.pending()
+            );
+        }
+    }
+}

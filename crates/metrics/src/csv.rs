@@ -127,8 +127,10 @@ impl CsvTable {
     /// Returns any I/O error from directory creation or the write.
     pub fn write_to(&self, path: &Path) -> io::Result<()> {
         if let Some(parent) = path.parent() {
+            // simlint::allow(no-system-io): artifact export to a caller-chosen path; never read back into simulation state
             std::fs::create_dir_all(parent)?;
         }
+        // simlint::allow(no-system-io): artifact export to a caller-chosen path; never read back into simulation state
         std::fs::write(path, self.to_csv_string())
     }
 }
@@ -179,13 +181,16 @@ mod tests {
 
     #[test]
     fn write_creates_directories() {
+        // simlint::allow(no-system-io): test exercises the real artifact writer against a temp dir
         let dir = std::env::temp_dir().join(format!("mlbcsv-{}", std::process::id()));
         let path = dir.join("nested/out.csv");
         let mut t = CsvTable::with_columns(&["x"]);
         t.push_row(vec![1.0]);
         t.write_to(&path).unwrap();
+        // simlint::allow(no-system-io): test exercises the real artifact writer against a temp dir
         let read = std::fs::read_to_string(&path).unwrap();
         assert_eq!(read, "x\n1\n");
+        // simlint::allow(no-system-io): test exercises the real artifact writer against a temp dir
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

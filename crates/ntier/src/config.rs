@@ -5,6 +5,7 @@ use mlb_netmodel::link::Link;
 use mlb_netmodel::retransmit::RtoSchedule;
 use mlb_osmodel::machine::{GcConfig, MachineConfig};
 use mlb_osmodel::pagecache::PageCacheConfig;
+use mlb_simkernel::queue::QueueKind;
 use mlb_simkernel::time::SimDuration;
 use mlb_workload::clients::ClientPopulation;
 use mlb_workload::mix::InteractionMix;
@@ -74,6 +75,10 @@ pub struct SystemConfig {
     /// Streaming telemetry registry + online millibottleneck detector
     /// (off by default; purely observational, like tracing).
     pub metrics: MetricsConfig,
+    /// Event-queue backend. The timer wheel (default) and the
+    /// `BinaryHeap` reference produce bit-identical runs; the heap is
+    /// kept as the baseline the scale-sweep bench measures against.
+    pub queue: QueueKind,
 }
 
 impl SystemConfig {
@@ -109,6 +114,7 @@ impl SystemConfig {
             routing_budget: SimDuration::from_secs(2),
             trace: TraceConfig::disabled(),
             metrics: MetricsConfig::disabled(),
+            queue: QueueKind::Wheel,
         }
     }
 

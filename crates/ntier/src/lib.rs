@@ -40,6 +40,7 @@ pub mod experiment;
 pub mod metrics;
 pub mod request;
 pub mod servers;
+pub mod slab;
 pub mod system;
 pub mod telemetry;
 pub mod trace;

@@ -21,7 +21,6 @@
 //! write-back duration. The load balancer's reaction to that freeze is the
 //! object of study.
 
-use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -33,6 +32,7 @@ use mlb_netmodel::accept_queue::Offer;
 use mlb_netmodel::pool::Acquire;
 use mlb_osmodel::cpu::{CompletionKey, CompletionOutcome, JobId, StartedBurst};
 use mlb_osmodel::machine::Machine;
+use mlb_simkernel::queue::EventQueue;
 use mlb_simkernel::rng::{SeedSequence, Xoshiro256StarStar};
 use mlb_simkernel::sim::{Model, Scheduler, Simulation};
 use mlb_simkernel::time::{SimDuration, SimTime};
@@ -43,6 +43,7 @@ use crate::events::{Event, ServerRef};
 use crate::metrics::{LiveMetrics, MetricsReport};
 use crate::request::{Phase, RequestId, RequestState};
 use crate::servers::{ApacheServer, MySqlServer, TomcatServer};
+use crate::slab::RequestArena;
 use crate::telemetry::Telemetry;
 use crate::trace::Tracer;
 
@@ -67,10 +68,12 @@ pub struct NTierSystem {
     apaches: Vec<ApacheServer>,
     tomcats: Vec<TomcatServer>,
     mysql: MySqlServer,
-    /// In-flight requests by id. A `BTreeMap` (not `HashMap`) so that
-    /// any future iteration is key-ordered and deterministic — the
-    /// `no-hash-order` simlint rule keeps it that way.
-    requests: BTreeMap<u64, RequestState>,
+    /// In-flight requests by id: a generational slab arena with O(1)
+    /// keyed access. Its iteration order (by slot index) is a pure
+    /// function of the insertion/removal history, so determinism holds
+    /// without the `BTreeMap` log-n tax; the `no-hash-order` simlint rule
+    /// keeps hash-ordered structures from sneaking back in.
+    requests: RequestArena<RequestState>,
     /// Requests blocked in get_endpoint per target Tomcat (the paper's
     /// queue measurements attribute these to the target server).
     endpoint_waiters: Vec<usize>,
@@ -139,7 +142,7 @@ impl NTierSystem {
             apaches,
             tomcats,
             mysql,
-            requests: BTreeMap::new(),
+            requests: RequestArena::with_capacity(cfg.population.clients().min(1 << 20)),
             endpoint_waiters: vec![0; cfg.tomcats],
             session_affinity: if cfg.balancer.sticky_sessions {
                 vec![None; cfg.population.clients()]
@@ -166,7 +169,19 @@ impl NTierSystem {
     ) -> Result<Simulation<NTierSystem>, InvalidSystemConfigError> {
         let system = NTierSystem::new(cfg)?;
         let mut pdflush_rng = SeedSequence::new(system.cfg.seed).stream("pdflush");
-        let mut sim = Simulation::new(system);
+        // Pre-size for the expected steady state: every client holds about
+        // one pending event (a think timer or an in-flight hop), plus
+        // daemon wakeups — so clients × 2 never reallocates in practice.
+        // Capacity is invisible to the simulation (a regression test pins
+        // digests against it), so the cap just bounds worst-case memory.
+        let capacity = system
+            .cfg
+            .population
+            .clients()
+            .saturating_mul(2)
+            .clamp(64, 1 << 22);
+        let queue = EventQueue::with_capacity_and_kind(capacity, system.cfg.queue);
+        let mut sim = Simulation::with_queue(system, queue);
 
         // Stagger each client's first request across one think time.
         let clients = sim.model().cfg.population.clients();
@@ -316,23 +331,23 @@ impl NTierSystem {
     // corrupted state machine that must abort the run instead of limping
     // on with silently wrong accounting.
 
-    fn live(requests: &BTreeMap<u64, RequestState>, id: RequestId) -> &RequestState {
+    fn live(requests: &RequestArena<RequestState>, id: RequestId) -> &RequestState {
         requests
-            .get(&id.0)
+            .get(id.0)
             // simlint::allow(panic-hygiene): an earlier transition inserted this id and nothing retired it; a miss is a state-machine bug
             .expect("live request vanished")
     }
 
-    fn live_mut(requests: &mut BTreeMap<u64, RequestState>, id: RequestId) -> &mut RequestState {
+    fn live_mut(requests: &mut RequestArena<RequestState>, id: RequestId) -> &mut RequestState {
         requests
-            .get_mut(&id.0)
+            .get_mut(id.0)
             // simlint::allow(panic-hygiene): an earlier transition inserted this id and nothing retired it; a miss is a state-machine bug
             .expect("live request vanished")
     }
 
-    fn remove_live(requests: &mut BTreeMap<u64, RequestState>, id: RequestId) -> RequestState {
+    fn remove_live(requests: &mut RequestArena<RequestState>, id: RequestId) -> RequestState {
         requests
-            .remove(&id.0)
+            .remove(id.0)
             // simlint::allow(panic-hygiene): completion and failure each retire a request exactly once; a double retire is a state-machine bug
             .expect("live request retired twice")
     }
@@ -512,7 +527,7 @@ impl NTierSystem {
     }
 
     fn on_arrive_apache(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>, id: RequestId) {
-        let Some(r) = self.requests.get_mut(&id.0) else {
+        let Some(r) = self.requests.get_mut(id.0) else {
             return; // request was failed/abandoned while a packet was in flight
         };
         r.arrived_at = Some(now);
@@ -562,7 +577,7 @@ impl NTierSystem {
             CompletionOutcome::Finished { finished, started } => {
                 Self::schedule_started(sched, ServerRef::Apache(a), started);
                 let id = RequestId(finished.0);
-                if let Some(r) = self.requests.get_mut(&id.0) {
+                if let Some(r) = self.requests.get_mut(id.0) {
                     r.phase = Phase::Routing;
                     r.routing_started = Some(now);
                     r.routed_at = Some(now);
@@ -574,7 +589,7 @@ impl NTierSystem {
     }
 
     fn on_route(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>, id: RequestId) {
-        let Some(r) = self.requests.get(&id.0) else {
+        let Some(r) = self.requests.get(id.0) else {
             return;
         };
         let a = r.apache;
@@ -612,7 +627,7 @@ impl NTierSystem {
                 // fresh view, like a worker spinning in the selection loop.
                 let sleep = self.cfg.balancer.retry_sleep;
                 self.tracer.no_candidate(id, now, sleep);
-                if let Some(r) = self.requests.get_mut(&id.0) {
+                if let Some(r) = self.requests.get_mut(id.0) {
                     r.reset_routing();
                 }
                 sched.at(now + sleep, Event::RouteRequest { request: id });
@@ -706,7 +721,7 @@ impl NTierSystem {
     }
 
     fn on_endpoint_retry(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>, id: RequestId) {
-        let Some(r) = self.requests.get(&id.0) else {
+        let Some(r) = self.requests.get(id.0) else {
             return;
         };
         let b = r
@@ -719,7 +734,7 @@ impl NTierSystem {
     /// A CPing reaches the Tomcat: a healthy acceptor answers right away,
     /// a stalled (flushing/collecting) one only after the stall ends.
     fn on_arrive_probe(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>, id: RequestId) {
-        let Some(r) = self.requests.get(&id.0) else {
+        let Some(r) = self.requests.get(id.0) else {
             return;
         };
         if r.phase != Phase::Probing {
@@ -738,7 +753,7 @@ impl NTierSystem {
     }
 
     fn on_probe_reply(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>, id: RequestId) {
-        let Some(r) = self.requests.get_mut(&id.0) else {
+        let Some(r) = self.requests.get_mut(id.0) else {
             return;
         };
         if r.phase != Phase::Probing {
@@ -750,7 +765,7 @@ impl NTierSystem {
     }
 
     fn on_probe_timeout(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>, id: RequestId) {
-        let Some(r) = self.requests.get_mut(&id.0) else {
+        let Some(r) = self.requests.get_mut(id.0) else {
             return;
         };
         if r.phase != Phase::Probing {

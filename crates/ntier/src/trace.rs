@@ -16,14 +16,13 @@
 //! either way (tracing is purely observational — it never schedules or
 //! perturbs anything).
 
-use std::collections::BTreeMap;
-
 use mlb_metrics::spans::{RequestTrace, SpanKind, StallKind, TraceLog};
 use mlb_metrics::summary::VLRT_THRESHOLD;
 use mlb_simkernel::time::{SimDuration, SimTime};
 
 use crate::events::ServerRef;
 use crate::request::RequestId;
+use crate::slab::RequestArena;
 
 /// Configuration of the per-request tracer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,10 +89,11 @@ pub struct Tracer {
     enabled: bool,
     /// 1-in-N id sampling (see [`TraceConfig::sample_every`]).
     sample_every: u64,
-    /// In-flight traces by request id. A `BTreeMap` (not `HashMap`) so
-    /// that any future iteration is key-ordered and deterministic — the
-    /// `no-hash-order` simlint rule keeps it that way.
-    live: BTreeMap<u64, RequestTrace>,
+    /// In-flight traces in a generational slab arena (O(1) keyed access,
+    /// deterministic slot-index iteration). Keyed by `id / sample_every`:
+    /// sampled ids are exact multiples, so arena keys stay dense and the
+    /// sliding window tracks the live span even under heavy sampling.
+    live: RequestArena<RequestTrace>,
     log: TraceLog,
 }
 
@@ -103,7 +103,7 @@ impl Tracer {
         Tracer {
             enabled: cfg.enabled,
             sample_every: cfg.sample_every.max(1),
-            live: BTreeMap::new(),
+            live: RequestArena::new(),
             log: TraceLog::new(cfg.recent_capacity, cfg.vlrt_capacity),
         }
     }
@@ -129,15 +129,25 @@ impl Tracer {
         self.enabled.then_some(self.log)
     }
 
+    /// Arena key for a sampled id (exact multiples of `sample_every`
+    /// compress to consecutive keys, keeping the arena window dense).
+    #[inline]
+    fn key(&self, id: RequestId) -> u64 {
+        id.0 / self.sample_every
+    }
+
     #[inline]
     fn push(&mut self, id: RequestId, at: SimTime, kind: SpanKind) {
         if !self.enabled || !self.sampled(id) {
             return;
         }
-        self.live
-            .entry(id.0)
-            .or_insert_with(|| RequestTrace::new(id.0))
-            .push(at, kind);
+        let key = self.key(id);
+        if let Some(trace) = self
+            .live
+            .get_or_insert_with(key, || RequestTrace::new(id.0))
+        {
+            trace.push(at, kind);
+        }
     }
 
     /// A client issued the request (first transmission).
@@ -291,7 +301,7 @@ impl Tracer {
         if !self.enabled || !self.sampled(id) {
             return;
         }
-        if let Some(mut trace) = self.live.remove(&id.0) {
+        if let Some(mut trace) = self.live.remove(self.key(id)) {
             trace.push(at, SpanKind::Completed { rt });
             self.log.record(trace, VLRT_THRESHOLD);
         }
@@ -303,7 +313,7 @@ impl Tracer {
         if !self.enabled || !self.sampled(id) {
             return;
         }
-        if let Some(mut trace) = self.live.remove(&id.0) {
+        if let Some(mut trace) = self.live.remove(self.key(id)) {
             trace.push(at, SpanKind::Failed { elapsed });
             self.log.record(trace, VLRT_THRESHOLD);
         }

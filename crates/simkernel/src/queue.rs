@@ -4,35 +4,83 @@
 //! **deterministic FIFO tie-breaking**: events scheduled for the same
 //! instant pop in the order they were pushed. That property is what makes
 //! whole-simulation runs bit-for-bit reproducible.
+//!
+//! Two interchangeable backends implement the queue ([`QueueKind`]):
+//!
+//! * [`QueueKind::Wheel`] (the default) — a hierarchical timer wheel
+//!   (calendar queue) with [`LEVELS`] levels of [`SLOTS`] slots each,
+//!   `SLOT_BITS` bits of integer-µs time per level, plus an unsorted
+//!   overflow list for events more than `2^(LEVELS·SLOT_BITS)` µs
+//!   (≈ 19 hours) past the wheel origin. Push and pop are O(1) amortized,
+//!   independent of the number of pending events.
+//! * [`QueueKind::Heap`] — the original `BinaryHeap` implementation,
+//!   O(log n) per operation. Kept as the reference model: the
+//!   differential property tests drive both backends with identical
+//!   schedules and assert identical pop sequences, and the scale-sweep
+//!   bench uses it as the baseline the wheel is measured against.
+//!
+//! Both backends order events by `(time, seq)` where `seq` is a
+//! per-queue monotone push counter, so their pop sequences are equal by
+//! construction — the wheel just reaches the next event without paying a
+//! comparison-sort.
+//!
+//! # Examples
+//!
+//! ```
+//! use mlb_simkernel::queue::EventQueue;
+//! use mlb_simkernel::time::SimTime;
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::from_millis(5), "late");
+//! q.push(SimTime::from_millis(1), "early");
+//! q.push(SimTime::from_millis(5), "late-second");
+//!
+//! assert_eq!(q.pop(), Some((SimTime::from_millis(1), "early")));
+//! assert_eq!(q.pop(), Some((SimTime::from_millis(5), "late")));
+//! assert_eq!(q.pop(), Some((SimTime::from_millis(5), "late-second")));
+//! assert_eq!(q.pop(), None);
+//! ```
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::SimTime;
 
+/// Bits of time resolved per wheel level.
+const SLOT_BITS: u32 = 6;
+/// Slots per wheel level (`2^SLOT_BITS`).
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of wheel levels; together they cover `2^(LEVELS·SLOT_BITS)` µs
+/// (≈ 19.1 hours) beyond the wheel origin before the overflow list kicks in.
+const LEVELS: usize = 6;
+/// Cap on the cursor capacity reserved by [`EventQueue::with_capacity`]:
+/// the cursor only ever holds the events of a handful of instants, so
+/// pre-sizing it to the whole expected in-flight population would waste
+/// memory without saving a single reallocation.
+const CURSOR_PRESIZE_CAP: usize = 4_096;
+
+/// Which backend an [`EventQueue`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueKind {
+    /// Hierarchical timer wheel; O(1) amortized push/pop. The default.
+    #[default]
+    Wheel,
+    /// `BinaryHeap` reference implementation; O(log n) push/pop.
+    Heap,
+}
+
 /// A time-ordered queue of pending events.
-///
-/// # Examples
-///
-/// ```
-/// use mlb_simkernel::queue::EventQueue;
-/// use mlb_simkernel::time::SimTime;
-///
-/// let mut q = EventQueue::new();
-/// q.push(SimTime::from_millis(5), "late");
-/// q.push(SimTime::from_millis(1), "early");
-/// q.push(SimTime::from_millis(5), "late-second");
-///
-/// assert_eq!(q.pop(), Some((SimTime::from_millis(1), "early")));
-/// assert_eq!(q.pop(), Some((SimTime::from_millis(5), "late")));
-/// assert_eq!(q.pop(), Some((SimTime::from_millis(5), "late-second")));
-/// assert_eq!(q.pop(), None);
-/// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    imp: QueueImpl<E>,
     next_seq: u64,
     pushed_total: u64,
+}
+
+#[derive(Debug)]
+enum QueueImpl<E> {
+    Wheel(Wheel<E>),
+    Heap(BinaryHeap<Entry<E>>),
 }
 
 #[derive(Debug)]
@@ -66,23 +114,98 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+/// One pending event inside the wheel backend. `time` is raw integer µs —
+/// slot placement is bit arithmetic on it.
+#[derive(Debug)]
+struct WheelEntry<E> {
+    time: u64,
+    seq: u64,
+    event: E,
+}
+
+/// All events of one instant, drained out of the queue in one touch by
+/// [`EventQueue::drain_instant`].
+///
+/// The driver consumes events with [`next_event`](InstantBatch::next_event)
+/// and, if the model halts mid-batch, hands the unconsumed tail back with
+/// [`EventQueue::restore`] so halt semantics match the one-pop-at-a-time
+/// loop exactly. The batch keeps its allocation across drains.
+#[derive(Debug)]
+pub struct InstantBatch<E> {
+    time: SimTime,
+    entries: VecDeque<(u64, E)>,
+}
+
+impl<E> InstantBatch<E> {
+    /// Creates an empty batch.
     pub fn new() -> Self {
+        InstantBatch {
+            time: SimTime::ZERO,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// The instant the current batch was drained at.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Takes the next event of the batch, in FIFO (push) order.
+    pub fn next_event(&mut self) -> Option<E> {
+        self.entries.pop_front().map(|(_, e)| e)
+    }
+
+    /// Number of events not yet consumed. Together with
+    /// [`EventQueue::len`] this reconstructs the exact pending count the
+    /// one-pop-at-a-time loop would report mid-instant.
+    pub fn remaining(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl<E> Default for InstantBatch<E> {
+    fn default() -> Self {
+        InstantBatch::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue on the default (wheel) backend.
+    pub fn new() -> Self {
+        EventQueue::with_capacity_and_kind(0, QueueKind::Wheel)
+    }
+
+    /// Creates an empty queue with room for `capacity` events before
+    /// reallocating (for the wheel backend the cursor reservation is
+    /// capped; slots grow on demand).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue::with_capacity_and_kind(capacity, QueueKind::Wheel)
+    }
+
+    /// Creates an empty queue on the given backend.
+    pub fn with_kind(kind: QueueKind) -> Self {
+        EventQueue::with_capacity_and_kind(0, kind)
+    }
+
+    /// Creates an empty queue on the given backend, pre-sized for
+    /// `capacity` pending events.
+    pub fn with_capacity_and_kind(capacity: usize, kind: QueueKind) -> Self {
+        let imp = match kind {
+            QueueKind::Wheel => QueueImpl::Wheel(Wheel::new(capacity)),
+            QueueKind::Heap => QueueImpl::Heap(BinaryHeap::with_capacity(capacity)),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            imp,
             next_seq: 0,
             pushed_total: 0,
         }
     }
 
-    /// Creates an empty queue with room for `capacity` events before
-    /// reallocating.
-    pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
-            next_seq: 0,
-            pushed_total: 0,
+    /// Which backend this queue runs on.
+    pub fn kind(&self) -> QueueKind {
+        match self.imp {
+            QueueImpl::Wheel(_) => QueueKind::Wheel,
+            QueueImpl::Heap(_) => QueueKind::Heap,
         }
     }
 
@@ -91,27 +214,88 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pushed_total += 1;
-        self.heap.push(Entry { time, seq, event });
+        match &mut self.imp {
+            QueueImpl::Wheel(w) => w.push(WheelEntry {
+                time: time.as_micros(),
+                seq,
+                event,
+            }),
+            QueueImpl::Heap(h) => h.push(Entry { time, seq, event }),
+        }
     }
 
     /// Removes and returns the earliest event, FIFO among ties.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        match &mut self.imp {
+            QueueImpl::Wheel(w) => w.pop().map(|e| (SimTime::from_micros(e.time), e.event)),
+            QueueImpl::Heap(h) => h.pop().map(|e| (e.time, e.event)),
+        }
     }
 
-    /// The timestamp of the earliest pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    /// Drains **all** events of the earliest pending instant into `batch`
+    /// (replacing its previous contents) and returns that instant, or
+    /// `None` if the queue is empty. Events come out in FIFO (push) order.
+    ///
+    /// This is the driver's fast path: one queue touch per instant instead
+    /// of one per event. Events pushed *at* the drained instant while the
+    /// batch is being processed stay in the queue and come out in a
+    /// subsequent drain — exactly the order a pop-at-a-time loop yields,
+    /// because their `seq` is larger than every batched event's.
+    pub fn drain_instant(&mut self, batch: &mut InstantBatch<E>) -> Option<SimTime> {
+        batch.entries.clear();
+        let time = match &mut self.imp {
+            QueueImpl::Wheel(w) => SimTime::from_micros(w.drain_instant(&mut batch.entries)?),
+            QueueImpl::Heap(h) => {
+                let time = h.peek()?.time;
+                while h.peek().is_some_and(|e| e.time == time) {
+                    if let Some(e) = h.pop() {
+                        batch.entries.push_back((e.seq, e.event));
+                    }
+                }
+                time
+            }
+        };
+        batch.time = time;
+        Some(time)
+    }
+
+    /// Puts the unconsumed tail of `batch` back into the queue, preserving
+    /// the original sequence numbers (so a later drain yields the exact
+    /// order a pop-at-a-time loop would have). Used when the model halts
+    /// mid-instant.
+    pub fn restore(&mut self, batch: &mut InstantBatch<E>) {
+        let time = batch.time;
+        match &mut self.imp {
+            QueueImpl::Wheel(w) => w.restore(time.as_micros(), batch.entries.drain(..)),
+            QueueImpl::Heap(h) => {
+                for (seq, event) in batch.entries.drain(..) {
+                    h.push(Entry { time, seq, event });
+                }
+            }
+        }
+    }
+
+    /// The timestamp of the earliest pending event, if any. (`&mut`
+    /// because the wheel backend advances its origin lazily: locating the
+    /// next event may cascade slot buckets.)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        match &mut self.imp {
+            QueueImpl::Wheel(w) => w.peek_time().map(SimTime::from_micros),
+            QueueImpl::Heap(h) => h.peek().map(|e| e.time),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.imp {
+            QueueImpl::Wheel(w) => w.len,
+            QueueImpl::Heap(h) => h.len(),
+        }
     }
 
     /// `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever pushed (a cheap progress metric).
@@ -121,7 +305,10 @@ impl<E> EventQueue<E> {
 
     /// Drops all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.imp {
+            QueueImpl::Wheel(w) => w.clear(),
+            QueueImpl::Heap(h) => h.clear(),
+        }
     }
 }
 
@@ -131,69 +318,335 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+/// The hierarchical timer wheel backend.
+///
+/// Layout and invariants (`base` is the wheel origin, in µs):
+///
+/// * **base** — the wheel origin: starts at 0 and advances **lazily**,
+///   only when the consumer needs the next event (`pop`, `peek_time`,
+///   `drain_instant`) and the ready queue is empty. It never moves past a
+///   pending event, so it tracks the simulation's "now". Keeping pushes
+///   independent of `base` movement is what makes bulk out-of-order
+///   fills (e.g. staggering millions of initial client timers) O(1) per
+///   push: every push later than `base` files into a slot; an eager
+///   origin pinned to the first push would instead stream every earlier
+///   event through the sorted ready queue — O(n) each.
+/// * **cursor** — the ready queue: events at the earliest pending
+///   instant, sorted by `(time, seq)`, refilled on demand by
+///   [`advance`](Wheel::advance). After a refill every cursor entry is at
+///   one instant (== `base`); pushes *at or before* `base` (the
+///   `Scheduler::immediately` path, and batch-restore) insert into it
+///   directly, keeping it sorted.
+/// * **slots** — `LEVELS × SLOTS` buckets. An event at time `t > base`
+///   lives at level `ℓ = floor(log₂(t XOR base) / SLOT_BITS)`, slot index
+///   `(t >> ℓ·SLOT_BITS) & (SLOTS-1)`. XOR placement means an event's
+///   level-ℓ index always differs from (and, because `t > base`, exceeds)
+///   `base`'s own index at that level, and all events of one instant
+///   always share a bucket. Buckets accumulate strictly in `seq` order —
+///   events cascade down the moment `base` enters their window, before
+///   any later push can target the same bucket — so no bucket ever needs
+///   sorting.
+/// * **occ** — one occupancy bitmap per level; finding the next pending
+///   slot is a shift + `trailing_zeros`, no slot scan.
+/// * **overflow** — unsorted spill for events ≥ 2^(LEVELS·SLOT_BITS) µs
+///   past `base`; rescanned (O(n), amortized across the whole span) only
+///   when everything nearer has drained.
+///
+/// When the next event is demanded and the cursor is empty,
+/// [`advance`](Wheel::advance) moves `base` forward: cascade the buckets
+/// keyed at `base`'s own indices, else jump `base` to the nearest
+/// occupied slot of the lowest occupied level (never overshooting a
+/// pending event), else rebase onto the overflow minimum. Every cascade
+/// re-places events at strictly lower levels, so the loop terminates.
+#[derive(Debug)]
+struct Wheel<E> {
+    base: u64,
+    cursor: VecDeque<WheelEntry<E>>,
+    occ: [u64; LEVELS],
+    slots: Vec<Vec<WheelEntry<E>>>,
+    overflow: Vec<WheelEntry<E>>,
+    len: usize,
+}
+
+impl<E> Wheel<E> {
+    fn new(capacity: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(LEVELS * SLOTS, Vec::new);
+        Wheel {
+            base: 0,
+            cursor: VecDeque::with_capacity(capacity.min(CURSOR_PRESIZE_CAP)),
+            occ: [0; LEVELS],
+            slots,
+            overflow: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// `base`'s own slot index at `level`.
+    fn level_index(&self, level: usize) -> usize {
+        ((self.base >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize
+    }
+
+    fn push(&mut self, e: WheelEntry<E>) {
+        self.len += 1;
+        if e.time <= self.base {
+            self.cursor_insert(e);
+        } else {
+            self.place(e);
+        }
+    }
+
+    /// Refills the ready queue from the slots if it has gone empty. Every
+    /// consuming operation calls this first; pushes never touch `base`.
+    fn ensure_cursor(&mut self) {
+        if self.cursor.is_empty() && self.len > 0 {
+            self.advance();
+        }
+    }
+
+    /// Sorted insert into the ready queue. The hot case — scheduling at
+    /// the instant currently being processed — appends at the back.
+    fn cursor_insert(&mut self, e: WheelEntry<E>) {
+        let key = (e.time, e.seq);
+        match self.cursor.back() {
+            Some(b) if (b.time, b.seq) <= key => self.cursor.push_back(e),
+            _ => {
+                let at = self.cursor.partition_point(|x| (x.time, x.seq) < key);
+                self.cursor.insert(at, e);
+            }
+        }
+    }
+
+    /// Files an event with `time > base` into its slot (or the overflow).
+    fn place(&mut self, e: WheelEntry<E>) {
+        debug_assert!(e.time > self.base);
+        let level = ((63 - (e.time ^ self.base).leading_zeros()) / SLOT_BITS) as usize;
+        if level >= LEVELS {
+            self.overflow.push(e);
+        } else {
+            let idx = ((e.time >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            self.occ[level] |= 1 << idx;
+            self.slots[level * SLOTS + idx].push(e);
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<u64> {
+        self.ensure_cursor();
+        self.cursor.front().map(|e| e.time)
+    }
+
+    fn pop(&mut self) -> Option<WheelEntry<E>> {
+        self.ensure_cursor();
+        let e = self.cursor.pop_front()?;
+        self.len -= 1;
+        Some(e)
+    }
+
+    fn drain_instant(&mut self, out: &mut VecDeque<(u64, E)>) -> Option<u64> {
+        self.ensure_cursor();
+        let time = self.cursor.front()?.time;
+        while self.cursor.front().is_some_and(|e| e.time == time) {
+            if let Some(e) = self.cursor.pop_front() {
+                self.len -= 1;
+                out.push_back((e.seq, e.event));
+            }
+        }
+        Some(time)
+    }
+
+    /// Re-inserts a drained-but-unprocessed batch tail. The tail's seqs
+    /// all predate anything pushed since the drain, so the whole block
+    /// belongs at the very front of the ready queue.
+    fn restore(&mut self, time: u64, tail: impl DoubleEndedIterator<Item = (u64, E)>) {
+        let mut restored = 0usize;
+        for (seq, event) in tail.rev() {
+            debug_assert!(self
+                .cursor
+                .front()
+                .is_none_or(|f| (time, seq) < (f.time, f.seq)));
+            self.cursor.push_front(WheelEntry { time, seq, event });
+            restored += 1;
+        }
+        self.len += restored;
+        if self.len == restored {
+            self.base = time;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.base = 0;
+        self.cursor.clear();
+        self.occ = [0; LEVELS];
+        for s in &mut self.slots {
+            s.clear();
+        }
+        self.overflow.clear();
+        self.len = 0;
+    }
+
+    /// Moves `base` forward to the next pending instant and loads its
+    /// events into the (empty) cursor. Called only with `len > 0`.
+    fn advance(&mut self) {
+        debug_assert!(self.cursor.is_empty() && self.len > 0);
+        loop {
+            // Cascade the buckets keyed at base's own index, highest level
+            // first so entries settle through lower levels in one pass.
+            // Entries landing exactly at base become the ready queue.
+            for level in (1..LEVELS).rev() {
+                let idx = self.level_index(level);
+                if self.occ[level] & (1 << idx) != 0 {
+                    self.occ[level] &= !(1 << idx);
+                    let entries = std::mem::take(&mut self.slots[level * SLOTS + idx]);
+                    for e in entries {
+                        if e.time <= self.base {
+                            self.cursor.push_back(e);
+                        } else {
+                            self.place(e);
+                        }
+                    }
+                }
+            }
+            if !self.cursor.is_empty() {
+                return;
+            }
+            // Level 0 beats every higher level: its entries are inside
+            // base's current 64-µs window, higher levels' are beyond it.
+            let idx0 = self.level_index(0);
+            let ahead = self.occ[0] >> idx0;
+            debug_assert!(ahead & 1 == 0, "level-0 slot at base was not drained");
+            if ahead != 0 {
+                self.base += u64::from(ahead.trailing_zeros());
+                let idx = self.level_index(0);
+                self.occ[0] &= !(1 << idx);
+                let mut bucket = std::mem::take(&mut self.slots[idx]);
+                // A level-0 bucket holds exactly one instant, in seq order.
+                self.cursor.extend(bucket.drain(..));
+                self.slots[idx] = bucket;
+                return;
+            }
+            // Jump to the nearest occupied slot of the lowest occupied
+            // level. That slot contains the global minimum (nearer slots
+            // of higher levels cannot exist by XOR placement), and the
+            // jump leaves base's lower bits zero, so no pending event is
+            // overshot. The next iteration cascades it downward.
+            if let Some(level) = (1..LEVELS).find(|&l| self.occ[l] != 0) {
+                let idx = self.level_index(level);
+                let ahead = self.occ[level] >> idx;
+                debug_assert!(ahead != 0, "occupied slot behind base at level {level}");
+                let shift = SLOT_BITS * level as u32;
+                self.base = ((self.base >> shift) + u64::from(ahead.trailing_zeros())) << shift;
+                continue;
+            }
+            // Everything pending is in the overflow: rebase onto its
+            // minimum and re-place. Entries still ≥ 2^36 µs out simply
+            // return to the overflow.
+            debug_assert!(!self.overflow.is_empty(), "len > 0 but nothing pending");
+            let min = self
+                .overflow
+                .iter()
+                .map(|e| e.time)
+                .min()
+                .unwrap_or(self.base);
+            self.base = min;
+            let entries = std::mem::take(&mut self.overflow);
+            for e in entries {
+                if e.time <= self.base {
+                    self.cursor.push_back(e);
+                } else {
+                    self.place(e);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::time::SimDuration;
 
+    /// Runs a queue test against both backends.
+    fn on_both(f: impl Fn(QueueKind)) {
+        f(QueueKind::Wheel);
+        f(QueueKind::Heap);
+    }
+
+    #[test]
+    fn default_backend_is_the_wheel() {
+        let q: EventQueue<u8> = EventQueue::new();
+        assert_eq!(q.kind(), QueueKind::Wheel);
+        let q: EventQueue<u8> = EventQueue::with_kind(QueueKind::Heap);
+        assert_eq!(q.kind(), QueueKind::Heap);
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_micros(30), 3);
-        q.push(SimTime::from_micros(10), 1);
-        q.push(SimTime::from_micros(20), 2);
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        on_both(|kind| {
+            let mut q = EventQueue::with_kind(kind);
+            q.push(SimTime::from_micros(30), 3);
+            q.push(SimTime::from_micros(10), 1);
+            q.push(SimTime::from_micros(20), 2);
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![1, 2, 3]);
+        });
     }
 
     #[test]
     fn fifo_among_equal_times() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_millis(1);
-        for i in 0..100 {
-            q.push(t, i);
-        }
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
+        on_both(|kind| {
+            let mut q = EventQueue::with_kind(kind);
+            let t = SimTime::from_millis(1);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>());
+        });
     }
 
     #[test]
     fn interleaved_pushes_stay_fifo_per_instant() {
-        let mut q = EventQueue::new();
-        let a = SimTime::from_millis(1);
-        let b = SimTime::from_millis(2);
-        q.push(b, "b0");
-        q.push(a, "a0");
-        q.push(b, "b1");
-        q.push(a, "a1");
-        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec!["a0", "a1", "b0", "b1"]);
+        on_both(|kind| {
+            let mut q = EventQueue::with_kind(kind);
+            let a = SimTime::from_millis(1);
+            let b = SimTime::from_millis(2);
+            q.push(b, "b0");
+            q.push(a, "a0");
+            q.push(b, "b1");
+            q.push(a, "a1");
+            let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec!["a0", "a1", "b0", "b1"]);
+        });
     }
 
     #[test]
     fn peek_time_matches_next_pop() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.push(SimTime::from_secs(2), ());
-        q.push(SimTime::from_secs(1), ());
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
-        let (t, _) = q.pop().unwrap();
-        assert_eq!(t, SimTime::from_secs(1));
+        on_both(|kind| {
+            let mut q = EventQueue::with_kind(kind);
+            assert_eq!(q.peek_time(), None);
+            q.push(SimTime::from_secs(2), ());
+            q.push(SimTime::from_secs(1), ());
+            assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+            let (t, _) = q.pop().unwrap();
+            assert_eq!(t, SimTime::from_secs(1));
+        });
     }
 
     #[test]
     fn len_and_counters() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        q.push(SimTime::ZERO, ());
-        q.push(SimTime::ZERO + SimDuration::from_micros(1), ());
-        assert_eq!(q.len(), 2);
-        assert_eq!(q.pushed_total(), 2);
-        q.pop();
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.pushed_total(), 2);
-        q.clear();
-        assert!(q.is_empty());
+        on_both(|kind| {
+            let mut q = EventQueue::with_kind(kind);
+            assert!(q.is_empty());
+            q.push(SimTime::ZERO, ());
+            q.push(SimTime::ZERO + SimDuration::from_micros(1), ());
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pushed_total(), 2);
+            q.pop();
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pushed_total(), 2);
+            q.clear();
+            assert!(q.is_empty());
+        });
     }
 
     #[test]
@@ -201,5 +654,130 @@ mod tests {
         let mut q = EventQueue::with_capacity(16);
         q.push(SimTime::ZERO, 7u8);
         assert_eq!(q.pop(), Some((SimTime::ZERO, 7u8)));
+    }
+
+    #[test]
+    fn far_future_events_cross_the_overflow() {
+        on_both(|kind| {
+            let mut q = EventQueue::with_kind(kind);
+            // ~27.8 h and ~55.6 h: both far beyond the 19.1 h wheel span.
+            q.push(SimTime::from_secs(200_000), "far2");
+            q.push(SimTime::from_secs(100_000), "far1");
+            q.push(SimTime::from_micros(3), "near");
+            assert_eq!(q.pop(), Some((SimTime::from_micros(3), "near")));
+            assert_eq!(q.pop(), Some((SimTime::from_secs(100_000), "far1")));
+            assert_eq!(q.pop(), Some((SimTime::from_secs(200_000), "far2")));
+            assert_eq!(q.pop(), None);
+        });
+    }
+
+    #[test]
+    fn pushing_at_the_current_instant_stays_fifo_after_pop() {
+        on_both(|kind| {
+            let mut q = EventQueue::with_kind(kind);
+            let t = SimTime::from_millis(7);
+            q.push(t, 0);
+            q.push(t + SimDuration::from_millis(1), 9);
+            assert_eq!(q.pop(), Some((t, 0)));
+            // Model schedules "immediately" while handling the popped event.
+            q.push(t, 1);
+            q.push(t, 2);
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![1, 2, 9]);
+        });
+    }
+
+    #[test]
+    fn drain_instant_batches_one_instant_in_fifo_order() {
+        on_both(|kind| {
+            let mut q = EventQueue::with_kind(kind);
+            let a = SimTime::from_millis(1);
+            let b = SimTime::from_millis(2);
+            q.push(b, 20);
+            q.push(a, 10);
+            q.push(a, 11);
+            let mut batch = InstantBatch::new();
+            assert_eq!(q.drain_instant(&mut batch), Some(a));
+            assert_eq!(batch.time(), a);
+            assert_eq!(batch.remaining(), 2);
+            assert_eq!(batch.next_event(), Some(10));
+            assert_eq!(batch.next_event(), Some(11));
+            assert_eq!(batch.next_event(), None);
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.drain_instant(&mut batch), Some(b));
+            assert_eq!(batch.next_event(), Some(20));
+            assert_eq!(q.drain_instant(&mut batch), None);
+        });
+    }
+
+    #[test]
+    fn restore_puts_the_unconsumed_tail_back_in_order() {
+        on_both(|kind| {
+            let mut q = EventQueue::with_kind(kind);
+            let t = SimTime::from_millis(3);
+            for i in 0..4 {
+                q.push(t, i);
+            }
+            q.push(t + SimDuration::from_millis(1), 99);
+            let mut batch = InstantBatch::new();
+            assert_eq!(q.drain_instant(&mut batch), Some(t));
+            assert_eq!(batch.next_event(), Some(0));
+            // Halt after handling event 0; events pushed meanwhile must
+            // still pop after the restored tail.
+            q.push(t, 4);
+            q.restore(&mut batch);
+            assert_eq!(q.len(), 5);
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![1, 2, 3, 4, 99]);
+        });
+    }
+
+    #[test]
+    fn drain_after_same_instant_push_yields_the_newcomers() {
+        on_both(|kind| {
+            let mut q = EventQueue::with_kind(kind);
+            let t = SimTime::from_millis(5);
+            q.push(t, 0);
+            q.push(SimTime::from_millis(6), 9);
+            let mut batch = InstantBatch::new();
+            assert_eq!(q.drain_instant(&mut batch), Some(t));
+            assert_eq!(batch.next_event(), Some(0));
+            // The model schedules at the instant being processed: a second
+            // drain must yield it before the later instant.
+            q.push(t, 1);
+            assert_eq!(q.drain_instant(&mut batch), Some(t));
+            assert_eq!(batch.next_event(), Some(1));
+            assert_eq!(q.drain_instant(&mut batch), Some(SimTime::from_millis(6)));
+            assert_eq!(batch.next_event(), Some(9));
+        });
+    }
+
+    /// A randomized mirror check against a sorted reference, exercising
+    /// slot cascades and wheel jumps across several levels. (The heavier
+    /// differential suite lives in `tests/proptests.rs`.)
+    #[test]
+    fn wheel_matches_sorted_reference_on_a_mixed_schedule() {
+        let mut q = EventQueue::with_kind(QueueKind::Wheel);
+        let mut expected: Vec<(u64, u64)> = Vec::new();
+        // Deterministic pseudo-random times spanning all wheel levels.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for seq in 0..4_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t = match seq % 7 {
+                0 => x % 64,             // level 0
+                1 => x % 4_096,          // level 1
+                2 => x % 100_000,        // levels 2-3
+                3 => x % 80_000_000_000, // overflow territory
+                _ => x % 10_000_000,     // level 4
+            };
+            q.push(SimTime::from_micros(t), seq);
+            expected.push((t, seq));
+        }
+        expected.sort();
+        let got: Vec<(u64, u64)> =
+            std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_micros(), e))).collect();
+        assert_eq!(got, expected);
     }
 }

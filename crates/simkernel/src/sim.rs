@@ -39,7 +39,7 @@
 //! assert_eq!(report.events_processed, 5);
 //! ```
 
-use crate::queue::EventQueue;
+use crate::queue::{EventQueue, InstantBatch};
 use crate::time::{SimDuration, SimTime};
 
 /// The world state of a simulation together with its event handler.
@@ -65,6 +65,10 @@ pub struct Scheduler<'a, E> {
     now: SimTime,
     queue: &'a mut EventQueue<E>,
     halt: &'a mut bool,
+    /// Same-instant events already drained out of the queue but not yet
+    /// handled; counted so [`Scheduler::pending`] reports exactly what a
+    /// one-pop-at-a-time loop would.
+    batch_pending: usize,
 }
 
 impl<'a, E> Scheduler<'a, E> {
@@ -105,9 +109,10 @@ impl<'a, E> Scheduler<'a, E> {
         *self.halt = true;
     }
 
-    /// Number of events currently pending.
+    /// Number of events currently pending (including any events of the
+    /// current instant that are drained but not yet handled).
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.batch_pending
     }
 }
 
@@ -145,9 +150,17 @@ pub struct Simulation<M: Model> {
 impl<M: Model> Simulation<M> {
     /// Creates a simulation at time zero with an empty event queue.
     pub fn new(model: M) -> Self {
+        Simulation::with_queue(model, EventQueue::new())
+    }
+
+    /// Creates a simulation at time zero driving a caller-built queue
+    /// (pre-sized, or on a specific [`crate::queue::QueueKind`]). The
+    /// queue must be empty.
+    pub fn with_queue(model: M, queue: EventQueue<M::Event>) -> Self {
+        assert!(queue.is_empty(), "initial event queue must be empty");
         Simulation {
             model,
-            queue: EventQueue::new(),
+            queue,
             now: SimTime::ZERO,
             events_processed: 0,
         }
@@ -211,6 +224,7 @@ impl<M: Model> Simulation<M> {
                     now: time,
                     queue: &mut self.queue,
                     halt: &mut halt,
+                    batch_pending: 0,
                 };
                 self.model.handle(time, event, &mut sched);
                 self.events_processed += 1;
@@ -223,8 +237,20 @@ impl<M: Model> Simulation<M> {
     /// Runs until the clock would pass `horizon`, the queue empties, or the
     /// model halts. Events stamped exactly at `horizon` are **not**
     /// processed; the clock is left at `horizon` when the horizon is hit.
+    ///
+    /// The loop drains the queue one *instant* at a time
+    /// ([`EventQueue::drain_instant`]): all events of the earliest
+    /// timestamp come out in one queue touch and are handled in FIFO
+    /// order. Events the model schedules *at* the instant being processed
+    /// land in the queue and are picked up by the next drain, which keeps
+    /// the handling order identical to a one-pop-at-a-time loop (their
+    /// sequence numbers are larger than every drained event's). On halt,
+    /// the unhandled tail of the batch is restored to the queue, so
+    /// [`Simulation::pending`] afterwards matches one-pop-at-a-time
+    /// semantics exactly.
     pub fn run_until(&mut self, horizon: SimTime) -> RunReport {
         let start_count = self.events_processed;
+        let mut batch = InstantBatch::new();
         loop {
             match self.queue.peek_time() {
                 None => {
@@ -243,26 +269,30 @@ impl<M: Model> Simulation<M> {
                     };
                 }
                 Some(_) => {
-                    let (time, event) = self
+                    let time = self
                         .queue
-                        .pop()
+                        .drain_instant(&mut batch)
                         // simlint::allow(panic-hygiene): peek_time() just returned Some and nothing else pops the queue
                         .expect("peeked event vanished");
                     self.now = time;
-                    let mut halt = false;
-                    let mut sched = Scheduler {
-                        now: time,
-                        queue: &mut self.queue,
-                        halt: &mut halt,
-                    };
-                    self.model.handle(time, event, &mut sched);
-                    self.events_processed += 1;
-                    if halt {
-                        return RunReport {
-                            events_processed: self.events_processed - start_count,
-                            end_time: self.now,
-                            reason: StopReason::Halted,
+                    while let Some(event) = batch.next_event() {
+                        let mut halt = false;
+                        let mut sched = Scheduler {
+                            now: time,
+                            queue: &mut self.queue,
+                            halt: &mut halt,
+                            batch_pending: batch.remaining(),
                         };
+                        self.model.handle(time, event, &mut sched);
+                        self.events_processed += 1;
+                        if halt {
+                            self.queue.restore(&mut batch);
+                            return RunReport {
+                                events_processed: self.events_processed - start_count,
+                                end_time: self.now,
+                                reason: StopReason::Halted,
+                            };
+                        }
                     }
                 }
             }
@@ -357,6 +387,54 @@ mod tests {
         assert_eq!(report.reason, StopReason::Halted);
         assert_eq!(sim.model().seen.len(), 1);
         assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn halt_mid_instant_restores_the_batch_tail() {
+        let mut sim = Simulation::new(Recorder {
+            halt_on: Some(1),
+            ..recorder()
+        });
+        let t = SimTime::from_millis(1);
+        for ev in 0..4 {
+            sim.schedule(t, ev);
+        }
+        sim.schedule(SimTime::from_millis(2), 9);
+        let report = sim.run_to_completion();
+        assert_eq!(report.reason, StopReason::Halted);
+        assert_eq!(sim.model().seen, vec![(t, 0), (t, 1)]);
+        // Events 2 and 3 (same instant) plus event 9 stay pending.
+        assert_eq!(sim.pending(), 3);
+        // Resuming handles the restored tail first, in the original order.
+        sim.model_mut().halt_on = None;
+        sim.run_to_completion();
+        let values: Vec<u32> = sim.model().seen.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, vec![0, 1, 2, 3, 9]);
+    }
+
+    #[test]
+    fn scheduler_pending_counts_drained_batch_mates() {
+        struct PendingProbe {
+            observed: Vec<usize>,
+        }
+        impl Model for PendingProbe {
+            type Event = u32;
+            fn handle(&mut self, _now: SimTime, _ev: u32, sched: &mut Scheduler<'_, u32>) {
+                self.observed.push(sched.pending());
+            }
+        }
+        let mut sim = Simulation::new(PendingProbe {
+            observed: Vec::new(),
+        });
+        let t = SimTime::from_millis(1);
+        for ev in 0..3 {
+            sim.schedule(t, ev);
+        }
+        sim.schedule(SimTime::from_millis(2), 9);
+        sim.run_to_completion();
+        // Exactly what a one-pop-at-a-time loop reports: the not-yet-handled
+        // same-instant events count as pending.
+        assert_eq!(sim.model().observed, vec![3, 2, 1, 0]);
     }
 
     #[test]

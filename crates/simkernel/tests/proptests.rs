@@ -1,7 +1,7 @@
 //! Property tests for the simulation kernel's ordering and arithmetic
 //! invariants.
 
-use mlb_simkernel::queue::EventQueue;
+use mlb_simkernel::queue::{EventQueue, InstantBatch, QueueKind};
 use mlb_simkernel::rng::{exponential, uniform_duration, SeedSequence, Xoshiro256StarStar};
 use mlb_simkernel::time::{SimDuration, SimTime};
 use proptest::prelude::*;
@@ -44,6 +44,117 @@ proptest! {
         popped.sort_unstable();
         expected.sort_unstable();
         prop_assert_eq!(popped, expected);
+    }
+
+    /// The timer wheel and the `BinaryHeap` reference implementation pop
+    /// identical (time, event) sequences under random push/pop
+    /// interleavings — including same-instant bursts and pushes that
+    /// land across every wheel level up to the overflow arena. This is
+    /// the differential proof that makes the wheel a drop-in default:
+    /// any ordering divergence would change golden digests.
+    #[test]
+    fn wheel_and_heap_agree_on_random_interleavings(
+        ops in proptest::collection::vec((0u8..5, 0u64..1 << 38, 1u8..5), 1..300)
+    ) {
+        let mut wheel = EventQueue::with_kind(QueueKind::Wheel);
+        let mut heap = EventQueue::with_kind(QueueKind::Heap);
+        let mut now = 0u64;
+        let mut next_event = 0u64;
+        for &(op, offset, burst) in &ops {
+            if op < 3 {
+                // Push; op == 2 makes it a same-instant burst. Offsets up
+                // to 2^38 µs overflow the wheel's 2^36 µs span, so the
+                // overflow arena is exercised too.
+                let t = SimTime::from_micros(now + offset);
+                let n = if op == 2 { burst as u64 } else { 1 };
+                for _ in 0..n {
+                    wheel.push(t, next_event);
+                    heap.push(t, next_event);
+                    next_event += 1;
+                }
+            } else {
+                let w = wheel.pop();
+                let h = heap.pop();
+                prop_assert_eq!(w, h, "pop diverged mid-interleaving");
+                if let Some((t, _)) = w {
+                    now = t.as_micros();
+                }
+            }
+        }
+        loop {
+            let w = wheel.pop();
+            let h = heap.pop();
+            prop_assert_eq!(w, h, "pop diverged during drain");
+            if w.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty() && heap.is_empty());
+    }
+
+    /// Batched popping (`drain_instant`, with an arbitrary halt-and-
+    /// `restore` in the middle) yields exactly the heap reference's pop
+    /// sequence: batching is a traversal optimisation, never a
+    /// reordering.
+    #[test]
+    fn drain_instant_and_restore_match_the_heap_reference(
+        times in proptest::collection::vec(0u64..2_000, 1..200),
+        halt_after in 0usize..250
+    ) {
+        let mut wheel = EventQueue::with_kind(QueueKind::Wheel);
+        let mut heap = EventQueue::with_kind(QueueKind::Heap);
+        for (seq, &t) in times.iter().enumerate() {
+            // Coarse times force many same-instant batches.
+            let t = SimTime::from_micros(t / 50);
+            wheel.push(t, seq);
+            heap.push(t, seq);
+        }
+        let mut batch = InstantBatch::new();
+        let mut popped = 0usize;
+        let mut halted = false;
+        'outer: while let Some(time) = wheel.drain_instant(&mut batch) {
+            while let Some(event) = batch.next_event() {
+                let h = heap.pop();
+                prop_assert_eq!(h, Some((time, event)), "batch diverged");
+                popped += 1;
+                if !halted && popped == halt_after {
+                    // Simulate a mid-batch halt: the unconsumed tail goes
+                    // back, then popping resumes from scratch.
+                    halted = true;
+                    wheel.restore(&mut batch);
+                    continue 'outer;
+                }
+            }
+        }
+        prop_assert_eq!(heap.pop(), None);
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// Pre-sizing is invisible: a queue built with any `with_capacity`
+    /// value pops exactly the same sequence as a default-built one, for
+    /// both backends. (`build_simulation` pre-sizes from the configured
+    /// population, so this is the kernel half of the digest-stability
+    /// guarantee; the golden-digest tests pin the system half.)
+    #[test]
+    fn pre_sizing_never_changes_the_pop_sequence(
+        times in proptest::collection::vec(0u64..100_000, 0..200),
+        cap in 0usize..10_000
+    ) {
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            let mut sized = EventQueue::with_capacity_and_kind(cap, kind);
+            let mut plain = EventQueue::with_kind(kind);
+            for (seq, &t) in times.iter().enumerate() {
+                sized.push(SimTime::from_micros(t), seq);
+                plain.push(SimTime::from_micros(t), seq);
+            }
+            loop {
+                let s = sized.pop();
+                prop_assert_eq!(s, plain.pop());
+                if s.is_none() {
+                    break;
+                }
+            }
+        }
     }
 
     /// SimTime/SimDuration arithmetic round-trips.

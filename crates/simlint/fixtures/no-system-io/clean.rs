@@ -1,0 +1,7 @@
+// Fixture: clean under `no-system-io`. Simulation inputs arrive through
+// the configuration struct, so a run is a pure function of
+// (config, seed); artifact writing happens in the bench/CLI layer.
+
+pub fn think_time(cfg: &SystemConfig) -> SimDuration {
+    cfg.population.think_time_mean()
+}

@@ -1,0 +1,10 @@
+// Fixture: triggers `no-system-io`. Reading the filesystem or the
+// process environment inside simulation code ties the run to the host:
+// the same (config, seed) pair would behave differently on another
+// machine, breaking bit-identical reproduction.
+
+pub fn load_think_time() -> u64 {
+    let raw = std::env::var("THINK_TIME_US").unwrap_or_default();
+    let fallback = std::fs::read_to_string("think_time.txt").unwrap_or_default();
+    raw.parse().or_else(|_| fallback.trim().parse()).unwrap_or(7_000_000)
+}

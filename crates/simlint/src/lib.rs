@@ -10,6 +10,7 @@
 //! | rule | invariant |
 //! |------|-----------|
 //! | `no-wall-clock` | sim-crate library code never reads the host clock |
+//! | `no-system-io` | sim-crate library code never touches `std::fs`/`std::env` |
 //! | `no-hash-order` | no iteration over `HashMap`/`HashSet` in sim-crate library code |
 //! | `no-ambient-rng` | all randomness flows from seeded `simkernel::rng` streams |
 //! | `panic-hygiene` | `unwrap`/`expect` in event-loop hot paths carry a written invariant |

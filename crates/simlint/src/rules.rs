@@ -60,10 +60,14 @@ pub const SPAN_REF_PATHS: [&str; 1] = ["crates/ntier/src/trace.rs"];
 
 /// Every registered rule. The fixture meta-test enforces one triggering
 /// and one clean fixture per entry.
-pub const RULES: [RuleMeta; 8] = [
+pub const RULES: [RuleMeta; 9] = [
     RuleMeta {
         name: "no-wall-clock",
         summary: "Instant::now/SystemTime banned in sim-crate library code; sim time must come from the event queue",
+    },
+    RuleMeta {
+        name: "no-system-io",
+        summary: "std::fs/std::env access in sim-crate library code ties runs to the host; take inputs from config, write artifacts from bench/CLI",
     },
     RuleMeta {
         name: "no-hash-order",
@@ -132,6 +136,7 @@ pub fn check_file(input: &FileInput<'_>) -> Vec<Finding> {
     let mut findings = Vec::new();
     if input.in_sim_crate() && input.role == FileRole::Lib {
         no_wall_clock(input, &code, &mut findings);
+        no_system_io(input, &code, &mut findings);
         no_hash_order(input, &code, &mut findings);
     }
     if !input.is_shim() {
@@ -184,6 +189,59 @@ fn no_wall_clock(input: &FileInput<'_>, code: &[&Token], out: &mut Vec<Finding>)
                 "Instant::now() in simulation code; wall-clock reads make runs irreproducible \
                  (bench harness timing is exempt by scope)"
                     .to_owned(),
+            ));
+        }
+    }
+}
+
+/// `no-system-io`: filesystem and environment access in simulation
+/// library code. A simulation whose behavior (or whose artifacts) depend
+/// on the host filesystem or environment variables is not reproducible
+/// from (config, seed) alone: flag `std::fs`/`std::env` paths, module
+/// calls through `use std::fs;`-style imports (`fs::read_to_string`,
+/// `env::var`), and `File::open`/`File::create`. Bench, CLI, and linter
+/// crates are exempt by scope — harness I/O is their job.
+fn no_system_io(input: &FileInput<'_>, code: &[&Token], out: &mut Vec<Finding>) {
+    let preceded_by_path = |i: usize| i >= 1 && code[i - 1].is_punct(':');
+    for (i, t) in code.iter().enumerate() {
+        let double_colon_then = |name_ok: fn(&Token) -> bool| {
+            matches!(code.get(i + 1), Some(n) if n.is_punct(':'))
+                && matches!(code.get(i + 2), Some(n) if n.is_punct(':'))
+                && matches!(code.get(i + 3), Some(n) if name_ok(n))
+        };
+        let flagged =
+            if t.is_ident("std") && double_colon_then(|n| n.is_ident("fs") || n.is_ident("env")) {
+                // `std::fs::…` / `std::env::…`, including `use` declarations.
+                Some(format!("std::{}", code[i + 3].text))
+            } else if t.is_ident("fs")
+                && !preceded_by_path(i)
+                && double_colon_then(|n| n.kind == TokenKind::Ident)
+            {
+                // `fs::read_to_string(…)` through `use std::fs;`.
+                Some(format!("fs::{}", code[i + 3].text))
+            } else if t.is_ident("env")
+                && !preceded_by_path(i)
+                && double_colon_then(|n| n.kind == TokenKind::Ident)
+            {
+                Some(format!("env::{}", code[i + 3].text))
+            } else if t.is_ident("File")
+                && !preceded_by_path(i)
+                && double_colon_then(|n| n.is_ident("open") || n.is_ident("create"))
+            {
+                Some(format!("File::{}", code[i + 3].text))
+            } else {
+                None
+            };
+        if let Some(what) = flagged {
+            out.push(finding(
+                input,
+                "no-system-io",
+                t,
+                format!(
+                    "`{what}` touches the host filesystem/environment in simulation code; \
+                     runs must be a function of (config, seed) alone — take inputs from \
+                     SystemConfig and write artifacts from the bench/CLI layer"
+                ),
             ));
         }
     }
@@ -710,6 +768,47 @@ mod tests {
         let f = check_file(&sim_lib_input(&toks));
         let wall: Vec<_> = f.iter().filter(|f| f.rule == "no-wall-clock").collect();
         assert_eq!(wall.len(), 1); // the bare `Instant` type mention passes
+    }
+
+    #[test]
+    fn system_io_flags_fs_and_env_but_not_harness_crates() {
+        let src = "
+            use std::fs;
+            fn f() {
+                let s = fs::read_to_string(\"x\").unwrap();
+                let v = std::env::var(\"SEED\");
+                let f = File::open(\"y\");
+                let t = SimTime::ZERO;
+            }
+        ";
+        let toks = lex(src);
+        let f = check_file(&sim_lib_input(&toks));
+        let hits: Vec<_> = f.iter().filter(|f| f.rule == "no-system-io").collect();
+        assert_eq!(hits.len(), 4, "{hits:?}");
+        let bench = FileInput {
+            crate_name: "mlb-bench",
+            role: FileRole::Lib,
+            rel_path: "crates/bench/src/scaling.rs",
+            tokens: &toks,
+            is_crate_root: false,
+        };
+        assert!(check_file(&bench).iter().all(|f| f.rule != "no-system-io"));
+    }
+
+    #[test]
+    fn system_io_ignores_env_macro_and_foreign_paths() {
+        // `env!` is a compile-time macro, and `self.env::<T>()`-style
+        // turbofish on a non-module ident must not be confused with the
+        // std module; neither may doc comments.
+        let src = "
+            /// Reads std::fs at runtime? No — this is a doc comment.
+            fn g() {
+                let dir = env!(\"CARGO_MANIFEST_DIR\");
+                let x = other::fs::thing();
+            }
+        ";
+        let f = check_file(&sim_lib_input(&lex(src)));
+        assert!(f.iter().all(|f| f.rule != "no-system-io"), "{f:?}");
     }
 
     #[test]

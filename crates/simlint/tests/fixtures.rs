@@ -19,7 +19,7 @@ fn fixture_dir() -> PathBuf {
 /// (crate name, role, workspace-relative path, is-crate-root).
 fn context(rule: &str) -> (&'static str, FileRole, &'static str, bool) {
     match rule {
-        "no-wall-clock" | "no-hash-order" | "no-ambient-rng" => (
+        "no-wall-clock" | "no-system-io" | "no-hash-order" | "no-ambient-rng" => (
             "mlb-simkernel",
             FileRole::Lib,
             "crates/simkernel/src/fixture.rs",

@@ -5,6 +5,7 @@ use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
 use mlb_ntier::config::SystemConfig;
 use mlb_ntier::experiment::{run_experiment, ExperimentResult};
 use mlb_ntier::trace::TraceConfig;
+use mlb_simkernel::queue::QueueKind;
 
 fn smoke_with_seed(seed: u64) -> ExperimentResult {
     let mut cfg = SystemConfig::smoke(BalancerConfig::with(
@@ -109,6 +110,36 @@ fn trace_digests_match_pre_btreemap_golden_values() {
         assert_eq!(log.failed, 0, "seed {seed}: failed count");
         assert_eq!(log.summary.vlrt_total, vlrt, "seed {seed}: VLRT count");
     }
+}
+
+#[test]
+fn timer_wheel_and_heap_backends_are_digest_identical() {
+    // The timer wheel is the default event queue; the BinaryHeap
+    // reference is kept precisely so this test can exist. A full traced
+    // run under each backend must hash to the same digest: the wheel is
+    // a traversal optimisation, not a semantic change. (The pre-sized
+    // queue capacity differs per backend path too, so this also pins
+    // that pre-sizing is invisible end to end.)
+    let traced = |kind: QueueKind| {
+        let mut cfg = SystemConfig::smoke(BalancerConfig::with(
+            PolicyKind::TotalRequest,
+            MechanismKind::Original,
+        ));
+        cfg.seed = 7;
+        cfg.queue = kind;
+        cfg.trace = TraceConfig::enabled_default();
+        let r = run_experiment(cfg).expect("smoke config is valid");
+        (r.events_processed, r.trace.expect("tracing was enabled"))
+    };
+    let (wheel_events, wheel) = traced(QueueKind::Wheel);
+    let (heap_events, heap) = traced(QueueKind::Heap);
+    assert_eq!(wheel_events, heap_events, "event counts diverge");
+    assert_eq!(wheel.completed, heap.completed);
+    assert_eq!(
+        wheel.digest(),
+        heap.digest(),
+        "wheel and heap backends must be bit-identical"
+    );
 }
 
 #[test]
