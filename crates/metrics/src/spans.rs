@@ -230,6 +230,7 @@ impl RequestTrace {
 
     /// The end-to-end response time, if the request completed.
     pub fn response_time(&self) -> Option<SimDuration> {
+        // simlint::allow(match-exhaustive): only Completed carries the rt; no other variant, present or future, can end a request
         self.events.iter().rev().find_map(|e| match e.kind {
             SpanKind::Completed { rt } => Some(rt),
             _ => None,
@@ -238,6 +239,7 @@ impl RequestTrace {
 
     /// Total TCP transmissions of the request (1 = never dropped).
     pub fn attempts(&self) -> u32 {
+        // simlint::allow(match-exhaustive): attempt counters live only on Arrived/Dropped; every other event maps to the 1-transmission floor
         self.events
             .iter()
             .map(|e| match e.kind {
@@ -250,6 +252,7 @@ impl RequestTrace {
 
     /// The backend that finally served the request, if one was acquired.
     pub fn served_by(&self) -> Option<u16> {
+        // simlint::allow(match-exhaustive): EndpointAcquired is by construction the only variant naming the serving backend
         self.events.iter().rev().find_map(|e| match e.kind {
             SpanKind::EndpointAcquired { backend, .. } => Some(backend),
             _ => None,
@@ -278,7 +281,23 @@ impl RequestTrace {
                 SpanKind::EndpointAcquired { .. } => acquired = Some(e.at),
                 SpanKind::RepliedFrontend => replied = Some(e.at),
                 SpanKind::Completed { .. } => done = Some(e.at),
-                _ => {}
+                // The remaining lifecycle events mark waiting or
+                // backend-internal progress between the six segment
+                // edges; spelled out so a new variant forces a decision
+                // about which segment it bounds.
+                SpanKind::Issued { .. }
+                | SpanKind::Dropped { .. }
+                | SpanKind::RetransmitScheduled { .. }
+                | SpanKind::EndpointBusy { .. }
+                | SpanKind::EndpointGaveUp { .. }
+                | SpanKind::NoCandidate { .. }
+                | SpanKind::ProbeSent { .. }
+                | SpanKind::ProbeTimedOut { .. }
+                | SpanKind::ArrivedBackend { .. }
+                | SpanKind::BackendStarted
+                | SpanKind::DbDispatched { .. }
+                | SpanKind::Responding
+                | SpanKind::Failed { .. } => {}
             }
         }
         let (arrived, admitted, routed, acquired, replied, done) =

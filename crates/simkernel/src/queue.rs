@@ -118,6 +118,7 @@ impl<E> Ord for Entry<E> {
 /// slot placement is bit arithmetic on it.
 #[derive(Debug)]
 struct WheelEntry<E> {
+    // simlint::unit(us)
     time: u64,
     seq: u64,
     event: E,
@@ -457,6 +458,7 @@ impl<E> Wheel<E> {
     /// Re-inserts a drained-but-unprocessed batch tail. The tail's seqs
     /// all predate anything pushed since the drain, so the whole block
     /// belongs at the very front of the ready queue.
+    // simlint::unit(us)
     fn restore(&mut self, time: u64, tail: impl DoubleEndedIterator<Item = (u64, E)>) {
         let mut restored = 0usize;
         for (seq, event) in tail.rev() {

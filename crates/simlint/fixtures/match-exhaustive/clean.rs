@@ -1,0 +1,23 @@
+// Fixture: clean under `match-exhaustive`. Every variant is named, so
+// adding a kind breaks the build here instead of silently taking a
+// default; wildcards over enums outside the tracked set stay legal.
+
+pub enum QueueKind {
+    Cpu,
+    Disk,
+    Net,
+}
+
+pub fn weight(k: &QueueKind) -> u32 {
+    match k {
+        QueueKind::Cpu => 3,
+        QueueKind::Disk | QueueKind::Net => 1,
+    }
+}
+
+pub fn describe(code: u32) -> &'static str {
+    match code {
+        0 => "ok",
+        _ => "error",
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: triggers `match-exhaustive`. Hiding queue kinds behind a
+// wildcard means a newly added kind silently inherits the default
+// weight instead of forcing a decision at this site.
+
+pub enum QueueKind {
+    Cpu,
+    Disk,
+    Net,
+}
+
+pub fn weight(k: &QueueKind) -> u32 {
+    match k {
+        QueueKind::Cpu => 3,
+        _ => 1,
+    }
+}

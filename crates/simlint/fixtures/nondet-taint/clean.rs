@@ -1,0 +1,16 @@
+// Fixture: clean under `nondet-taint`. Ordered-map iteration and
+// simulated-clock arithmetic are deterministic, so the same values
+// reaching the same sinks raise nothing.
+
+pub const STEP_US: u64 = 250;
+
+pub fn replay(sched: &mut Scheduler, pending: &BTreeMap<u64, u64>) {
+    for (id, at) in pending.iter() {
+        sched.schedule(*at, *id);
+    }
+}
+
+pub fn arm_timeout(sched: &mut Scheduler, now_us: u64) {
+    let deadline = SimTime::from_micros(now_us + STEP_US);
+    sched.push(deadline);
+}

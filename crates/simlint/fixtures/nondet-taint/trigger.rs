@@ -1,0 +1,18 @@
+// Fixture: triggers `nondet-taint`. Hash-map iteration order is
+// RandomState's, so scheduling one event per entry enqueues them in a
+// different order every process — the classic planted taint the
+// dataflow layer exists to catch.
+
+pub fn replay(sched: &mut Scheduler, pending: &HashMap<u64, u64>) {
+    for (id, at) in pending.iter() {
+        sched.schedule(*at, *id);
+    }
+}
+
+// Wall-clock readings are just as poisonous once laundered through a
+// local: the lexer sees only `Instant::now`, the taint does the rest.
+pub fn arm_timeout(sched: &mut Scheduler) {
+    let now = Instant::now();
+    let deadline = now + 5;
+    sched.push(deadline);
+}

@@ -1,0 +1,19 @@
+// Fixture: clean under `time-unit`. Suffixes agree with constructors,
+// and a `simlint::unit` annotation covers a name the suffix convention
+// cannot reach.
+
+pub const WINDOW_MS: u64 = 50;
+pub const STEP_US: u64 = 250;
+
+// simlint::unit(us)
+pub const QUANTUM: u64 = 1_000;
+
+pub fn arm(sched: &mut Scheduler) {
+    sched.push(SimTime::from_millis(WINDOW_MS));
+    sched.push(SimTime::from_micros(STEP_US));
+    sched.push(SimTime::from_micros(QUANTUM));
+}
+
+pub fn arm_timeout(sched: &mut Scheduler, timeout_us: u64) {
+    sched.push(SimTime::from_micros(timeout_us));
+}

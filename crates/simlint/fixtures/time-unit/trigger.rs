@@ -1,0 +1,16 @@
+// Fixture: triggers `time-unit`. The detector window is named in
+// milliseconds but fed to a microsecond constructor — a 1000x planted
+// error the suffix convention makes visible to the dataflow layer.
+
+pub const WINDOW_MS: u64 = 50;
+
+pub fn arm(sched: &mut Scheduler) {
+    let deadline = SimTime::from_micros(WINDOW_MS);
+    sched.push(deadline);
+}
+
+// Parameters carry units too: a millisecond timeout must not reach a
+// microsecond constructor unconverted.
+pub fn arm_timeout(sched: &mut Scheduler, timeout_ms: u64) {
+    sched.push(SimTime::from_micros(timeout_ms));
+}

@@ -1,0 +1,952 @@
+//! Intra-procedural dataflow: nondeterminism taint and time units.
+//!
+//! A single forward walk over each function body maintains a scope
+//! stack of per-binding [`Facts`]:
+//!
+//! * **taint** — the value (transitively) originates from a
+//!   nondeterministic source: hash-collection iteration, `Instant`/
+//!   `SystemTime` wall-clock reads, or ambient RNG. Taint propagates
+//!   through lets, operators, calls, struct fields and loop bindings,
+//!   and is reported when it reaches an event-scheduling sink
+//!   (`schedule`/`push`) or a `SimTime`/`SimDuration` construction.
+//! * **unit** — the declared time unit (µs/ms/s) carried by the value,
+//!   inferred from the naming convention (`_us`/`_ms`/`_secs` suffixes,
+//!   `micros`/`millis`/`secs` parameter names) or an explicit
+//!   `// simlint::unit(us)` annotation, and from unit-typed accessors
+//!   (`.as_micros()` yields µs). Mismatches are reported where units
+//!   meet: constructor arguments, unit-suffixed parameters and fields,
+//!   additive arithmetic and comparisons. Multiplication and division
+//!   legitimately change units, so they erase the fact instead.
+//!
+//! The analysis is deliberately conservative in the other direction
+//! too: one pass, no fixpoint (a taint that only becomes visible on a
+//! loop's second iteration is missed), branch facts don't merge back,
+//! and unknown calls propagate argument taint but never invent it.
+//! Under the workspace's other lint rules the sources are individually
+//! banned, so this layer is defense-in-depth: it catches flows from
+//! *suppressed* sources and from future code the lexer rules can't see.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Block, Expr, ExprKind, Func, Lit, StmtKind};
+use crate::symbols::{declared_unit, unit_from_name, Symbols, Unit, UnitAnnotations, HASH_TYPES};
+
+/// Which rule family a flow finding belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowRule {
+    /// `nondet-taint`.
+    Taint,
+    /// `time-unit`.
+    Unit,
+}
+
+/// One raw dataflow finding (rule name resolution happens in
+/// `rules.rs`).
+#[derive(Debug)]
+pub struct FlowFinding {
+    /// Rule family.
+    pub rule: FlowRule,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Message.
+    pub message: String,
+}
+
+/// What kind of nondeterminism a taint originates from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaintKind {
+    HashIter,
+    WallClock,
+    Rng,
+}
+
+impl TaintKind {
+    fn label(self) -> &'static str {
+        match self {
+            TaintKind::HashIter => "hash-ordered iteration",
+            TaintKind::WallClock => "wall-clock time",
+            TaintKind::Rng => "ambient RNG",
+        }
+    }
+}
+
+/// A taint fact: what and where it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Taint {
+    kind: TaintKind,
+    origin_line: u32,
+}
+
+/// Abstract value carried by an expression or binding.
+#[derive(Debug, Clone, Copy, Default)]
+struct Facts {
+    taint: Option<Taint>,
+    unit: Option<Unit>,
+    /// The value is (or contains) a hash-ordered collection.
+    hashy: bool,
+}
+
+impl Facts {
+    fn tainted(kind: TaintKind, line: u32) -> Facts {
+        Facts {
+            taint: Some(Taint {
+                kind,
+                origin_line: line,
+            }),
+            ..Facts::default()
+        }
+    }
+
+    /// Merges two control-flow alternatives (taint wins, units must
+    /// agree to survive).
+    fn join(self, other: Facts) -> Facts {
+        Facts {
+            taint: self.taint.or(other.taint),
+            unit: if self.unit == other.unit {
+                self.unit
+            } else {
+                None
+            },
+            hashy: self.hashy || other.hashy,
+        }
+    }
+}
+
+/// Methods whose result order depends on hash state when the receiver
+/// is a hash-ordered collection.
+const ORDER_SENSITIVE: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "entries",
+    "into_keys",
+    "into_values",
+];
+
+/// Methods that preserve the receiver's unit (and whose first argument,
+/// if unit-carrying, must agree with the receiver).
+const UNIT_PRESERVING: [&str; 12] = [
+    "min",
+    "max",
+    "clamp",
+    "saturating_add",
+    "saturating_sub",
+    "wrapping_add",
+    "wrapping_sub",
+    "checked_add",
+    "checked_sub",
+    "abs_diff",
+    "clone",
+    "unwrap_or",
+];
+
+/// Method/function names that schedule events or enqueue work — the
+/// taint sinks.
+const SINK_METHODS: [&str; 4] = ["schedule", "schedule_at", "push", "push_at"];
+
+/// Analyzes one function body, appending taint/unit findings to `out`.
+pub fn analyze_fn(
+    func: &Func,
+    symbols: &Symbols,
+    anns: &UnitAnnotations,
+    out: &mut Vec<FlowFinding>,
+) {
+    let Some(body) = &func.body else {
+        return;
+    };
+    let mut a = Analysis {
+        symbols,
+        anns,
+        scopes: vec![BTreeMap::new()],
+        out,
+    };
+    for p in &func.params {
+        let Some(name) = &p.name else { continue };
+        let facts = Facts {
+            taint: None,
+            unit: declared_unit(name, p.line, anns),
+            hashy: p.ty.as_ref().is_some_and(|t| t.mentions(&HASH_TYPES)),
+        };
+        a.bind(name.clone(), facts);
+    }
+    a.run_block(body);
+}
+
+struct Analysis<'a> {
+    symbols: &'a Symbols,
+    anns: &'a UnitAnnotations,
+    scopes: Vec<BTreeMap<String, Facts>>,
+    out: &'a mut Vec<FlowFinding>,
+}
+
+impl Analysis<'_> {
+    fn bind(&mut self, name: String, facts: Facts) {
+        if let Some(top) = self.scopes.last_mut() {
+            top.insert(name, facts);
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<Facts> {
+        self.scopes.iter().rev().find_map(|s| s.get(name)).copied()
+    }
+
+    fn report(&mut self, rule: FlowRule, line: u32, col: u32, message: String) {
+        self.out.push(FlowFinding {
+            rule,
+            line,
+            col,
+            message,
+        });
+    }
+
+    fn unit_mismatch(&mut self, e: &Expr, got: Unit, want: Unit, context: &str) {
+        if got == want {
+            return;
+        }
+        self.report(
+            FlowRule::Unit,
+            e.span.line,
+            e.span.col,
+            format!(
+                "time-unit mismatch: {} carries {} but {} expects {}",
+                describe(e),
+                got.label(),
+                context,
+                want.label()
+            ),
+        );
+    }
+
+    fn taint_into_sink(&mut self, e: &Expr, taint: Taint, sink: &str) {
+        self.report(
+            FlowRule::Taint,
+            e.span.line,
+            e.span.col,
+            format!(
+                "nondeterministic value ({} from line {}) flows into {}; \
+                 event order must be a pure function of (config, seed)",
+                taint.kind.label(),
+                taint.origin_line,
+                sink
+            ),
+        );
+    }
+
+    /// Runs a block in a fresh scope; returns the trailing expression's
+    /// facts.
+    fn run_block(&mut self, b: &Block) -> Facts {
+        self.scopes.push(BTreeMap::new());
+        let mut last = Facts::default();
+        for stmt in &b.stmts {
+            last = Facts::default();
+            match &stmt.kind {
+                StmtKind::Let { names, ty, init } => {
+                    let init_facts = init.as_ref().map(|e| self.eval(e)).unwrap_or_default();
+                    let ty_hashy = ty.as_ref().is_some_and(|t| t.mentions(&HASH_TYPES));
+                    if names.len() == 1 {
+                        let name = &names[0];
+                        let declared = declared_unit(name, stmt.span.line, self.anns);
+                        if let (Some(want), Some(got), Some(e)) =
+                            (declared, init_facts.unit, init.as_ref())
+                        {
+                            self.unit_mismatch(e, got, want, &format!("`{name}`"));
+                        }
+                        self.bind(
+                            name.clone(),
+                            Facts {
+                                taint: init_facts.taint,
+                                unit: declared.or(init_facts.unit),
+                                hashy: init_facts.hashy || ty_hashy,
+                            },
+                        );
+                    } else {
+                        for name in names {
+                            self.bind(
+                                name.clone(),
+                                Facts {
+                                    taint: init_facts.taint,
+                                    unit: unit_from_name(name),
+                                    hashy: init_facts.hashy,
+                                },
+                            );
+                        }
+                    }
+                }
+                StmtKind::Expr(e) => last = self.eval(e),
+                StmtKind::Item(_) | StmtKind::Skipped => {}
+            }
+        }
+        self.scopes.pop();
+        last
+    }
+
+    fn eval(&mut self, e: &Expr) -> Facts {
+        match &e.kind {
+            ExprKind::Path(segs) => self.eval_path(segs),
+            ExprKind::Lit(_) => Facts::default(),
+            ExprKind::Call { callee, args } => self.eval_call(e, callee, args),
+            ExprKind::MethodCall { recv, method, args } => self.eval_method(e, recv, method, args),
+            ExprKind::Field { recv, name } => {
+                let r = self.eval(recv);
+                // A tracked `self.field` assignment earlier in the body
+                // wins over the static field facts.
+                if let Some(tracked) = lvalue_key(e).and_then(|k| self.lookup(&k)) {
+                    return tracked;
+                }
+                Facts {
+                    taint: r.taint,
+                    unit: unit_from_name(name),
+                    hashy: self.symbols.hash_fields.contains(name),
+                }
+            }
+            ExprKind::Index { recv, index } => {
+                let r = self.eval(recv);
+                let i = self.eval(index);
+                Facts {
+                    taint: r.taint.or(i.taint),
+                    unit: None,
+                    hashy: false,
+                }
+            }
+            ExprKind::Unary { expr } | ExprKind::Try { expr } => self.eval(expr),
+            ExprKind::Cast { expr, .. } => self.eval(expr),
+            ExprKind::Binary { op, lhs, rhs } => {
+                let l = self.eval(lhs);
+                let r = self.eval(rhs);
+                let additive = matches!(*op, "+" | "-");
+                let comparison = matches!(*op, "==" | "!=" | "<" | ">" | "<=" | ">=");
+                if additive || comparison {
+                    if let (Some(a), Some(b)) = (l.unit, r.unit) {
+                        if a != b {
+                            let what = if additive {
+                                "additive arithmetic"
+                            } else {
+                                "comparison"
+                            };
+                            self.report(
+                                FlowRule::Unit,
+                                e.span.line,
+                                e.span.col,
+                                format!(
+                                    "time-unit mismatch: {what} mixes {} ({}) and {} ({})",
+                                    describe(lhs),
+                                    a.label(),
+                                    describe(rhs),
+                                    b.label()
+                                ),
+                            );
+                        }
+                    }
+                }
+                Facts {
+                    taint: l.taint.or(r.taint),
+                    unit: if additive && l.unit == r.unit {
+                        l.unit
+                    } else {
+                        None
+                    },
+                    hashy: false,
+                }
+            }
+            ExprKind::Assign { lhs, rhs, .. } => {
+                let r = self.eval(rhs);
+                // Unit check against the target's declared name.
+                let target_name = match &lhs.kind {
+                    ExprKind::Path(segs) if segs.len() == 1 => Some(segs[0].clone()),
+                    ExprKind::Field { name, .. } => Some(name.clone()),
+                    _ => None,
+                };
+                if let (Some(name), Some(got)) = (&target_name, r.unit) {
+                    if let Some(want) = unit_from_name(name) {
+                        self.unit_mismatch(rhs, got, want, &format!("`{name}`"));
+                    }
+                }
+                if let Some(key) = lvalue_key(lhs) {
+                    let declared = target_name.as_deref().and_then(unit_from_name);
+                    self.bind(
+                        key,
+                        Facts {
+                            taint: r.taint,
+                            unit: declared.or(r.unit),
+                            hashy: r.hashy,
+                        },
+                    );
+                } else {
+                    self.eval(lhs);
+                }
+                Facts::default()
+            }
+            ExprKind::StructLit { fields, .. } => {
+                let mut taint = None;
+                for (name, value, _line) in fields {
+                    let f = match value {
+                        Some(v) => {
+                            let f = self.eval(v);
+                            if let (Some(got), Some(want)) = (f.unit, unit_from_name(name)) {
+                                self.unit_mismatch(v, got, want, &format!("field `{name}`"));
+                            }
+                            f
+                        }
+                        // Shorthand `Foo { window_us }`.
+                        None => self.lookup(name).unwrap_or_default(),
+                    };
+                    taint = taint.or(f.taint);
+                }
+                Facts {
+                    taint,
+                    unit: None,
+                    hashy: false,
+                }
+            }
+            ExprKind::Tuple(es) | ExprKind::Array(es) | ExprKind::MacroCall { args: es, .. } => {
+                let mut taint = None;
+                for x in es {
+                    taint = taint.or(self.eval(x).taint);
+                }
+                Facts {
+                    taint,
+                    unit: None,
+                    hashy: false,
+                }
+            }
+            ExprKind::Block(b) => self.run_block(b),
+            ExprKind::If { cond, then, els } => {
+                self.eval(cond);
+                let t = self.run_block(then);
+                let f = els.as_ref().map(|e| self.eval(e)).unwrap_or_default();
+                t.join(f)
+            }
+            ExprKind::LetCond { names, expr } => {
+                let f = self.eval(expr);
+                for n in names {
+                    self.bind(
+                        n.clone(),
+                        Facts {
+                            taint: f.taint,
+                            unit: unit_from_name(n).or(f.unit),
+                            hashy: f.hashy,
+                        },
+                    );
+                }
+                f
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                let s = self.eval(scrutinee);
+                let mut merged = Facts::default();
+                for (i, arm) in arms.iter().enumerate() {
+                    self.scopes.push(BTreeMap::new());
+                    for n in arm.pat.bound_names() {
+                        let unit = unit_from_name(&n).or(s.unit);
+                        self.bind(
+                            n,
+                            Facts {
+                                taint: s.taint,
+                                unit,
+                                hashy: s.hashy,
+                            },
+                        );
+                    }
+                    if let Some(g) = &arm.guard {
+                        self.eval(g);
+                    }
+                    let b = self.eval(&arm.body);
+                    self.scopes.pop();
+                    merged = if i == 0 { b } else { merged.join(b) };
+                }
+                merged
+            }
+            ExprKind::ForLoop { names, iter, body } => {
+                let it = self.eval(iter);
+                self.scopes.push(BTreeMap::new());
+                let taint = it.taint.or_else(|| {
+                    it.hashy.then_some(Taint {
+                        kind: TaintKind::HashIter,
+                        origin_line: iter.span.line,
+                    })
+                });
+                for n in names {
+                    self.bind(
+                        n.clone(),
+                        Facts {
+                            taint,
+                            unit: unit_from_name(n),
+                            hashy: false,
+                        },
+                    );
+                }
+                self.run_block(body);
+                self.scopes.pop();
+                Facts::default()
+            }
+            ExprKind::While { cond, body } => {
+                self.scopes.push(BTreeMap::new());
+                self.eval(cond);
+                self.run_block(body);
+                self.scopes.pop();
+                Facts::default()
+            }
+            ExprKind::Loop { body } => {
+                self.run_block(body);
+                Facts::default()
+            }
+            ExprKind::Closure { params, body } => {
+                self.scopes.push(BTreeMap::new());
+                for p in params {
+                    let unit = unit_from_name(p);
+                    self.bind(
+                        p.clone(),
+                        Facts {
+                            taint: None,
+                            unit,
+                            hashy: false,
+                        },
+                    );
+                }
+                let f = self.eval(body);
+                self.scopes.pop();
+                // The closure value itself carries its body's taint so
+                // `sched.push(move || tainted)` still reports at the sink.
+                Facts {
+                    taint: f.taint,
+                    unit: None,
+                    hashy: false,
+                }
+            }
+            ExprKind::Range { lo, hi } => {
+                let mut taint = None;
+                if let Some(e) = lo {
+                    taint = taint.or(self.eval(e).taint);
+                }
+                if let Some(e) = hi {
+                    taint = taint.or(self.eval(e).taint);
+                }
+                Facts {
+                    taint,
+                    unit: None,
+                    hashy: false,
+                }
+            }
+            ExprKind::Jump(v) => {
+                if let Some(e) = v {
+                    self.eval(e);
+                }
+                Facts::default()
+            }
+            ExprKind::Unknown => Facts::default(),
+        }
+    }
+
+    fn eval_path(&mut self, segs: &[String]) -> Facts {
+        if segs.len() == 1 {
+            if let Some(f) = self.lookup(&segs[0]) {
+                return f;
+            }
+        }
+        let last = segs.last().map(String::as_str).unwrap_or("");
+        // A const reference: unit from the symbol table or its name.
+        let unit = self
+            .symbols
+            .const_units
+            .get(last)
+            .copied()
+            .or_else(|| unit_from_name(last));
+        Facts {
+            taint: None,
+            unit,
+            hashy: false,
+        }
+    }
+
+    fn eval_call(&mut self, e: &Expr, callee: &Expr, args: &[Expr]) -> Facts {
+        let arg_facts: Vec<Facts> = args.iter().map(|a| self.eval(a)).collect();
+        let arg_taint = arg_facts.iter().find_map(|f| f.taint);
+        let ExprKind::Path(segs) = &callee.kind else {
+            self.eval(callee);
+            return Facts {
+                taint: arg_taint,
+                unit: None,
+                hashy: false,
+            };
+        };
+        let last = segs.last().map(String::as_str).unwrap_or("");
+        let has = |name: &str| segs.iter().any(|s| s == name);
+
+        // Nondeterminism sources.
+        if (has("Instant") || has("SystemTime")) && last == "now" {
+            return Facts::tainted(TaintKind::WallClock, e.span.line);
+        }
+        if last == "thread_rng" || last == "from_entropy" || (last == "random" && has("rand")) {
+            return Facts::tainted(TaintKind::Rng, e.span.line);
+        }
+        if HASH_TYPES.iter().any(|t| has(t))
+            && matches!(last, "new" | "with_capacity" | "default" | "from")
+        {
+            return Facts {
+                hashy: true,
+                ..Facts::default()
+            };
+        }
+
+        // SimTime/SimDuration construction: a unit- and taint-checked
+        // sink. The bare tuple-struct form `SimTime(x)` takes µs.
+        if has("SimTime") || has("SimDuration") {
+            let expected = match last {
+                "from_micros" | "from" => Some(Unit::Us),
+                "from_millis" => Some(Unit::Ms),
+                "from_secs" => Some(Unit::Secs),
+                "SimTime" | "SimDuration" => Some(Unit::Us),
+                _ => None,
+            };
+            if let Some(want) = expected {
+                let ty = if has("SimTime") {
+                    "SimTime"
+                } else {
+                    "SimDuration"
+                };
+                for (arg, f) in args.iter().zip(&arg_facts) {
+                    if let Some(got) = f.unit {
+                        self.unit_mismatch(arg, got, want, &format!("`{ty}::{last}`"));
+                    }
+                    if let Some(t) = f.taint {
+                        self.taint_into_sink(arg, t, &format!("`{ty}` construction"));
+                    }
+                }
+                return Facts {
+                    taint: arg_taint,
+                    unit: None,
+                    hashy: false,
+                };
+            }
+        }
+
+        // Free-function sinks (`schedule(at, ev)` helpers).
+        if SINK_METHODS.contains(&last) {
+            for (arg, f) in args.iter().zip(&arg_facts) {
+                if let Some(t) = f.taint {
+                    self.taint_into_sink(arg, t, &format!("`{last}`"));
+                }
+            }
+        }
+
+        // Workspace functions with unit-suffixed parameters.
+        if let Some(units) = self.symbols.param_units(last) {
+            // Skip a leading `self` slot when signature and call-site
+            // arities differ by one (free call of a method name).
+            let offset = usize::from(units.len() == args.len() + 1);
+            for (i, (arg, f)) in args.iter().zip(&arg_facts).enumerate() {
+                if let (Some(Some(want)), Some(got)) = (units.get(i + offset), f.unit) {
+                    self.unit_mismatch(arg, got, *want, &format!("parameter of `{last}`"));
+                }
+            }
+        }
+
+        Facts {
+            taint: arg_taint,
+            unit: unit_from_name(last),
+            hashy: self.symbols.hash_fns.contains(last),
+        }
+    }
+
+    fn eval_method(&mut self, e: &Expr, recv: &Expr, method: &str, args: &[Expr]) -> Facts {
+        let r = self.eval(recv);
+        let arg_facts: Vec<Facts> = args.iter().map(|a| self.eval(a)).collect();
+        let arg_taint = arg_facts.iter().find_map(|f| f.taint);
+
+        // Sinks: scheduling/enqueueing a tainted value, or a tainted
+        // timestamp, is the finding this rule exists for.
+        if SINK_METHODS.contains(&method) {
+            for (arg, f) in args.iter().zip(&arg_facts) {
+                if let Some(t) = f.taint {
+                    self.taint_into_sink(arg, t, &format!("`{method}`"));
+                }
+            }
+        }
+
+        // Unit-typed accessors on SimTime/SimDuration.
+        let accessor_unit = match method {
+            "as_micros" => Some(Unit::Us),
+            "as_millis" | "as_millis_f64" => Some(Unit::Ms),
+            "as_secs" | "as_secs_f64" | "as_secs_f32" => Some(Unit::Secs),
+            _ => None,
+        };
+        if let Some(u) = accessor_unit {
+            return Facts {
+                taint: r.taint.or(arg_taint),
+                unit: Some(u),
+                hashy: false,
+            };
+        }
+
+        // Hash-order taint at the iteration boundary.
+        if r.hashy && ORDER_SENSITIVE.contains(&method) {
+            return Facts {
+                taint: Some(Taint {
+                    kind: TaintKind::HashIter,
+                    origin_line: e.span.line,
+                }),
+                unit: None,
+                hashy: true,
+            };
+        }
+
+        if UNIT_PRESERVING.contains(&method) {
+            if let (Some(want), Some(arg), Some(got)) =
+                (r.unit, args.first(), arg_facts.first().and_then(|f| f.unit))
+            {
+                self.unit_mismatch(
+                    arg,
+                    got,
+                    want,
+                    &format!("`.{method}` on a {} value", want.label()),
+                );
+            }
+            return Facts {
+                taint: r.taint.or(arg_taint),
+                unit: r.unit.or_else(|| arg_facts.first().and_then(|f| f.unit)),
+                hashy: r.hashy && method == "clone",
+            };
+        }
+
+        // Generic propagation: taint and hashiness survive chaining
+        // (`map`, `filter`, `collect`, `enumerate`, ...), and a call to
+        // a workspace method known to return a hash collection makes
+        // the result hashy (`self.index().keys()`).
+        Facts {
+            taint: r.taint.or(arg_taint),
+            unit: None,
+            hashy: r.hashy || self.symbols.hash_fns.contains(method),
+        }
+    }
+}
+
+/// A stable key for trackable assignment targets: plain locals and
+/// `self.field` lvalues.
+fn lvalue_key(e: &Expr) -> Option<String> {
+    match &e.kind {
+        ExprKind::Path(segs) if segs.len() == 1 => Some(segs[0].clone()),
+        ExprKind::Field { recv, name } => match &recv.kind {
+            ExprKind::Path(segs) if segs.len() == 1 && segs[0] == "self" => {
+                Some(format!("self.{name}"))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// A short human label for an expression, used in messages.
+fn describe(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::Path(segs) => format!("`{}`", segs.join("::")),
+        ExprKind::Lit(Lit::Num(n)) => format!("literal `{n}`"),
+        ExprKind::Lit(_) => "a literal".to_owned(),
+        ExprKind::Call { callee, .. } => match &callee.kind {
+            ExprKind::Path(segs) => format!("`{}(..)`", segs.join("::")),
+            _ => "a call".to_owned(),
+        },
+        ExprKind::MethodCall { method, .. } => format!("`.{method}(..)`"),
+        ExprKind::Field { name, .. } => format!("field `{name}`"),
+        ExprKind::Binary { .. } => "an arithmetic result".to_owned(),
+        ExprKind::Cast { expr, .. } => describe(expr),
+        _ => "this value".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{walk_fns, ItemKind};
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+    use crate::symbols::parse_unit_annotations;
+
+    fn run(src: &str) -> Vec<FlowFinding> {
+        let toks = lex(src);
+        let file = parse_file(&toks);
+        assert_eq!(file.recovered_skips, 0, "test source must parse");
+        let (anns, bad) = parse_unit_annotations(&toks);
+        assert!(bad.is_empty(), "{bad:?}");
+        let symbols = Symbols::build(&[(&file, &anns)]);
+        let mut out = Vec::new();
+        walk_fns(&file, &mut |_, f| analyze_fn(f, &symbols, &anns, &mut out));
+        // Also walk functions inside cfg(test) mods for test purposes.
+        for item in &file.items {
+            if let ItemKind::Mod(m) = &item.kind {
+                if m.cfg_test {
+                    for it in &m.items {
+                        if let ItemKind::Fn(f) = &it.kind {
+                            analyze_fn(f, &symbols, &anns, &mut out);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn taints(f: &[FlowFinding]) -> usize {
+        f.iter().filter(|x| x.rule == FlowRule::Taint).count()
+    }
+
+    fn units(f: &[FlowFinding]) -> usize {
+        f.iter().filter(|x| x.rule == FlowRule::Unit).count()
+    }
+
+    #[test]
+    fn hash_iteration_into_schedule_is_tainted() {
+        let f = run("pub struct S { pending: HashMap<u64, u64> }\n\
+             impl S {\n\
+               pub fn kick(&self, sched: &mut Sched) {\n\
+                 for (id, t) in &self.pending {\n\
+                   sched.schedule(*t, *id);\n\
+                 }\n\
+               }\n\
+             }");
+        assert!(taints(&f) >= 1, "{f:?}");
+    }
+
+    #[test]
+    fn btreemap_iteration_is_clean() {
+        let f = run("pub struct S { pending: BTreeMap<u64, u64> }\n\
+             impl S {\n\
+               pub fn kick(&self, sched: &mut Sched) {\n\
+                 for (id, t) in &self.pending {\n\
+                   sched.schedule(*t, *id);\n\
+                 }\n\
+               }\n\
+             }");
+        assert_eq!(taints(&f), 0, "{f:?}");
+    }
+
+    #[test]
+    fn wall_clock_through_let_into_simtime_is_tainted() {
+        let f = run("pub fn bad(sim: &mut Sim) {\n\
+               let t0 = Instant::now();\n\
+               let stamp = t0;\n\
+               sim.push(SimTime::from_micros(stamp));\n\
+             }");
+        assert!(taints(&f) >= 1, "{f:?}");
+    }
+
+    #[test]
+    fn rng_into_push_is_tainted() {
+        let f = run("pub fn bad(q: &mut Q) {\n\
+               let jitter = thread_rng();\n\
+               q.push(jitter);\n\
+             }");
+        assert_eq!(taints(&f), 1, "{f:?}");
+    }
+
+    #[test]
+    fn seeded_rng_is_clean() {
+        let f = run("pub fn good(q: &mut Q, seed: u64) {\n\
+               let rng = SmallRng::seed_from_u64(seed);\n\
+               q.push(rng);\n\
+             }");
+        assert_eq!(taints(&f), 0, "{f:?}");
+    }
+
+    #[test]
+    fn ms_const_into_from_micros_is_flagged() {
+        let f = run("pub const WINDOW_MS: u64 = 50;\n\
+             pub fn bad() -> SimTime { SimTime::from_micros(WINDOW_MS) }");
+        assert_eq!(units(&f), 1, "{f:?}");
+    }
+
+    #[test]
+    fn us_const_into_from_micros_is_clean() {
+        let f = run("pub const WINDOW_US: u64 = 50_000;\n\
+             pub fn good() -> SimTime { SimTime::from_micros(WINDOW_US) }");
+        assert_eq!(units(&f), 0, "{f:?}");
+    }
+
+    #[test]
+    fn annotation_beats_suffixless_name() {
+        let f = run("// simlint::unit(ms)\n\
+             pub const WINDOW: u64 = 50;\n\
+             pub fn bad() -> SimTime { SimTime::from_micros(WINDOW) }");
+        assert_eq!(units(&f), 1, "{f:?}");
+    }
+
+    #[test]
+    fn mixed_additive_arithmetic_is_flagged() {
+        let f = run("pub fn bad(a_us: u64, b_ms: u64) -> u64 { a_us + b_ms }");
+        assert_eq!(units(&f), 1, "{f:?}");
+    }
+
+    #[test]
+    fn comparison_across_units_is_flagged() {
+        let f =
+            run("pub fn bad(elapsed_us: u64, timeout_ms: u64) -> bool { elapsed_us > timeout_ms }");
+        assert_eq!(units(&f), 1, "{f:?}");
+    }
+
+    #[test]
+    fn multiplication_legitimately_converts() {
+        let f = run(
+            "pub fn good(window_ms: u64) -> SimTime { SimTime::from_micros(window_ms * 1_000) }",
+        );
+        assert_eq!(units(&f), 0, "{f:?}");
+    }
+
+    #[test]
+    fn as_millis_accessor_carries_ms() {
+        let f =
+            run("pub fn bad(t: SimDuration) -> SimTime { SimTime::from_micros(t.as_millis()) }");
+        assert_eq!(units(&f), 1, "{f:?}");
+    }
+
+    #[test]
+    fn unit_suffixed_fn_param_is_checked_at_call_site() {
+        let f = run("pub fn on_completion(rt_us: u64) {}\n\
+             pub fn bad(rt_ms: u64) { on_completion(rt_ms); }\n\
+             pub fn good(rt: u64) { on_completion(rt); }");
+        assert_eq!(units(&f), 1, "{f:?}");
+    }
+
+    #[test]
+    fn struct_field_units_are_checked() {
+        let f = run("pub fn bad(wait_ms: u64) -> Cfg { Cfg { retransmit_wait_us: wait_ms } }");
+        assert_eq!(units(&f), 1, "{f:?}");
+    }
+
+    #[test]
+    fn tainted_self_field_assignment_is_tracked() {
+        let f = run("pub struct S { stamp: u64 }\n\
+             impl S {\n\
+               pub fn bad(&mut self, sched: &mut Sched) {\n\
+                 self.stamp = Instant::now();\n\
+                 sched.schedule(self.stamp, 0);\n\
+               }\n\
+             }");
+        assert!(taints(&f) >= 1, "{f:?}");
+    }
+
+    #[test]
+    fn hash_returning_fn_chain_is_tainted() {
+        let f = run("pub struct S { m: HashMap<u64, u64> }\n\
+             impl S {\n\
+               pub fn index(&self) -> &HashMap<u64, u64> { &self.m }\n\
+               pub fn bad(&self, q: &mut Q) {\n\
+                 for k in self.index().keys() { q.push(*k); }\n\
+               }\n\
+             }");
+        assert!(taints(&f) >= 1, "{f:?}");
+    }
+
+    #[test]
+    fn saturating_add_checks_and_preserves_units() {
+        let f = run("pub fn bad(a_us: u64, b_ms: u64) -> u64 { a_us.saturating_add(b_ms) }");
+        assert_eq!(units(&f), 1, "{f:?}");
+        let f2 = run("pub fn good(a_us: u64, b_us: u64) -> SimTime {\n\
+               SimTime::from_micros(a_us.saturating_add(b_us))\n\
+             }");
+        assert_eq!(units(&f2), 0, "{f2:?}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Mechanical autofixes (`mlb-simlint --workspace --fix`).
+//!
+//! Two classes of finding are safe to repair without judgment, so the
+//! linter does: stale `simlint::allow` comments (whole comments whose
+//! every rule silenced nothing are deleted; live comments with dead
+//! rules in their list get the dead rules pruned) and crate roots
+//! missing the `#![forbid(unsafe_code)]` header (the attribute is
+//! prepended). Everything else needs a human to either change code or
+//! write a justification, which is exactly what `--fix` must not
+//! fabricate.
+//!
+//! Fixes are line-oriented edits against the original source text; the
+//! plans come from [`lint_workspace_full`](crate::lint_workspace_full),
+//! which knows per-(suppression, rule) usage.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use crate::report::ALLOW_MARKER;
+
+/// One stale suppression comment and what (if anything) survives.
+#[derive(Debug)]
+pub struct StaleAllow {
+    /// 1-based line of the `// simlint::allow(...)` comment.
+    pub line: u32,
+    /// Rules that did silence something. Empty means the whole comment
+    /// is dead and is removed; non-empty means the rule list is
+    /// rewritten to exactly these.
+    pub keep: Vec<String>,
+}
+
+/// The mechanical fixes one file needs.
+#[derive(Debug)]
+pub struct FileFix {
+    /// Workspace-relative path (for reporting).
+    pub rel_path: String,
+    /// Absolute path (for editing).
+    pub abs_path: PathBuf,
+    /// Stale suppression comments, by line.
+    pub stale: Vec<StaleAllow>,
+    /// Whether the crate root lacks `#![forbid(unsafe_code)]`.
+    pub missing_header: bool,
+}
+
+/// What [`apply_fixes`] did, for the CLI summary.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct FixSummary {
+    /// Files rewritten.
+    pub files_changed: usize,
+    /// Whole suppression comments deleted.
+    pub suppressions_removed: usize,
+    /// Suppression rule lists pruned in place.
+    pub suppressions_trimmed: usize,
+    /// `#![forbid(unsafe_code)]` headers prepended.
+    pub headers_added: usize,
+}
+
+/// Rewrites one source text per its fix plan. Pure so the tests can
+/// exercise it without touching disk.
+pub fn fix_source(src: &str, fix: &FileFix, summary: &mut FixSummary) -> String {
+    // Split keeping structure: lines[i] is 1-based line i+1. A trailing
+    // newline is restored at the end iff the input had one.
+    let had_trailing_nl = src.ends_with('\n');
+    let mut lines: Vec<Option<String>> = src.lines().map(|l| Some(l.to_owned())).collect();
+    for stale in &fix.stale {
+        let Some(slot) = lines.get_mut(stale.line as usize - 1) else {
+            continue;
+        };
+        let Some(text) = slot.clone() else { continue };
+        let Some(marker) = text.find(ALLOW_MARKER) else {
+            continue;
+        };
+        // The comment introducer is the `//` immediately before the
+        // marker; everything from there to end-of-line is the comment.
+        let comment_start = text[..marker].rfind("//").unwrap_or(marker);
+        if stale.keep.is_empty() {
+            let before = text[..comment_start].trim_end();
+            // A comment-only line is dropped entirely; a trailing
+            // comment leaves the code before it.
+            *slot = if before.is_empty() {
+                None
+            } else {
+                Some(before.to_owned())
+            };
+            summary.suppressions_removed += 1;
+        } else {
+            // Rewrite `simlint::allow(<rules>)` to the kept rules only.
+            let open = match text[marker..].find('(') {
+                Some(o) => marker + o,
+                None => continue,
+            };
+            let close = match text[open..].find(')') {
+                Some(c) => open + c,
+                None => continue,
+            };
+            let mut rewritten = String::new();
+            rewritten.push_str(&text[..=open]);
+            rewritten.push_str(&stale.keep.join(", "));
+            rewritten.push_str(&text[close..]);
+            *slot = Some(rewritten);
+            summary.suppressions_trimmed += 1;
+        }
+    }
+    let mut out = String::new();
+    if fix.missing_header {
+        out.push_str("#![forbid(unsafe_code)]\n");
+        summary.headers_added += 1;
+    }
+    let mut first = true;
+    for line in lines.into_iter().flatten() {
+        if !first {
+            out.push('\n');
+        }
+        out.push_str(&line);
+        first = false;
+    }
+    if had_trailing_nl && !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Applies every fix plan to disk.
+///
+/// # Errors
+///
+/// Propagates the first I/O failure; files already rewritten stay
+/// rewritten (re-running `--fix` is idempotent).
+pub fn apply_fixes(fixes: &[FileFix]) -> io::Result<FixSummary> {
+    let mut summary = FixSummary::default();
+    for fix in fixes {
+        if fix.stale.is_empty() && !fix.missing_header {
+            continue;
+        }
+        let src = fs::read_to_string(&fix.abs_path)?;
+        let fixed = fix_source(&src, fix, &mut summary);
+        if fixed != src {
+            fs::write(&fix.abs_path, fixed)?;
+            summary.files_changed += 1;
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fix_for(stale: Vec<StaleAllow>, missing_header: bool) -> FileFix {
+        FileFix {
+            rel_path: "crates/x/src/lib.rs".into(),
+            abs_path: PathBuf::from("/nonexistent"),
+            stale,
+            missing_header,
+        }
+    }
+
+    #[test]
+    fn dead_comment_only_line_is_deleted() {
+        let src = "let a = 1;\n// simlint::allow(no-wall-clock): stale\nlet b = 2;\n";
+        let mut s = FixSummary::default();
+        let out = fix_source(
+            src,
+            &fix_for(
+                vec![StaleAllow {
+                    line: 2,
+                    keep: vec![],
+                }],
+                false,
+            ),
+            &mut s,
+        );
+        assert_eq!(out, "let a = 1;\nlet b = 2;\n");
+        assert_eq!(s.suppressions_removed, 1);
+    }
+
+    #[test]
+    fn dead_trailing_comment_is_truncated() {
+        let src = "let b = 2; // simlint::allow(no-wall-clock): stale\n";
+        let mut s = FixSummary::default();
+        let out = fix_source(
+            src,
+            &fix_for(
+                vec![StaleAllow {
+                    line: 1,
+                    keep: vec![],
+                }],
+                false,
+            ),
+            &mut s,
+        );
+        assert_eq!(out, "let b = 2;\n");
+    }
+
+    #[test]
+    fn partially_stale_list_is_pruned() {
+        let src = "// simlint::allow(no-wall-clock, panic-hygiene): why\nx();\n";
+        let mut s = FixSummary::default();
+        let out = fix_source(
+            src,
+            &fix_for(
+                vec![StaleAllow {
+                    line: 1,
+                    keep: vec!["panic-hygiene".into()],
+                }],
+                false,
+            ),
+            &mut s,
+        );
+        assert_eq!(out, "// simlint::allow(panic-hygiene): why\nx();\n");
+        assert_eq!(s.suppressions_trimmed, 1);
+    }
+
+    #[test]
+    fn missing_header_is_prepended() {
+        let src = "//! Docs.\npub fn f() {}\n";
+        let mut s = FixSummary::default();
+        let out = fix_source(src, &fix_for(vec![], true), &mut s);
+        assert_eq!(out, "#![forbid(unsafe_code)]\n//! Docs.\npub fn f() {}\n");
+        assert_eq!(s.headers_added, 1);
+    }
+}

@@ -341,14 +341,21 @@ fn lex_raw_or_byte(cur: &mut Cursor<'_>, line: u32, col: u32) -> Option<Token> {
     if c != 'r' && c != 'b' {
         return None;
     }
-    // Look ahead without consuming: clone the underlying iterator.
+    // Look ahead without consuming: clone the underlying iterator. The
+    // window must span the whole `r###…` hash run plus the deciding
+    // quote, so it extends while hashes keep coming (rustc caps raw
+    // strings at 255 hashes; 300 bounds pathological input).
     let mut ahead = {
         let mut v = Vec::new();
         if let Some(p) = cur.peeked {
             v.push(p);
         }
-        let it = cur.chars.clone();
-        v.extend(it.take(4));
+        for ch in cur.chars.clone() {
+            v.push(ch);
+            if (v.len() >= 3 && ch != '#') || v.len() > 300 {
+                break;
+            }
+        }
         v
     };
     ahead.push('\0'); // padding so indexing is safe

@@ -18,46 +18,69 @@
 //! | `span-attribution` | every `SpanKind` variant is constructed by the tracer |
 //! | `no-float-accum` | telemetry/metrics paths accumulate integers, not `f64` sums |
 //! | `bad-suppression` | suppressions are justified and actually used |
+//! | `nondet-taint` | nondeterministic values never flow into event scheduling |
+//! | `time-unit` | µs/ms/s units agree across literals, consts, params, and `SimTime` |
+//! | `match-exhaustive` | sim-enum matches name every variant, no `_` catch-alls |
 //!
+//! The first nine are token-stream heuristics; the last three run on a
+//! real (if lightweight) syntax tree: [`parser`] builds an [`ast`] from
+//! the lexer's tokens, [`symbols`] collects cross-file facts (enum
+//! variants, hash-returning functions, declared time units), and
+//! [`dataflow`] pushes taint and unit facts through each function body.
 //! Everything is hand-rolled (lexer included) because the build
 //! environment has no registry access: no `syn`, no `proc-macro2`, no
-//! `serde`. See [`lexer`] for what the token stream does and does not
-//! understand.
+//! `serde`.
 //!
 //! # Suppressions
 //!
-//! A finding is silenced by a comment on the same line or the line
-//! directly above it:
+//! A finding is silenced by a comment attached to the enclosing syntax
+//! node — the suppression covers the smallest item, statement, or
+//! match arm that starts on the comment's line or the line below, so
+//! one justified allow above a multi-line statement covers the whole
+//! statement:
 //!
 //! ```text
 //! // simlint::allow(panic-hygiene): a live RequestId always maps to a request
 //! .expect("unknown live request");
 //! ```
 //!
-//! The justification after the colon is mandatory, and a suppression
-//! that never matches a finding is itself reported (`bad-suppression`),
-//! so stale allowances cannot accumulate.
+//! The justification after the colon is mandatory, and each *rule* in a
+//! suppression that never matches a finding is itself reported
+//! (`bad-suppression`), so stale allowances cannot accumulate — not
+//! even by hiding in the rule list of an otherwise-used suppression.
+//! `mlb-simlint --workspace --fix` removes them mechanically.
 //!
 //! # Entry points
 //!
 //! * [`lint_workspace`] — lint a whole workspace rooted at a path (this
 //!   is what the tier-1 integration test and the CI step call);
+//! * [`lint_workspace_full`] — same, but also returns the per-file
+//!   [`fix::FileFix`] plans that `--fix` applies;
 //! * [`lint_source`] — lint one in-memory file under an explicit
 //!   [`rules::FileInput`]-style context (what the fixture tests use);
 //! * the `mlb-simlint` binary — `cargo run -p mlb-simlint -- --workspace
-//!   [--json]`.
+//!   [--json] [--fix]`.
 
+pub mod ast;
+pub mod dataflow;
+pub mod fix;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod symbols;
 pub mod workspace;
 
 use std::fs;
 use std::path::Path;
 
+use fix::{FileFix, StaleAllow};
 use lexer::{lex, Token};
 use report::{parse_suppressions, Finding, Report, Suppression};
-use rules::{check_file, rule_named, span_attribution, FileInput, SPAN_DECL_PATH, SPAN_REF_PATHS};
+use rules::{
+    check_ast, check_file, rule_named, span_attribution, FileInput, SPAN_DECL_PATH, SPAN_REF_PATHS,
+};
+use symbols::{parse_unit_annotations, Symbols, UnitAnnotations};
 use workspace::{DiscoverError, FileRole, Workspace};
 
 /// Whether `rel_path` is a crate root (`src/lib.rs` or `src/main.rs`).
@@ -65,146 +88,43 @@ fn is_crate_root(rel_path: &str) -> bool {
     rel_path.ends_with("src/lib.rs") || rel_path.ends_with("src/main.rs")
 }
 
+/// Suppression scoping: the inclusive line range a suppression on
+/// `s_line` covers. The smallest collected node span (item, statement,
+/// or match arm) starting on the suppression's line or the line below
+/// wins; when nothing starts there, the comment falls back to covering
+/// its own line and the next — the pre-AST behavior.
+fn suppression_scope(s_line: u32, spans: &[ast::Span]) -> (u32, u32) {
+    spans
+        .iter()
+        .filter(|sp| sp.line == s_line || sp.line == s_line + 1)
+        .min_by_key(|sp| (sp.end_line - sp.line, sp.line))
+        .map(|sp| (sp.line.min(s_line), sp.end_line))
+        .unwrap_or((s_line, s_line + 1))
+}
+
 struct FileData {
     rel_path: String,
+    abs_path: std::path::PathBuf,
     tokens: Vec<Token>,
     suppressions: Vec<Suppression>,
-    used: Vec<bool>,
+    /// Per-suppression inclusive line coverage.
+    scopes: Vec<(u32, u32)>,
+    /// Per-suppression, per-rule "silenced something" flags, aligned
+    /// with `Suppression::rules`.
+    used: Vec<Vec<bool>>,
+    is_crate_root: bool,
 }
 
-/// Lints the workspace rooted at `root` and returns the full report,
-/// sorted for stable output.
-///
-/// # Errors
-///
-/// Returns [`DiscoverError`] when the workspace layout cannot be read
-/// (missing manifests, unreadable directories) — *not* for findings,
-/// which are data in the report.
-pub fn lint_workspace(root: &Path) -> Result<Report, DiscoverError> {
-    let ws = Workspace::discover(root)?;
-    let mut report = Report::default();
-    let mut files: Vec<FileData> = Vec::new();
-    let mut raw: Vec<Finding> = Vec::new();
-
-    for f in &ws.files {
-        let src = fs::read_to_string(&f.abs_path)
-            .map_err(|e| DiscoverError(format!("reading {}: {e}", f.rel_path)))?;
-        let tokens = lex(&src);
-        let (suppressions, malformed) = parse_suppressions(&tokens);
-        for (line, col, msg) in malformed {
-            raw.push(Finding {
-                rule: "bad-suppression",
-                path: f.rel_path.clone(),
-                line,
-                col,
-                message: msg,
-            });
-        }
-        for s in &suppressions {
-            for r in &s.rules {
-                if rule_named(r).is_none() {
-                    raw.push(Finding {
-                        rule: "bad-suppression",
-                        path: f.rel_path.clone(),
-                        line: s.line,
-                        col: 1,
-                        message: format!("suppression names unknown rule `{r}`"),
-                    });
-                }
-            }
-        }
-        let input = FileInput {
-            crate_name: &f.crate_name,
-            role: f.role,
-            rel_path: &f.rel_path,
-            tokens: &tokens,
-            is_crate_root: is_crate_root(&f.rel_path),
-        };
-        raw.extend(check_file(&input));
-        report.files_scanned.push(f.rel_path.clone());
-        let used = vec![false; suppressions.len()];
-        files.push(FileData {
-            rel_path: f.rel_path.clone(),
-            tokens,
-            suppressions,
-            used,
-        });
-    }
-
-    // Workspace-level rule: span-attribution.
-    if let Some(decl) = files.iter().find(|f| f.rel_path == SPAN_DECL_PATH) {
-        let refs: Vec<(String, Vec<Token>)> = SPAN_REF_PATHS
-            .iter()
-            .filter_map(|p| {
-                files
-                    .iter()
-                    .find(|f| f.rel_path == *p)
-                    .map(|f| (f.rel_path.clone(), f.tokens.clone()))
-            })
-            .collect();
-        raw.extend(span_attribution(SPAN_DECL_PATH, &decl.tokens, &refs));
-    }
-
-    // Apply suppressions: a justified allow on the finding's line or the
-    // line directly above silences it. `bad-suppression` findings are
-    // themselves unsuppressible.
-    for finding in raw {
-        let mut silenced = None;
-        if finding.rule != "bad-suppression" {
-            if let Some(fd) = files.iter_mut().find(|fd| fd.rel_path == finding.path) {
-                for (i, s) in fd.suppressions.iter().enumerate() {
-                    let covers_line = s.line == finding.line || s.line + 1 == finding.line;
-                    if covers_line && s.rules.iter().any(|r| r == finding.rule) {
-                        fd.used[i] = true;
-                        silenced = Some(s.justification.clone());
-                        break;
-                    }
-                }
-            }
-        }
-        match silenced {
-            Some(why) => report.suppressed.push((finding, why)),
-            None => report.findings.push(finding),
-        }
-    }
-
-    // Unused suppressions are stale hygiene debt.
-    for fd in &files {
-        for (s, used) in fd.suppressions.iter().zip(&fd.used) {
-            if !used {
-                report.findings.push(Finding {
-                    rule: "bad-suppression",
-                    path: fd.rel_path.clone(),
-                    line: s.line,
-                    col: 1,
-                    message: format!(
-                        "suppression for `{}` never matched a finding; delete it",
-                        s.rules.join(", ")
-                    ),
-                });
-            }
-        }
-    }
-
-    report.sort();
-    Ok(report)
-}
-
-/// Lints one in-memory source file under an explicit context, applying
-/// the same suppression semantics as [`lint_workspace`]. Used by the
-/// fixture tests; the `span-attribution` rule (workspace-level) treats
-/// the file as both the declaration and the attribution site, so a
-/// self-contained fixture can exercise it.
-pub fn lint_source(
-    src: &str,
-    crate_name: &str,
-    role: FileRole,
+/// Shared front half of comment handling: parses the suppression and
+/// unit-annotation comments, reports the malformed ones into `raw`, and
+/// computes each suppression's node scope.
+fn parse_comment_directives(
+    tokens: &[Token],
+    file: &ast::File,
     rel_path: &str,
-    crate_root: bool,
-) -> Vec<Finding> {
-    let tokens = lex(src);
-    let (suppressions, malformed) = parse_suppressions(&tokens);
-    let mut raw: Vec<Finding> = Vec::new();
+    raw: &mut Vec<Finding>,
+) -> (Vec<Suppression>, Vec<(u32, u32)>, UnitAnnotations) {
+    let (suppressions, malformed) = parse_suppressions(tokens);
     for (line, col, msg) in malformed {
         raw.push(Finding {
             rule: "bad-suppression",
@@ -227,6 +147,240 @@ pub fn lint_source(
             }
         }
     }
+    let (anns, bad_anns) = parse_unit_annotations(tokens);
+    for (line, col, msg) in bad_anns {
+        raw.push(Finding {
+            rule: "time-unit",
+            path: rel_path.to_owned(),
+            line,
+            col,
+            message: msg,
+        });
+    }
+    let spans = ast::collect_scope_spans(file);
+    let scopes = suppressions
+        .iter()
+        .map(|s| suppression_scope(s.line, &spans))
+        .collect();
+    (suppressions, scopes, anns)
+}
+
+/// Applies suppressions to one finding: the first suppression whose
+/// scope covers the finding's line and whose rule list names the rule
+/// silences it, marking that (suppression, rule) slot used.
+/// `bad-suppression` findings are unsuppressible. Returns the
+/// justification when silenced.
+fn try_suppress(
+    finding: &Finding,
+    suppressions: &[Suppression],
+    scopes: &[(u32, u32)],
+    used: &mut [Vec<bool>],
+) -> Option<String> {
+    if finding.rule == "bad-suppression" {
+        return None;
+    }
+    for (i, s) in suppressions.iter().enumerate() {
+        let (lo, hi) = scopes[i];
+        if finding.line < lo || finding.line > hi {
+            continue;
+        }
+        for (j, r) in s.rules.iter().enumerate() {
+            if r == finding.rule {
+                used[i][j] = true;
+                return Some(s.justification.clone());
+            }
+        }
+    }
+    None
+}
+
+/// Splits a suppression's rules into (stale, kept) by usage and renders
+/// the staleness finding message, or `None` when nothing is stale.
+fn stale_message(s: &Suppression, used: &[bool]) -> Option<(Vec<String>, Vec<String>, String)> {
+    let stale: Vec<String> = s
+        .rules
+        .iter()
+        .zip(used)
+        .filter(|(_, u)| !**u)
+        .map(|(r, _)| r.clone())
+        .collect();
+    if stale.is_empty() {
+        return None;
+    }
+    let keep: Vec<String> = s
+        .rules
+        .iter()
+        .filter(|r| !stale.contains(r))
+        .cloned()
+        .collect();
+    let message = if keep.is_empty() {
+        format!(
+            "suppression for `{}` never matched a finding; delete it",
+            s.rules.join(", ")
+        )
+    } else {
+        format!(
+            "suppression rule{} `{}` never matched a finding; keep only `{}`",
+            if stale.len() == 1 { "" } else { "s" },
+            stale.join(", "),
+            keep.join(", ")
+        )
+    };
+    Some((stale, keep, message))
+}
+
+/// Lints the workspace rooted at `root` and returns the full report,
+/// sorted for stable output.
+///
+/// # Errors
+///
+/// Returns [`DiscoverError`] when the workspace layout cannot be read
+/// (missing manifests, unreadable directories) — *not* for findings,
+/// which are data in the report.
+pub fn lint_workspace(root: &Path) -> Result<Report, DiscoverError> {
+    lint_workspace_full(root).map(|(report, _)| report)
+}
+
+/// [`lint_workspace`], plus the mechanical fix plans (`--fix` input):
+/// stale suppression removals and missing `#![forbid(unsafe_code)]`
+/// headers, one entry per file that needs work.
+pub fn lint_workspace_full(root: &Path) -> Result<(Report, Vec<FileFix>), DiscoverError> {
+    let ws = Workspace::discover(root)?;
+    let mut report = Report::default();
+    let mut files: Vec<FileData> = Vec::new();
+    let mut parsed: Vec<(ast::File, UnitAnnotations)> = Vec::new();
+    let mut raw: Vec<Finding> = Vec::new();
+
+    // Pass 1: read, lex, parse; collect comment directives and the
+    // cross-file symbol inputs.
+    for f in &ws.files {
+        let src = fs::read_to_string(&f.abs_path)
+            .map_err(|e| DiscoverError(format!("reading {}: {e}", f.rel_path)))?;
+        let tokens = lex(&src);
+        let file = parser::parse_file(&tokens);
+        let (suppressions, scopes, anns) =
+            parse_comment_directives(&tokens, &file, &f.rel_path, &mut raw);
+        let used = suppressions
+            .iter()
+            .map(|s| vec![false; s.rules.len()])
+            .collect();
+        report.files_scanned.push(f.rel_path.clone());
+        files.push(FileData {
+            rel_path: f.rel_path.clone(),
+            abs_path: f.abs_path.clone(),
+            tokens,
+            suppressions,
+            scopes,
+            used,
+            is_crate_root: is_crate_root(&f.rel_path),
+        });
+        parsed.push((file, anns));
+    }
+
+    // The symbol table sees every library file — sim crates for the
+    // rules, the rest so name collisions degrade to "no facts" instead
+    // of wrong facts.
+    let symbol_inputs: Vec<(&ast::File, &UnitAnnotations)> = ws
+        .files
+        .iter()
+        .zip(&parsed)
+        .filter(|(f, _)| f.role == FileRole::Lib)
+        .map(|(_, (file, anns))| (file, anns))
+        .collect();
+    let symbols = Symbols::build(&symbol_inputs);
+
+    // Pass 2: token rules + AST/dataflow rules per file.
+    for (f, (fd, (file, anns))) in ws.files.iter().zip(files.iter().zip(&parsed)) {
+        let input = FileInput {
+            crate_name: &f.crate_name,
+            role: f.role,
+            rel_path: &f.rel_path,
+            tokens: &fd.tokens,
+            is_crate_root: fd.is_crate_root,
+        };
+        raw.extend(check_file(&input));
+        raw.extend(check_ast(&input, file, &symbols, anns));
+    }
+
+    // Workspace-level rule: span-attribution.
+    if let Some(decl) = files.iter().find(|f| f.rel_path == SPAN_DECL_PATH) {
+        let refs: Vec<(String, Vec<Token>)> = SPAN_REF_PATHS
+            .iter()
+            .filter_map(|p| {
+                files
+                    .iter()
+                    .find(|f| f.rel_path == *p)
+                    .map(|f| (f.rel_path.clone(), f.tokens.clone()))
+            })
+            .collect();
+        raw.extend(span_attribution(SPAN_DECL_PATH, &decl.tokens, &refs));
+    }
+
+    // Apply suppressions per owning file.
+    for finding in raw {
+        let silenced = files
+            .iter_mut()
+            .find(|fd| fd.rel_path == finding.path)
+            .and_then(|fd| try_suppress(&finding, &fd.suppressions, &fd.scopes, &mut fd.used));
+        match silenced {
+            Some(why) => report.suppressed.push((finding, why)),
+            None => report.findings.push(finding),
+        }
+    }
+
+    // Stale rule slots become findings + fix plans; missing crate
+    // headers become fix plans off their (unsuppressed) findings.
+    let mut fixes = Vec::new();
+    for fd in &files {
+        let mut stale_plans = Vec::new();
+        for (s, used) in fd.suppressions.iter().zip(&fd.used) {
+            if let Some((_, keep, message)) = stale_message(s, used) {
+                report.findings.push(Finding {
+                    rule: "bad-suppression",
+                    path: fd.rel_path.clone(),
+                    line: s.line,
+                    col: 1,
+                    message,
+                });
+                stale_plans.push(StaleAllow { line: s.line, keep });
+            }
+        }
+        let missing_header = report
+            .findings
+            .iter()
+            .any(|f| f.rule == "crate-header" && f.path == fd.rel_path);
+        if !stale_plans.is_empty() || missing_header {
+            fixes.push(FileFix {
+                rel_path: fd.rel_path.clone(),
+                abs_path: fd.abs_path.clone(),
+                stale: stale_plans,
+                missing_header,
+            });
+        }
+    }
+
+    report.sort();
+    Ok((report, fixes))
+}
+
+/// Lints one in-memory source file under an explicit context, applying
+/// the same suppression semantics as [`lint_workspace`]. Used by the
+/// fixture tests; the `span-attribution` rule (workspace-level) treats
+/// the file as both the declaration and the attribution site, and the
+/// symbol table is built from the file itself, so a self-contained
+/// fixture can exercise every rule.
+pub fn lint_source(
+    src: &str,
+    crate_name: &str,
+    role: FileRole,
+    rel_path: &str,
+    crate_root: bool,
+) -> Vec<Finding> {
+    let tokens = lex(src);
+    let file = parser::parse_file(&tokens);
+    let mut raw: Vec<Finding> = Vec::new();
+    let (suppressions, scopes, anns) = parse_comment_directives(&tokens, &file, rel_path, &mut raw);
+    let symbols = Symbols::build(&[(&file, &anns)]);
     let input = FileInput {
         crate_name,
         role,
@@ -235,6 +389,7 @@ pub fn lint_source(
         is_crate_root: crate_root,
     };
     raw.extend(check_file(&input));
+    raw.extend(check_ast(&input, &file, &symbols, &anns));
     if !rules::span_variants(&tokens).is_empty() {
         raw.extend(span_attribution(
             rel_path,
@@ -242,35 +397,24 @@ pub fn lint_source(
             &[(rel_path.to_owned(), tokens.clone())],
         ));
     }
-    let mut used = vec![false; suppressions.len()];
+    let mut used: Vec<Vec<bool>> = suppressions
+        .iter()
+        .map(|s| vec![false; s.rules.len()])
+        .collect();
     let mut out = Vec::new();
     for finding in raw {
-        let mut silenced = false;
-        if finding.rule != "bad-suppression" {
-            for (i, s) in suppressions.iter().enumerate() {
-                let covers = s.line == finding.line || s.line + 1 == finding.line;
-                if covers && s.rules.iter().any(|r| r == finding.rule) {
-                    used[i] = true;
-                    silenced = true;
-                    break;
-                }
-            }
-        }
-        if !silenced {
+        if try_suppress(&finding, &suppressions, &scopes, &mut used).is_none() {
             out.push(finding);
         }
     }
-    for (s, u) in suppressions.iter().zip(&used) {
-        if !u {
+    for (s, used) in suppressions.iter().zip(&used) {
+        if let Some((_, _, message)) = stale_message(s, used) {
             out.push(Finding {
                 rule: "bad-suppression",
                 path: rel_path.to_owned(),
                 line: s.line,
                 col: 1,
-                message: format!(
-                    "suppression for `{}` never matched a finding; delete it",
-                    s.rules.join(", ")
-                ),
+                message,
             });
         }
     }
@@ -323,6 +467,51 @@ let r = thread_rng();
         );
         assert!(f.iter().any(|f| f.rule == "bad-suppression"));
         assert!(f.iter().any(|f| f.rule == "no-ambient-rng"));
+    }
+
+    #[test]
+    fn suppression_scopes_to_the_whole_statement() {
+        // The offending call sits two lines below the allow comment; a
+        // line-scoped suppression would miss it, node scoping covers the
+        // enclosing statement.
+        let src = "\
+pub fn f(v: u64) {
+    // simlint::allow(no-ambient-rng): seeded at the harness boundary
+    consume(
+        v,
+        thread_rng(),
+    );
+}
+";
+        let f = lint_source(
+            src,
+            "mlb-ntier",
+            FileRole::Lib,
+            "crates/ntier/src/x.rs",
+            false,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn partially_stale_suppression_rule_is_reported() {
+        // `no-ambient-rng` fires and is silenced; `no-wall-clock` never
+        // fires, so its slot in the same allow list is stale — the bug
+        // this catches is a dead rule hiding behind a live one.
+        let src = "\
+// simlint::allow(no-ambient-rng, no-wall-clock): only the rng part is real
+let r = thread_rng();
+";
+        let f = lint_source(
+            src,
+            "mlb-ntier",
+            FileRole::Lib,
+            "crates/ntier/src/x.rs",
+            false,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "bad-suppression");
+        assert!(f[0].message.contains("no-wall-clock"), "{}", f[0].message);
     }
 
     #[test]

@@ -4,11 +4,15 @@
 //! ```text
 //! cargo run -p mlb-simlint -- --workspace            # human diagnostics
 //! cargo run -p mlb-simlint -- --workspace --json     # machine-readable (CI)
+//! cargo run -p mlb-simlint -- --workspace --fix      # apply mechanical fixes
 //! cargo run -p mlb-simlint -- --list-rules
 //! ```
 //!
 //! Exit status: 0 when the scan is clean, 1 when unsuppressed findings
-//! exist, 2 on usage or discovery errors.
+//! exist, 2 on usage or discovery errors. With `--fix`, stale
+//! suppressions and missing `#![forbid(unsafe_code)]` headers are
+//! repaired first and the report (and exit status) reflect the
+//! post-fix state, so findings that need a human still fail the run.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -16,7 +20,7 @@ use std::process::ExitCode;
 use mlb_simlint::rules::RULES;
 
 fn usage() -> &'static str {
-    "usage: mlb-simlint --workspace [--root <dir>] [--json]\n\
+    "usage: mlb-simlint --workspace [--root <dir>] [--json] [--fix]\n\
      \x20      mlb-simlint --list-rules\n\
      \n\
      Scans the cargo workspace for violations of the simulation\n\
@@ -50,6 +54,7 @@ fn main() -> ExitCode {
     let mut workspace = false;
     let mut json = false;
     let mut list_rules = false;
+    let mut apply_fix = false;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -57,6 +62,7 @@ fn main() -> ExitCode {
             "--workspace" => workspace = true,
             "--json" => json = true,
             "--list-rules" => list_rules = true,
+            "--fix" => apply_fix = true,
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -88,6 +94,35 @@ fn main() -> ExitCode {
         eprintln!("could not locate a workspace root (try --root)");
         return ExitCode::from(2);
     };
+    if apply_fix {
+        // Plan fixes from a first lint, apply them, then re-lint so the
+        // printed report and the exit status describe the fixed tree.
+        let fixes = match mlb_simlint::lint_workspace_full(Path::new(&root)) {
+            Ok((_, fixes)) => fixes,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        match mlb_simlint::fix::apply_fixes(&fixes) {
+            Ok(s) => {
+                if !json {
+                    eprintln!(
+                        "fix: {} file(s) changed, {} suppression(s) removed, \
+                         {} trimmed, {} header(s) added",
+                        s.files_changed,
+                        s.suppressions_removed,
+                        s.suppressions_trimmed,
+                        s.headers_added
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("fix failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     match mlb_simlint::lint_workspace(Path::new(&root)) {
         Ok(report) => {
             if json {

@@ -8,8 +8,11 @@
 //! (someone iterates a `HashMap`, someone reads the host clock inside
 //! the event loop), not to be sound against adversarial code.
 
+use crate::ast;
+use crate::dataflow::{self, FlowRule};
 use crate::lexer::{Token, TokenKind};
 use crate::report::Finding;
+use crate::symbols::{Symbols, UnitAnnotations};
 use crate::workspace::FileRole;
 
 /// Static description of one registered rule.
@@ -60,7 +63,7 @@ pub const SPAN_REF_PATHS: [&str; 1] = ["crates/ntier/src/trace.rs"];
 
 /// Every registered rule. The fixture meta-test enforces one triggering
 /// and one clean fixture per entry.
-pub const RULES: [RuleMeta; 9] = [
+pub const RULES: [RuleMeta; 12] = [
     RuleMeta {
         name: "no-wall-clock",
         summary: "Instant::now/SystemTime banned in sim-crate library code; sim time must come from the event queue",
@@ -96,6 +99,18 @@ pub const RULES: [RuleMeta; 9] = [
     RuleMeta {
         name: "bad-suppression",
         summary: "simlint::allow comments must name a known rule, carry a justification, and actually suppress something",
+    },
+    RuleMeta {
+        name: "nondet-taint",
+        summary: "values from hash iteration, wall clocks, or ambient RNG may not flow into schedule/push/SimTime construction",
+    },
+    RuleMeta {
+        name: "time-unit",
+        summary: "integers reaching SimTime/window/timeout parameters must agree with the _us/_ms suffix and simlint::unit annotations",
+    },
+    RuleMeta {
+        name: "match-exhaustive",
+        summary: "matches over SpanKind/FlagKind/QueueKind in sim-crate library code may not hide variants behind a catch-all arm",
     },
 ];
 
@@ -745,6 +760,117 @@ pub fn span_attribution(
             ),
         })
         .collect()
+}
+
+/// Enums whose matches in sim-crate library code must name every
+/// variant: hiding a new `SpanKind`/`FlagKind`/`QueueKind` behind `_`
+/// silently drops it from attribution/detection/scheduling decisions.
+/// (The issue names `DetectorFlag`, but that is a struct — the enum
+/// that actually classifies detector flags is `FlagKind`.)
+pub const MATCH_ENUMS: [&str; 3] = ["SpanKind", "FlagKind", "QueueKind"];
+
+/// Runs the AST/dataflow rule families (`nondet-taint`, `time-unit`,
+/// `match-exhaustive`) on one parsed file. Scope matches the other
+/// determinism rules: sim-crate library code only, `#[cfg(test)]`
+/// modules skipped.
+pub fn check_ast(
+    input: &FileInput<'_>,
+    file: &ast::File,
+    symbols: &Symbols,
+    anns: &UnitAnnotations,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if input.in_sim_crate() && input.role == FileRole::Lib {
+        check_ast_items(input, &file.items, symbols, anns, &mut findings);
+    }
+    findings
+}
+
+fn check_ast_items(
+    input: &FileInput<'_>,
+    items: &[ast::Item],
+    symbols: &Symbols,
+    anns: &UnitAnnotations,
+    out: &mut Vec<Finding>,
+) {
+    for item in items {
+        match &item.kind {
+            ast::ItemKind::Fn(func) => check_ast_fn(input, func, symbols, anns, out),
+            ast::ItemKind::Impl(imp) => check_ast_items(input, &imp.items, symbols, anns, out),
+            ast::ItemKind::Mod(m) if !m.cfg_test => {
+                check_ast_items(input, &m.items, symbols, anns, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn check_ast_fn(
+    input: &FileInput<'_>,
+    func: &ast::Func,
+    symbols: &Symbols,
+    anns: &UnitAnnotations,
+    out: &mut Vec<Finding>,
+) {
+    let mut flow = Vec::new();
+    dataflow::analyze_fn(func, symbols, anns, &mut flow);
+    for f in flow {
+        out.push(Finding {
+            rule: match f.rule {
+                FlowRule::Taint => "nondet-taint",
+                FlowRule::Unit => "time-unit",
+            },
+            path: input.rel_path.to_owned(),
+            line: f.line,
+            col: f.col,
+            message: f.message,
+        });
+    }
+    let Some(body) = &func.body else { return };
+    ast::walk_block_exprs(body, &mut |e| {
+        let ast::ExprKind::Match { arms, .. } = &e.kind else {
+            return;
+        };
+        let Some(enum_name) = matched_sim_enum(arms, symbols) else {
+            return;
+        };
+        for arm in arms {
+            if arm.pat.is_catch_all() && arm.guard.is_none() {
+                out.push(Finding {
+                    rule: "match-exhaustive",
+                    path: input.rel_path.to_owned(),
+                    line: arm.span.line,
+                    col: arm.span.col,
+                    message: format!(
+                        "match over `{enum_name}` hides variants behind a catch-all arm; \
+                         name every variant so adding one forces an explicit decision here"
+                    ),
+                });
+            }
+        }
+    });
+}
+
+/// Which simulation enum a match is over, judged from the arm patterns:
+/// any arm naming `Enum::Variant` (optionally through an or-pattern)
+/// claims the match, provided the enum is actually declared in the
+/// symbol table (so a stray local type with a colliding name in some
+/// other workspace does not bind the rule).
+fn matched_sim_enum(arms: &[ast::Arm], symbols: &Symbols) -> Option<&'static str> {
+    arms.iter().find_map(|arm| pat_sim_enum(&arm.pat, symbols))
+}
+
+fn pat_sim_enum(pat: &ast::Pat, symbols: &Symbols) -> Option<&'static str> {
+    match &pat.kind {
+        ast::PatKind::Path(path)
+        | ast::PatKind::TupleStruct { path, .. }
+        | ast::PatKind::Struct { path, .. } => MATCH_ENUMS
+            .iter()
+            .find(|e| path.iter().any(|seg| seg == *e) && symbols.enums.contains_key(**e))
+            .copied(),
+        ast::PatKind::Or(alts) => alts.iter().find_map(|p| pat_sim_enum(p, symbols)),
+        _ => None,
+    }
 }
 
 #[cfg(test)]

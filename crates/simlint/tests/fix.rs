@@ -1,0 +1,100 @@
+//! End-to-end `--fix` semantics against a real workspace on disk: stale
+//! suppressions are findings (the lint run fails), one fix pass repairs
+//! everything mechanical, the re-lint comes back clean, and a second
+//! pass is a no-op. This pins the CLI exit-code contract the fix mode
+//! rides on.
+
+use std::fs;
+use std::path::PathBuf;
+
+use mlb_simlint::fix::apply_fixes;
+use mlb_simlint::{lint_workspace, lint_workspace_full};
+
+/// Builds a one-crate workspace whose lib.rs has a missing
+/// `#![forbid(unsafe_code)]` header and one stale suppression.
+fn scaffold(tag: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("fixws-{tag}"));
+    if root.exists() {
+        fs::remove_dir_all(&root).unwrap();
+    }
+    fs::create_dir_all(root.join("crates/sim/src")).unwrap();
+    fs::write(
+        root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/sim\"]\n",
+    )
+    .unwrap();
+    fs::write(
+        root.join("crates/sim/Cargo.toml"),
+        "[package]\nname = \"mlb-simkernel\"\nversion = \"0.1.0\"\n",
+    )
+    .unwrap();
+    fs::write(
+        root.join("crates/sim/src/lib.rs"),
+        "//! Scaffold crate.\n\n\
+         // simlint::allow(no-wall-clock): nothing here reads a clock anymore\n\
+         pub fn step(now_us: u64) -> u64 {\n    now_us + 1\n}\n",
+    )
+    .unwrap();
+    root
+}
+
+#[test]
+fn stale_suppressions_fail_the_lint_and_fix_repairs_them() {
+    let root = scaffold("main");
+
+    // Before the fix: the stale allow and the missing header are both
+    // findings, so the report that drives the CLI exit code is dirty.
+    let report = lint_workspace(&root).unwrap();
+    assert!(!report.is_clean(), "stale suppression must fail the run");
+    let json = report.render_json();
+    assert!(
+        json.contains("bad-suppression"),
+        "missing stale finding: {json}"
+    );
+    assert!(
+        json.contains("crate-header"),
+        "missing header finding: {json}"
+    );
+
+    // One fix pass repairs both.
+    let (_, fixes) = lint_workspace_full(&root).unwrap();
+    let summary = apply_fixes(&fixes).unwrap();
+    assert_eq!(summary.files_changed, 1);
+    assert_eq!(summary.suppressions_removed, 1);
+    assert_eq!(summary.headers_added, 1);
+
+    let fixed = fs::read_to_string(root.join("crates/sim/src/lib.rs")).unwrap();
+    assert!(fixed.starts_with("#![forbid(unsafe_code)]\n"), "{fixed}");
+    assert!(!fixed.contains("simlint::allow"), "{fixed}");
+
+    // The re-lint (what the CLI runs after fixing) is clean, and a
+    // second fix pass has nothing left to do.
+    assert!(lint_workspace(&root).unwrap().is_clean());
+    let (_, fixes) = lint_workspace_full(&root).unwrap();
+    assert_eq!(apply_fixes(&fixes).unwrap().files_changed, 0);
+
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn live_suppressions_survive_the_fix() {
+    let root = scaffold("live");
+    // Make the suppression earn its keep: the function now calls a
+    // wall clock on the line the allow covers.
+    fs::write(
+        root.join("crates/sim/src/lib.rs"),
+        "#![forbid(unsafe_code)]\n//! Scaffold crate.\n\n\
+         // simlint::allow(no-wall-clock): fixture exercises a live allow\n\
+         pub fn step() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    )
+    .unwrap();
+
+    assert!(lint_workspace(&root).unwrap().is_clean());
+    let (_, fixes) = lint_workspace_full(&root).unwrap();
+    let summary = apply_fixes(&fixes).unwrap();
+    assert_eq!(summary.files_changed, 0, "live allow must not be touched");
+    let src = fs::read_to_string(root.join("crates/sim/src/lib.rs")).unwrap();
+    assert!(src.contains("simlint::allow(no-wall-clock)"));
+
+    fs::remove_dir_all(&root).unwrap();
+}

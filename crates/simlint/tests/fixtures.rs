@@ -25,6 +25,15 @@ fn context(rule: &str) -> (&'static str, FileRole, &'static str, bool) {
             "crates/simkernel/src/fixture.rs",
             false,
         ),
+        // The AST/dataflow families run in any sim crate's library code;
+        // the match-exhaustive fixtures declare their own `QueueKind` so
+        // the single-file symbol table knows the variant set.
+        "nondet-taint" | "time-unit" | "match-exhaustive" => (
+            "mlb-simkernel",
+            FileRole::Lib,
+            "crates/simkernel/src/fixture.rs",
+            false,
+        ),
         // panic-hygiene only binds the event-loop hot paths, so the
         // fixture borrows one of their paths.
         "panic-hygiene" => (

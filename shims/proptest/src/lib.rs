@@ -6,9 +6,13 @@
 //! run on this deterministic re-implementation instead of the real
 //! `proptest`. Differences from upstream, by design:
 //!
-//! - **No shrinking.** A failing case panics with the inputs' `Debug`
-//!   representation (every generated binding is printed), which for the
-//!   small strategy spaces in this workspace is enough to reproduce.
+//! - **Greedy shrinking, not value trees.** A failing case is shrunk by
+//!   repeatedly asking each strategy for smaller candidates (halving
+//!   scalars toward their lower bound, truncating vectors toward their
+//!   minimum length) and keeping any candidate that still fails; the
+//!   test then re-runs the body on the shrunk inputs so the panic
+//!   message describes the small case. Strategies without a natural
+//!   order (`prop_map`, `prop_oneof!`, `Just`) do not shrink.
 //! - **Deterministic seeding.** Each property derives its RNG seed from
 //!   the test function's name, so failures reproduce exactly across runs
 //!   and machines — there is no persistence file, and no
@@ -87,14 +91,23 @@ pub mod strategy {
 
     /// A recipe for generating values of `Self::Value`.
     ///
-    /// Unlike upstream there is no value tree: sampling is direct and
-    /// shrink-free.
+    /// Unlike upstream there is no value tree: sampling is direct, and
+    /// shrinking asks the strategy for smaller candidates after the
+    /// fact.
     pub trait Strategy {
         /// The type of generated values.
         type Value;
 
         /// Draws one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Proposes strictly "smaller" candidates for a failing value,
+        /// ordered most-aggressive first. The default is no shrinking
+        /// (correct for strategies with no usable order, like `prop_map`
+        /// outputs). Candidates must stay inside the strategy's domain.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
 
         /// Maps generated values through `f`.
         fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -119,12 +132,16 @@ pub mod strategy {
     trait DynStrategy {
         type Value;
         fn sample_dyn(&self, rng: &mut TestRng) -> Self::Value;
+        fn shrink_dyn(&self, value: &Self::Value) -> Vec<Self::Value>;
     }
 
     impl<S: Strategy> DynStrategy for S {
         type Value = S::Value;
         fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
             self.sample(rng)
+        }
+        fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+            self.shrink(value)
         }
     }
 
@@ -151,6 +168,9 @@ pub mod strategy {
         type Value = T;
         fn sample(&self, rng: &mut TestRng) -> T {
             self.inner.sample_dyn(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            self.inner.shrink_dyn(value)
         }
     }
 
@@ -213,6 +233,27 @@ pub mod strategy {
         }
     }
 
+    /// Halving candidates for an ordered value: the lower bound itself,
+    /// the midpoint toward it, and one small step down. Greedy re-shrink
+    /// rounds turn the midpoint into a binary search.
+    macro_rules! int_shrink {
+        ($lo:expr, $v:expr) => {{
+            let (lo, v) = ($lo, *$v);
+            let mut out = Vec::new();
+            if v > lo {
+                out.push(lo);
+                let mid = lo + (v - lo) / 2;
+                if mid != lo && mid != v {
+                    out.push(mid);
+                }
+                if v - 1 != lo && v - 1 != mid {
+                    out.push(v - 1);
+                }
+            }
+            out
+        }};
+    }
+
     macro_rules! impl_int_range {
         ($($t:ty),* $(,)?) => {$(
             impl Strategy for Range<$t> {
@@ -221,6 +262,9 @@ pub mod strategy {
                     assert!(self.start < self.end, "empty range strategy");
                     let span = (self.end as u128 - self.start as u128) as u64;
                     self.start.wrapping_add(rng.below(span) as $t)
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink!(self.start, value)
                 }
             }
             impl Strategy for RangeInclusive<$t> {
@@ -234,6 +278,9 @@ pub mod strategy {
                         return rng.next_u64() as $t;
                     }
                     lo.wrapping_add(rng.below(span) as $t)
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink!(*self.start(), value)
                 }
             }
         )*};
@@ -250,6 +297,9 @@ pub mod strategy {
                     let span = (self.end as i128 - self.start as i128) as u64;
                     (self.start as i128 + rng.below(span) as i128) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink!(self.start, value)
+                }
             }
         )*};
     }
@@ -262,14 +312,41 @@ pub mod strategy {
             assert!(self.start < self.end, "empty range strategy");
             self.start + rng.unit_f64() * (self.end - self.start)
         }
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            let (lo, v) = (self.start, *value);
+            let mut out = Vec::new();
+            if v > lo {
+                out.push(lo);
+                let mid = lo + (v - lo) / 2.0;
+                if mid > lo && mid < v {
+                    out.push(mid);
+                }
+            }
+            out
+        }
     }
 
     macro_rules! impl_tuple {
         ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone),+
+            {
                 type Value = ($($name::Value,)+);
                 fn sample(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$idx.sample(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    // One component shrunk at a time, the rest held.
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut w = value.clone();
+                            w.$idx = cand;
+                            out.push(w);
+                        }
+                    )+
+                    out
                 }
             }
         )*};
@@ -307,6 +384,9 @@ pub mod strategy {
         fn sample(&self, rng: &mut TestRng) -> T {
             T::arbitrary(rng)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            T::shrink(value)
+        }
     }
 }
 
@@ -318,6 +398,12 @@ pub mod arbitrary {
     pub trait Arbitrary: Sized {
         /// Draws one value from the type's whole domain.
         fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Smaller candidates for a failing value (see
+        /// [`Strategy::shrink`](crate::strategy::Strategy::shrink)).
+        fn shrink(_value: &Self) -> Vec<Self> {
+            Vec::new()
+        }
     }
 
     macro_rules! impl_arbitrary_uint {
@@ -325,6 +411,20 @@ pub mod arbitrary {
             impl Arbitrary for $t {
                 fn arbitrary(rng: &mut TestRng) -> Self {
                     rng.next_u64() as $t
+                }
+                fn shrink(value: &Self) -> Vec<Self> {
+                    // Halve toward zero (the domain minimum for unsigned
+                    // and the natural "simplest" signed value).
+                    let v = *value;
+                    let mut out = Vec::new();
+                    if v != 0 {
+                        out.push(0);
+                        let mid = v / 2;
+                        if mid != 0 && mid != v {
+                            out.push(mid);
+                        }
+                    }
+                    out
                 }
             }
         )*};
@@ -336,11 +436,26 @@ pub mod arbitrary {
         fn arbitrary(rng: &mut TestRng) -> Self {
             rng.next_u64() & 1 == 1
         }
+        fn shrink(value: &Self) -> Vec<Self> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
     }
 
     impl Arbitrary for f64 {
         fn arbitrary(rng: &mut TestRng) -> Self {
             rng.unit_f64()
+        }
+        fn shrink(value: &Self) -> Vec<Self> {
+            let v = *value;
+            if v != 0.0 {
+                vec![0.0, v / 2.0]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -402,12 +517,43 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.end - self.size.start) as u64;
             let len = self.size.start + rng.below(span) as usize;
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.size.start;
+            let mut out = Vec::new();
+            // Truncation first (most aggressive): down to the minimum
+            // length, then halfway there, then one element shorter.
+            if value.len() > min {
+                out.push(value[..min].to_vec());
+                let half = min + (value.len() - min) / 2;
+                if half != min && half != value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                if value.len() - 1 != min && value.len() - 1 != half {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+                // Also drop from the front, so a failing element near
+                // the tail can surface past passing leading elements.
+                out.push(value[1..].to_vec());
+            }
+            // Then element-wise shrinking at the same length.
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink(v) {
+                    let mut w = value.clone();
+                    w[i] = cand;
+                    out.push(w);
+                }
+            }
+            out
         }
     }
 }
@@ -422,9 +568,12 @@ pub mod prelude {
 
 /// Defines property test functions.
 ///
-/// Each generated test runs `cases` deterministic random cases; a failure
-/// panics immediately with every generated binding printed (no
-/// shrinking).
+/// Each generated test runs `cases` deterministic random cases. On a
+/// failure the inputs are greedily shrunk (each strategy proposing
+/// halved/truncated candidates, keeping any that still fails), then the
+/// body re-runs on the shrunk inputs so the panic message describes the
+/// small case. Generated values must be `Clone` (they are re-used across
+/// shrink probes).
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -446,26 +595,62 @@ macro_rules! __proptest_impl {
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
             let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            // All bindings sample through one tuple strategy so the
+            // shrinker can shrink them jointly (one component at a time,
+            // the rest held). Component order matches declaration order,
+            // so the RNG stream is the same as sequential sampling.
+            let strat = ($( ($strat), )+);
             for case in 0..config.cases {
-                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
-                // Render the inputs before the body can move them, so a
-                // failing case can be reported (the shim cannot shrink,
-                // but it can always reproduce: seeding is by test name).
+                let vals = $crate::strategy::Strategy::sample(&strat, &mut rng);
+                let passed = {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(&vals);
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }))
+                    .is_ok()
+                };
+                if passed {
+                    continue;
+                }
+                // Greedy shrink: take the first candidate that still
+                // fails, restart from it, stop when none fails (or at a
+                // generous round cap against non-converging predicates).
+                let mut failing = vals;
+                let mut rounds = 0usize;
+                while rounds < 10_000 {
+                    rounds += 1;
+                    let cand = $crate::strategy::Strategy::shrink(&strat, &failing)
+                        .into_iter()
+                        .find(|c| {
+                            let ($($arg,)+) = ::std::clone::Clone::clone(c);
+                            ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                                $body
+                            }))
+                            .is_err()
+                        });
+                    match cand {
+                        Some(c) => failing = c,
+                        None => break,
+                    }
+                }
+                let ($($arg,)+) = failing;
                 let mut inputs = String::new();
                 $(inputs.push_str(&format!("  {} = {:?}\n", stringify!($arg), &$arg));)+
-                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
-                    $body
-                }));
-                if let Err(payload) = result {
-                    eprintln!(
-                        "proptest shim: property {} failed at case {}/{} with inputs:\n{}",
-                        stringify!($name),
-                        case + 1,
-                        config.cases,
-                        inputs
-                    );
-                    ::std::panic::resume_unwind(payload);
-                }
+                eprintln!(
+                    "proptest shim: property {} failed at case {}/{}; shrunk over {} round(s) to:\n{}",
+                    stringify!($name),
+                    case + 1,
+                    config.cases,
+                    rounds,
+                    inputs
+                );
+                // Re-run un-caught so the test fails with the shrunk
+                // case's own panic message.
+                $body
+                panic!(
+                    "property {} failed during sampling but passed on the shrunk re-run",
+                    stringify!($name)
+                );
             }
         }
     )*};
@@ -554,6 +739,65 @@ mod tests {
             prop_assert!(a < 100);
             prop_assert_eq!(u64::from(b) <= 1, true);
         }
+
+        // Exercises the macro's whole failure path: sample → fail →
+        // shrink → re-run → panic with the shrunk case.
+        #[test]
+        #[should_panic]
+        fn failing_properties_panic_after_shrinking(v in crate::collection::vec(0u64..1_000, 0..20)) {
+            prop_assert!(v.iter().sum::<u64>() < 100);
+        }
+    }
+
+    #[test]
+    fn seeded_failure_shrinks_below_a_size_bound() {
+        // The property "sum < 100" fails on large random vectors; the
+        // shrinker must walk any seeded failure down to a near-minimal
+        // counterexample via truncation + element halving.
+        let strat = crate::collection::vec(0u64..1_000, 0..20);
+        let fails = |v: &Vec<u64>| v.iter().sum::<u64>() >= 100;
+        let mut rng = TestRng::deterministic("shrink_bound");
+        let mut found = 0;
+        for _ in 0..1_000 {
+            let v = Strategy::sample(&strat, &mut rng);
+            if !fails(&v) {
+                continue;
+            }
+            found += 1;
+            let mut cur = v;
+            loop {
+                match Strategy::shrink(&strat, &cur).into_iter().find(&fails) {
+                    Some(smaller) => cur = smaller,
+                    None => break,
+                }
+            }
+            assert!(fails(&cur), "shrinking must preserve the failure");
+            // Minimal counterexamples have one just-big-enough element
+            // or a couple summing barely past the bound.
+            assert!(cur.len() <= 2, "did not truncate: {cur:?}");
+            assert!(
+                cur.iter().sum::<u64>() < 200,
+                "did not halve elements: {cur:?}"
+            );
+        }
+        assert!(found > 10, "seed never produced a failing case");
+    }
+
+    #[test]
+    fn scalar_shrink_halves_toward_the_lower_bound() {
+        let strat = 5u64..1_000;
+        // Failing predicate: v >= 40. Minimal counterexample is 40.
+        let mut cur = 777u64;
+        loop {
+            match Strategy::shrink(&strat, &cur)
+                .into_iter()
+                .find(|&c| c >= 40)
+            {
+                Some(c) => cur = c,
+                None => break,
+            }
+        }
+        assert_eq!(cur, 40);
     }
 
     #[test]

@@ -28,3 +28,23 @@ fn workspace_is_simlint_clean() {
         report.files_scanned.len()
     );
 }
+
+/// The tier-1 gate must stay cheap enough to run on every `cargo test`:
+/// a full workspace scan (lex → parse → symbols → dataflow → rules on
+/// ~100 files) has a hard 5-second budget. Blowing it means a rule or
+/// the parser went accidentally super-linear, which would push the lint
+/// out of the inner dev loop.
+#[test]
+fn workspace_scan_fits_the_runtime_budget() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests crate sits directly under the workspace root");
+    let started = std::time::Instant::now();
+    let report = mlb_simlint::lint_workspace(root).expect("workspace discovery");
+    let elapsed = started.elapsed();
+    assert!(report.files_scanned.len() >= 40);
+    assert!(
+        elapsed < std::time::Duration::from_secs(5),
+        "simlint workspace scan took {elapsed:?}; the tier-1 budget is 5s"
+    );
+}
