@@ -23,7 +23,8 @@ use std::process::ExitCode;
 
 use mlb_bench::{
     all_ablations, all_artifacts, all_extensions, build, build_ablation, build_extension,
-    build_robustness, build_trace, required_runs, RunCache, RunKey,
+    build_robustness, build_tournament, build_trace, required_runs, RunCache, RunKey,
+    TournamentConfig,
 };
 
 struct Args {
@@ -57,7 +58,9 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--secs N] [--out DIR] [--trace] \
-                     [fig1..fig13|table1|ablation-*|ext-*|all|ablations|extensions|trace ...]"
+                     [fig1..fig13|table1|ablation-*|ext-*|all|ablations|extensions|trace|tournament ...]\n\
+                     tournament: policy × scenario scorecard, writes BENCH_policies.json \
+                     (MLB_TOURNAMENT=smoke for the CI-sized roster sweep)"
                 );
                 std::process::exit(0);
             }
@@ -80,10 +83,11 @@ fn parse_args() -> Result<Args, String> {
             && !all_extensions().contains(&a.as_str())
             && a != "robustness"
             && a != "trace"
+            && a != "tournament"
         {
             return Err(format!(
                 "unknown artifact: {a} (expected fig1..fig13, table1, ablation-*, ext-*, \
-                 trace, all, ablations, or extensions)"
+                 trace, tournament, all, ablations, or extensions)"
             ));
         }
     }
@@ -154,6 +158,17 @@ fn main() -> ExitCode {
                 args.secs
             );
             build_trace(args.secs)
+        } else if id == "tournament" {
+            let cfg = if std::env::var("MLB_TOURNAMENT").as_deref() == Ok("smoke") {
+                TournamentConfig::smoke()
+            } else {
+                TournamentConfig::full()
+            };
+            eprintln!(
+                "running policy tournament ({}s per run, seeds {:?})...",
+                cfg.secs, cfg.seeds
+            );
+            build_tournament(&cfg)
         } else {
             build(id, &cache)
         };

@@ -27,6 +27,7 @@ pub mod figures;
 pub mod robustness;
 pub mod runs;
 pub mod scaling;
+pub mod tournament;
 pub mod trace;
 
 /// Runs `f` over `items`, one scoped thread per item, and returns the
@@ -68,4 +69,5 @@ pub use figures::{all_artifacts, build, required_runs, Figure};
 pub use robustness::build_robustness;
 pub use runs::{RunCache, RunKey};
 pub use scaling::{run_scale_sweep, ScaleSweepConfig, ScaleSweepReport};
+pub use tournament::{build_tournament, run_tournament, TournamentConfig, TournamentReport};
 pub use trace::build_trace;

@@ -20,7 +20,7 @@
 
 use crate::config::BalancerConfig;
 use crate::mechanism::{advice, EndpointAdvice};
-use crate::policy::LbValues;
+use crate::policy::{LbValues, PolicyKind};
 use crate::state::{BackendState, WorkerState};
 use crate::types::BackendId;
 use mlb_simkernel::time::{SimDuration, SimTime};
@@ -60,6 +60,9 @@ pub struct BalancerStats {
     pub aborts: u64,
     /// CPing probes that timed out (ProbeFirst mechanism).
     pub probe_failures: u64,
+    /// Selections where a detector stall signal vetoed at least one
+    /// otherwise-eligible backend (DetectorDriven policy only).
+    pub stall_vetoes: u64,
 }
 
 impl BalancerStats {
@@ -73,6 +76,7 @@ impl BalancerStats {
             giveups: 0,
             aborts: 0,
             probe_failures: 0,
+            stall_vetoes: 0,
         }
     }
 }
@@ -111,6 +115,9 @@ pub struct Balancer {
     config: BalancerConfig,
     lb: LbValues,
     states: Vec<BackendState>,
+    /// Per-backend stall signal from the online millibottleneck
+    /// detector; consulted only by [`PolicyKind::DetectorDriven`].
+    stall_signals: Vec<bool>,
     rr_cursor: usize,
     last_decay: SimTime,
     stats: BalancerStats,
@@ -146,6 +153,7 @@ impl Balancer {
         Ok(Balancer {
             lb,
             states: vec![BackendState::new(); backends],
+            stall_signals: vec![false; backends],
             rr_cursor: 0,
             last_decay: SimTime::ZERO,
             stats: BalancerStats::new(backends),
@@ -178,6 +186,20 @@ impl Balancer {
         self.states[b.0].effective(now, &self.config)
     }
 
+    /// Sets or clears the online detector's stall signal for backend
+    /// `b`. A signalled backend is vetoed from selection under
+    /// [`PolicyKind::DetectorDriven`] until the signal clears (the
+    /// driver clears it on the first flag-free detector window — the
+    /// deterministic re-admission rule). Other policies ignore signals.
+    pub fn signal_stall(&mut self, b: BackendId, stalled: bool) {
+        self.stall_signals[b.0] = stalled;
+    }
+
+    /// The stall signals currently in force (index = backend index).
+    pub fn stall_signals(&self) -> &[bool] {
+        &self.stall_signals
+    }
+
     /// Picks the next candidate: the Available backend with minimum
     /// lb_value, round-robin among ties, skipping any backend marked
     /// `true` in `exclude` (candidates this request already gave up on).
@@ -190,11 +212,28 @@ impl Balancer {
     pub fn select(&mut self, now: SimTime, exclude: &[bool]) -> Option<BackendId> {
         assert_eq!(exclude.len(), self.lb.len(), "exclude mask size mismatch");
         self.maybe_decay(now);
-        let eligible: Vec<bool> = (0..self.lb.len())
+        let mut eligible: Vec<bool> = (0..self.lb.len())
             .map(|i| {
                 !exclude[i] && self.states[i].effective(now, &self.config) == WorkerState::Available
             })
             .collect();
+        if self.config.policy == PolicyKind::DetectorDriven {
+            // Veto backends inside a flagged stall window. If that would
+            // leave no candidate at all, ignore the signals: ranking by
+            // current load among uniformly-stalled backends beats
+            // refusing to route.
+            let masked: Vec<bool> = eligible
+                .iter()
+                .zip(&self.stall_signals)
+                .map(|(&e, &s)| e && !s)
+                .collect();
+            if masked.iter().any(|&e| e) {
+                if masked != eligible {
+                    self.stats.stall_vetoes += 1;
+                }
+                eligible = masked;
+            }
+        }
         match self.lb.select_min(&eligible, self.rr_cursor) {
             Some(b) => {
                 self.rr_cursor = (b.0 + 1) % self.lb.len();
@@ -507,6 +546,44 @@ mod tests {
         assert_eq!(lb.lb_values()[0], 4);
         lb.select(SimTime::from_secs(3), &[false, false]);
         assert_eq!(lb.lb_values()[0], 1);
+    }
+
+    #[test]
+    fn detector_driven_vetoes_signalled_backends() {
+        let mut lb = balancer(PolicyKind::DetectorDriven, MechanismKind::Original, 4);
+        // Backend 0 is idle (minimum load) but flagged: never picked.
+        lb.signal_stall(BackendId(0), true);
+        for i in 0..20 {
+            let b = lb.select(t(i), &NOEX).unwrap();
+            assert_ne!(b.0, 0, "selected a backend inside a stall window");
+            complete_one(&mut lb, t(i), b, 100);
+        }
+        assert!(lb.stats().stall_vetoes >= 20);
+        // Flag clears: the idle backend is re-admitted and, as the
+        // unique minimum-load candidate, immediately wins again.
+        lb.signal_stall(BackendId(0), false);
+        for i in 1..4 {
+            lb.endpoint_acquired(t(21), BackendId(i));
+        }
+        assert_eq!(lb.select(t(22), &NOEX), Some(BackendId(0)));
+    }
+
+    #[test]
+    fn detector_driven_falls_back_when_everything_is_flagged() {
+        let mut lb = balancer(PolicyKind::DetectorDriven, MechanismKind::Original, 2);
+        lb.signal_stall(BackendId(0), true);
+        lb.signal_stall(BackendId(1), true);
+        lb.endpoint_acquired(t(0), BackendId(0));
+        // All flagged: signals are ignored, current_load ranks.
+        assert_eq!(lb.select(t(1), &[false, false]), Some(BackendId(1)));
+    }
+
+    #[test]
+    fn other_policies_ignore_stall_signals() {
+        let mut lb = balancer(PolicyKind::TotalRequest, MechanismKind::Original, 4);
+        lb.signal_stall(BackendId(0), true);
+        assert_eq!(lb.select(t(0), &NOEX), Some(BackendId(0)));
+        assert_eq!(lb.stats().stall_vetoes, 0);
     }
 
     #[test]

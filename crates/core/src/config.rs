@@ -44,6 +44,11 @@ pub struct BalancerConfig {
     /// the policy. Failover to a fresh selection only happens when the
     /// pinned backend cannot hand out an endpoint (GiveUp) or is in Error.
     pub sticky_sessions: bool,
+    /// With sticky sessions: how many affinity violations (failovers away
+    /// from the pinned backend) each client may accrue before its affinity
+    /// is abandoned for good and it routes by policy like everyone else.
+    /// `u32::MAX` (the default) never abandons — plain mod_jk behavior.
+    pub sticky_violation_budget: u32,
 }
 
 impl BalancerConfig {
@@ -64,6 +69,7 @@ impl BalancerConfig {
             seed: 0x6A6B, // "jk"
             weights: None,
             sticky_sessions: false,
+            sticky_violation_budget: u32::MAX,
         }
     }
 

@@ -39,6 +39,19 @@
 //!   concurrency term reacts within the millibottleneck, so C3 behaves
 //!   like `current_load` with latency awareness on top.
 //!
+//! Two further baselines from the related-work survey, plus the closed
+//! loop this repo builds on top of the paper:
+//!
+//! * [`PolicyKind::Jsq`] — join-the-shortest-of-d-queues
+//!   (power-of-d-choices): sample `d` eligible backends uniformly from
+//!   the policy RNG stream, pick the least outstanding. Near-optimal
+//!   tail behavior in healthy clusters, but its sample can miss the
+//!   frozen backend only probabilistically.
+//! * [`PolicyKind::DetectorDriven`] — `current_load` ranking plus an
+//!   eligibility veto from the online millibottleneck detector: a
+//!   backend inside a flagged stall window is skipped entirely until
+//!   the first clean window re-admits it (see `Balancer::signal_stall`).
+//!
 //! On the increment placement for the cumulative policies: the paper's
 //! pseudo-code sketches the increment near the send, but its analysis is
 //! explicit that healthy backends' values "keep increasing because they
@@ -68,6 +81,12 @@ pub enum PolicyKind {
     LeastEwmaLatency,
     /// Rank by EWMA latency × (1 + outstanding)³, after C3 (NSDI'15).
     C3,
+    /// Power-of-d-choices: sample `d` eligible backends from the policy
+    /// RNG stream and pick the least outstanding.
+    Jsq(u8),
+    /// `current_load` ranking with detector stall flags vetoing
+    /// eligibility (the closed loop; see `Balancer::signal_stall`).
+    DetectorDriven,
 }
 
 impl PolicyKind {
@@ -81,6 +100,8 @@ impl PolicyKind {
             PolicyKind::Random => "random",
             PolicyKind::LeastEwmaLatency => "ewma_latency",
             PolicyKind::C3 => "c3",
+            PolicyKind::Jsq(_) => "jsq_d",
+            PolicyKind::DetectorDriven => "detector_driven",
         }
     }
 
@@ -98,7 +119,13 @@ impl PolicyKind {
     /// state within a millibottleneck (the property the paper's remedy
     /// identifies).
     pub fn reacts_to_current_state(self) -> bool {
-        matches!(self, PolicyKind::CurrentLoad | PolicyKind::C3)
+        matches!(
+            self,
+            PolicyKind::CurrentLoad
+                | PolicyKind::C3
+                | PolicyKind::Jsq(_)
+                | PolicyKind::DetectorDriven
+        )
     }
 
     /// The paper's three policies, in its presentation order.
@@ -121,6 +148,14 @@ impl PolicyKind {
             PolicyKind::LeastEwmaLatency,
             PolicyKind::C3,
         ]
+    }
+
+    /// The related-work baselines added alongside the detector loop:
+    /// power-of-two-choices and detector-driven routing. Kept out of
+    /// [`PolicyKind::all_extended`] so the extension figure stays the
+    /// paper-era comparison; the policy tournament covers all of these.
+    pub fn baselines() -> [PolicyKind; 2] {
+        [PolicyKind::Jsq(2), PolicyKind::DetectorDriven]
     }
 }
 
@@ -158,6 +193,9 @@ pub struct LbValues {
     outstanding: Vec<u64>,
     /// EWMA of response latency in microseconds per backend.
     ewma_micros: Vec<u64>,
+    /// Carried tenths-of-a-microsecond remainder of the EWMA update, so
+    /// integer division cannot pin a small EWMA above zero forever.
+    ewma_rem: Vec<u64>,
     /// Cached ranking scores (recomputed on every mutation).
     scores: Vec<u64>,
     rng: SplitMix64,
@@ -189,6 +227,7 @@ impl LbValues {
             counters: vec![0; backends],
             outstanding: vec![0; backends],
             ewma_micros: vec![0; backends],
+            ewma_rem: vec![0; backends],
             scores: vec![0; backends],
             rng: SplitMix64::new(seed),
         }
@@ -282,8 +321,14 @@ impl LbValues {
         if matches!(self.kind, PolicyKind::LeastEwmaLatency | PolicyKind::C3) {
             let prev = self.ewma_micros[b.0];
             let sample = latency.as_micros();
-            self.ewma_micros[b.0] =
-                prev - prev * EWMA_NUM / EWMA_DEN + sample * EWMA_NUM / EWMA_DEN;
+            // One division with the remainder carried forward: flooring
+            // the decay term alone (`prev·3/10 = 0` for prev < 4) would
+            // freeze small EWMAs above zero forever.
+            let total = u128::from(prev) * u128::from(EWMA_DEN - EWMA_NUM)
+                + u128::from(sample) * u128::from(EWMA_NUM)
+                + u128::from(self.ewma_rem[b.0]);
+            self.ewma_micros[b.0] = u64::try_from(total / u128::from(EWMA_DEN)).unwrap_or(u64::MAX);
+            self.ewma_rem[b.0] = (total % u128::from(EWMA_DEN)) as u64;
         }
         self.refresh(b);
     }
@@ -306,6 +351,9 @@ impl LbValues {
         for v in &mut self.ewma_micros {
             *v /= 2;
         }
+        for v in &mut self.ewma_rem {
+            *v = 0;
+        }
         for i in 0..self.scores.len() {
             self.refresh(BackendId(i));
         }
@@ -320,7 +368,9 @@ impl LbValues {
             PolicyKind::TotalRequest | PolicyKind::TotalTraffic | PolicyKind::RoundRobin => {
                 self.counters[i]
             }
-            PolicyKind::CurrentLoad => self.outstanding[i].saturating_mul(self.mults[i]),
+            PolicyKind::CurrentLoad | PolicyKind::Jsq(_) | PolicyKind::DetectorDriven => {
+                self.outstanding[i].saturating_mul(self.mults[i])
+            }
             PolicyKind::Random => 0,
             PolicyKind::LeastEwmaLatency => self.ewma_micros[i],
             PolicyKind::C3 => {
@@ -354,8 +404,32 @@ impl LbValues {
             if candidates.is_empty() {
                 return None;
             }
-            let pick = self.rng.next_u64() as usize % candidates.len();
+            // An unbiased bounded draw: `next_u64() as usize % len` has
+            // modulo bias and truncates to 32 bits on 32-bit targets.
+            let pick = self.rng.next_bounded(candidates.len() as u64) as usize;
             return Some(BackendId(candidates[pick]));
+        }
+        if let PolicyKind::Jsq(d) = self.kind {
+            let mut candidates: Vec<usize> =
+                (0..self.scores.len()).filter(|&i| eligible[i]).collect();
+            if candidates.is_empty() {
+                return None;
+            }
+            // Partial Fisher–Yates: the first `d` slots become a uniform
+            // sample without replacement, then the least-loaded sampled
+            // backend wins (first in sample order on ties).
+            let d = usize::from(d.max(1)).min(candidates.len());
+            for k in 0..d {
+                let j = k + self.rng.next_bounded((candidates.len() - k) as u64) as usize;
+                candidates.swap(k, j);
+            }
+            let mut best = candidates[0];
+            for &i in &candidates[1..d] {
+                if self.scores[i] < self.scores[best] {
+                    best = i;
+                }
+            }
+            return Some(BackendId(best));
         }
         let n = self.scores.len();
         let mut best: Option<(u64, usize)> = None;
@@ -384,7 +458,11 @@ fn gcd(a: u64, b: u64) -> u64 {
 }
 
 fn lcm(a: u64, b: u64) -> u64 {
-    a / gcd(a, b).max(1) * b
+    // Saturating: large coprime weights overflow u64 (debug builds used
+    // to panic here, release builds produced wrapped garbage mults). A
+    // saturated lcm still yields positive, correctly *ordered* mults
+    // through `lb_mult × (l / w)` — higher weight, smaller increment.
+    (a / gcd(a, b).max(1)).saturating_mul(b)
 }
 
 #[cfg(test)]
@@ -513,6 +591,52 @@ mod tests {
     }
 
     #[test]
+    fn random_draw_is_unbiased_over_the_candidate_set() {
+        // Regression for the `next_u64() as usize % len` draw: beyond the
+        // modulo bias, the `as usize` cast truncates to 32 bits on 32-bit
+        // targets. The bounded draw must keep every candidate reachable
+        // and roughly uniform.
+        let mut lb = LbValues::with_seed(PolicyKind::Random, 3, 1, 77);
+        let mut counts = [0u64; 3];
+        for _ in 0..3_000 {
+            let p = lb.select_min(&[true; 3], 0).unwrap();
+            counts[p.0] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (800..1_200).contains(&c),
+                "draws far from uniform: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn jsq_picks_least_outstanding_and_is_deterministic() {
+        // d ≥ backend count degenerates to exact least-outstanding.
+        let mut lb = LbValues::with_seed(PolicyKind::Jsq(4), 3, 1, 5);
+        lb.on_assign(b(0), 0);
+        lb.on_assign(b(0), 0);
+        lb.on_assign(b(1), 0);
+        assert_eq!(lb.select_min(&[true; 3], 0), Some(b(2)));
+        // Same seed, same draws.
+        let mut x = LbValues::with_seed(PolicyKind::Jsq(2), 4, 1, 11);
+        let mut y = LbValues::with_seed(PolicyKind::Jsq(2), 4, 1, 11);
+        for _ in 0..50 {
+            assert_eq!(x.select_min(&[true; 4], 0), y.select_min(&[true; 4], 0));
+        }
+    }
+
+    #[test]
+    fn jsq_never_picks_ineligible() {
+        let mut lb = LbValues::with_seed(PolicyKind::Jsq(2), 4, 1, 13);
+        for _ in 0..200 {
+            let p = lb.select_min(&[true, false, true, false], 0).unwrap();
+            assert!(p.0 == 0 || p.0 == 2, "sampled an ineligible backend");
+        }
+        assert_eq!(lb.select_min(&[false; 4], 0), None);
+    }
+
+    #[test]
     fn ewma_latency_tracks_response_times() {
         let mut lb = LbValues::new(PolicyKind::LeastEwmaLatency, 2, 1);
         lb.on_assign(b(0), 0);
@@ -523,6 +647,20 @@ mod tests {
         assert_eq!(lb.value(b(0)), 5_100); // 0.7 × 3000 + 0.3 × 10000
                                            // The slower backend is not picked.
         assert_eq!(lb.select_min(&[true, true], 0), Some(b(1)));
+    }
+
+    #[test]
+    fn ewma_decays_to_zero_for_small_values() {
+        // Regression: the floored update `prev - prev·3/10 + sample·3/10`
+        // left any `prev < 4` fixed forever when samples dropped to zero,
+        // so a stale rank could stick permanently.
+        let mut lb = LbValues::new(PolicyKind::LeastEwmaLatency, 1, 1);
+        lb.on_complete(b(0), 0, SimDuration::from_micros(10));
+        assert_eq!(lb.value(b(0)), 3);
+        for _ in 0..20 {
+            lb.on_complete(b(0), 0, SimDuration::ZERO);
+        }
+        assert_eq!(lb.value(b(0)), 0, "small EWMA must decay to zero");
     }
 
     #[test]
@@ -653,6 +791,23 @@ mod tests {
     }
 
     #[test]
+    fn weight_lcm_overflow_saturates_and_keeps_ordering() {
+        // Regression: lcm(2⁴⁰, 2⁴⁰−1) ≈ 2⁸⁰ overflowed the unchecked
+        // `a / gcd * b` (a debug-build panic, wrapped garbage in release).
+        // The saturated lcm must still produce positive mults ordered
+        // inversely to the weights.
+        let big = 1u64 << 40;
+        let mut lb = LbValues::new(PolicyKind::TotalRequest, 2, 1);
+        lb.set_weights(&[big, big - 1]); // coprime
+        let mults = lb.mults().to_vec();
+        assert!(mults.iter().all(|&m| m > 0), "mults must stay positive");
+        assert!(
+            mults[0] < mults[1],
+            "higher weight must keep the smaller increment: {mults:?}"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "weights length mismatch")]
     fn wrong_weight_count_panics() {
         let mut lb = LbValues::new(PolicyKind::TotalRequest, 2, 1);
@@ -675,6 +830,8 @@ mod tests {
         assert_eq!(PolicyKind::Random.name(), "random");
         assert_eq!(PolicyKind::LeastEwmaLatency.name(), "ewma_latency");
         assert_eq!(PolicyKind::C3.name(), "c3");
+        assert_eq!(PolicyKind::Jsq(2).name(), "jsq_d");
+        assert_eq!(PolicyKind::DetectorDriven.name(), "detector_driven");
     }
 
     #[test]
@@ -686,6 +843,9 @@ mod tests {
         assert!(PolicyKind::CurrentLoad.reacts_to_current_state());
         assert!(PolicyKind::C3.reacts_to_current_state());
         assert!(!PolicyKind::LeastEwmaLatency.reacts_to_current_state());
+        assert!(PolicyKind::Jsq(2).reacts_to_current_state());
+        assert!(PolicyKind::DetectorDriven.reacts_to_current_state());
+        assert!(!PolicyKind::DetectorDriven.is_cumulative());
     }
 
     #[test]
@@ -694,6 +854,8 @@ mod tests {
         let ext = PolicyKind::all_extended();
         assert!(basic.iter().all(|p| ext.contains(p)));
         assert_eq!(ext.len(), 7);
+        // The baselines are deliberately disjoint from the extension set.
+        assert!(PolicyKind::baselines().iter().all(|p| !ext.contains(p)));
     }
 
     #[test]

@@ -247,6 +247,80 @@ proptest! {
         }
     }
 
+    /// Whatever the stall-signal pattern, detector_driven never selects a
+    /// backend inside a flagged window while an unflagged eligible
+    /// candidate exists (and falls back to ignoring the signals only when
+    /// everything eligible is flagged).
+    #[test]
+    fn detector_driven_never_selects_flagged(
+        backends in 2usize..8,
+        flagged in proptest::collection::vec(any::<bool>(), 8..9),
+        excluded in proptest::collection::vec(any::<bool>(), 8..9),
+        loads in proptest::collection::vec(0u64..20, 8..9),
+    ) {
+        let cfg = BalancerConfig::with(PolicyKind::DetectorDriven, MechanismKind::Original);
+        let mut lb = Balancer::new(cfg, backends).unwrap();
+        let now = SimTime::ZERO;
+        for i in 0..backends {
+            for _ in 0..loads[i] {
+                lb.endpoint_acquired(now, BackendId(i));
+            }
+            lb.signal_stall(BackendId(i), flagged[i]);
+        }
+        let exclude = &excluded[..backends];
+        let healthy_exists = (0..backends).any(|i| !exclude[i] && !flagged[i]);
+        if let Some(b) = lb.select(now, exclude) {
+            prop_assert!(!exclude[b.index()], "selected an excluded backend");
+            if healthy_exists {
+                prop_assert!(
+                    !flagged[b.index()],
+                    "selected flagged backend {} with healthy candidates available",
+                    b.index()
+                );
+            }
+        } else {
+            // None only when every backend is excluded (flags alone never
+            // wipe out the candidate set: the veto falls back).
+            prop_assert!(exclude[..backends].iter().all(|&e| e));
+        }
+    }
+
+    /// With zero stall flags, detector_driven is selection-identical to
+    /// current_load on any load pattern and exclusion mask.
+    #[test]
+    fn detector_driven_without_flags_is_current_load(
+        backends in 2usize..8,
+        loads in proptest::collection::vec(0u64..20, 8..9),
+        excluded in proptest::collection::vec(any::<bool>(), 8..9),
+        rounds in 1usize..30,
+    ) {
+        let mut dd = Balancer::new(
+            BalancerConfig::with(PolicyKind::DetectorDriven, MechanismKind::Original),
+            backends,
+        ).unwrap();
+        let mut cl = Balancer::new(
+            BalancerConfig::with(PolicyKind::CurrentLoad, MechanismKind::Original),
+            backends,
+        ).unwrap();
+        let now = SimTime::ZERO;
+        for (i, &load) in loads.iter().enumerate().take(backends) {
+            for _ in 0..load {
+                dd.endpoint_acquired(now, BackendId(i));
+                cl.endpoint_acquired(now, BackendId(i));
+            }
+        }
+        let exclude = &excluded[..backends];
+        for _ in 0..rounds {
+            let a = dd.select(now, exclude);
+            let b = cl.select(now, exclude);
+            prop_assert_eq!(a, b, "selection diverged without flags");
+            if let Some(pick) = a {
+                dd.endpoint_acquired(now, pick);
+                cl.endpoint_acquired(now, pick);
+            }
+        }
+    }
+
     /// Selection with all-zero values and no exclusions is perfectly fair
     /// over any number of rounds (round-robin tie-break).
     #[test]

@@ -262,17 +262,28 @@ impl MillibottleneckDetector {
         &self.flags
     }
 
-    /// The set of window ordinals a server was observed frozen in,
-    /// reconstructed from the emitted stall windows plus the open run.
+    /// The set of window ordinals a server was observed frozen in
+    /// (sorted, deduplicated), reconstructed from the raised
+    /// [`FlagKind::FrozenBackend`] flags.
     pub fn frozen_windows(&self, server: usize) -> Vec<u64> {
         let mut out: Vec<u64> = self
             .flags
             .iter()
-            .filter(|f| f.server == server && f.kind == FlagKind::IowaitSaturated)
+            .filter(|f| f.server == server && f.kind == FlagKind::FrozenBackend)
             .map(|f| f.window)
             .collect();
+        // Flags from interleaved servers are not guaranteed adjacent in
+        // the stream, so sort before deduplicating.
+        out.sort_unstable();
         out.dedup();
         out
+    }
+
+    /// The flags raised at or after index `from` in raise order — a
+    /// drain cursor for consumers that react to new flags between calls
+    /// (e.g. detector-driven routing).
+    pub fn flags_since(&self, from: usize) -> &[DetectorFlag] {
+        &self.flags[from.min(self.flags.len())..]
     }
 
     /// Renders a short human-readable stall report.
@@ -326,7 +337,41 @@ mod tests {
         assert_eq!(s.kind, StallKind::Flush);
         assert_eq!(s.start.as_micros(), 50_000);
         assert_eq!(s.end.as_micros(), 150_000);
+        // Window 1 saw iowait but still burned busy time, so only
+        // window 2 was fully frozen.
+        assert_eq!(d.frozen_windows(0), vec![2]);
+    }
+
+    #[test]
+    fn frozen_windows_reports_frozen_flags_not_iowait() {
+        // Regression: the filter used to match `IowaitSaturated`, so an
+        // iowait-only window (busy time still accruing) was wrongly
+        // reported as frozen, and the windows of a server whose flags
+        // interleave with another server's were returned unsorted
+        // relative to dedup.
+        let mut d = detector();
+        d.observe(0, 0, 20_000, 15_000, 3, 100); // iowait, NOT frozen
+        d.observe(1, 0, 50_000, 0, 4, 100); // frozen
+        d.observe(1, 1, 50_000, 0, 7, 100); // other server, frozen
+        d.observe(2, 0, 50_000, 0, 4, 100); // frozen
+        d.observe(2, 1, 0, 40_000, 0, 100);
+        d.observe(3, 0, 0, 40_000, 0, 100);
+        d.finish();
         assert_eq!(d.frozen_windows(0), vec![1, 2]);
+        assert_eq!(d.frozen_windows(1), vec![1]);
+    }
+
+    #[test]
+    fn flags_since_is_a_drain_cursor() {
+        let mut d = detector();
+        d.observe(0, 0, 50_000, 0, 4, 100); // iowait + frozen
+        let first = d.flags().len();
+        assert_eq!(first, 2);
+        d.observe(1, 1, 0, 40_000, 250, 100); // queue spike on mysql
+        let new: Vec<FlagKind> = d.flags_since(first).iter().map(|f| f.kind).collect();
+        assert_eq!(new, vec![FlagKind::QueueSpike]);
+        assert!(d.flags_since(d.flags().len()).is_empty());
+        assert!(d.flags_since(usize::MAX).is_empty());
     }
 
     #[test]

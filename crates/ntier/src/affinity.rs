@@ -1,0 +1,125 @@
+//! Sticky-session affinity with a violation budget.
+//!
+//! mod_jk's `sticky_session` pins each client to the backend that served
+//! its first request. The Liang & Borst line of work on affinity
+//! scheduling frames the interesting knob as a *violation budget*: how
+//! many times a client's affinity constraint may be broken (failover to
+//! another backend) before the scheduler stops honoring it. This module
+//! encapsulates the pin table, the per-client budget, and the global
+//! violation counter so the accounting is testable in isolation from
+//! the event loop.
+//!
+//! Semantics:
+//!
+//! * A client with no pin routes by policy; the backend that serves it
+//!   becomes its pin (unless its budget is already exhausted).
+//! * A *violation* is recorded when a pinned client must fail over —
+//!   its pinned backend is in Error, or this routing pass already gave
+//!   up on it. The pin is dropped and the client's remaining budget
+//!   decremented.
+//! * Once a client's budget hits zero its affinity is *abandoned*: it
+//!   is never re-pinned and routes by policy forever after, accruing no
+//!   further violations.
+//!
+//! The default budget of `u32::MAX` reproduces plain mod_jk failover
+//! behavior exactly (drop the pin, re-pin on the next acquisition)
+//! while still counting violations for the scorecard.
+
+/// Per-client sticky pins, violation budgets, and the violation count.
+#[derive(Debug, Clone)]
+pub struct SessionAffinity {
+    /// Pinned backend per client, `None` when unpinned.
+    pins: Vec<Option<usize>>,
+    /// Remaining violation budget per client.
+    budget_left: Vec<u32>,
+    /// Total violations recorded across all clients.
+    violations: u64,
+}
+
+impl SessionAffinity {
+    /// Creates an affinity table for `clients` clients, each with
+    /// `budget` allowed violations.
+    pub fn new(clients: usize, budget: u32) -> Self {
+        SessionAffinity {
+            pins: vec![None; clients],
+            budget_left: vec![budget; clients],
+            violations: 0,
+        }
+    }
+
+    /// The backend `client` is currently pinned to, if any.
+    pub fn pin_of(&self, client: usize) -> Option<usize> {
+        self.pins[client]
+    }
+
+    /// `true` once `client`'s budget is exhausted: it routes by policy
+    /// and is never re-pinned.
+    pub fn abandoned(&self, client: usize) -> bool {
+        self.budget_left[client] == 0
+    }
+
+    /// Records that `backend` served `client`: establishes (or refreshes)
+    /// the pin unless the client's affinity has been abandoned.
+    pub fn record_service(&mut self, client: usize, backend: usize) {
+        if !self.abandoned(client) {
+            self.pins[client] = Some(backend);
+        }
+    }
+
+    /// Records a failover away from `client`'s pinned backend: drops the
+    /// pin, counts one violation, and burns one unit of budget.
+    pub fn record_violation(&mut self, client: usize) {
+        self.pins[client] = None;
+        self.violations += 1;
+        self.budget_left[client] = self.budget_left[client].saturating_sub(1);
+    }
+
+    /// Total violations recorded so far across all clients.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pins_are_established_and_dropped() {
+        let mut s = SessionAffinity::new(2, u32::MAX);
+        assert_eq!(s.pin_of(0), None);
+        s.record_service(0, 1);
+        assert_eq!(s.pin_of(0), Some(1));
+        assert_eq!(s.pin_of(1), None);
+        s.record_violation(0);
+        assert_eq!(s.pin_of(0), None);
+        assert_eq!(s.violations(), 1);
+        // Unlimited budget: the client re-pins after a failover.
+        s.record_service(0, 0);
+        assert_eq!(s.pin_of(0), Some(0));
+    }
+
+    #[test]
+    fn exhausted_budget_abandons_affinity() {
+        let mut s = SessionAffinity::new(1, 2);
+        s.record_service(0, 0);
+        s.record_violation(0);
+        assert!(!s.abandoned(0));
+        s.record_service(0, 1);
+        s.record_violation(0);
+        assert!(s.abandoned(0));
+        assert_eq!(s.violations(), 2);
+        // No re-pin once abandoned, and no further violations can occur
+        // through the routing path (an unpinned client never fails over).
+        s.record_service(0, 1);
+        assert_eq!(s.pin_of(0), None);
+    }
+
+    #[test]
+    fn zero_budget_never_pins() {
+        let mut s = SessionAffinity::new(1, 0);
+        s.record_service(0, 1);
+        assert_eq!(s.pin_of(0), None);
+        assert!(s.abandoned(0));
+    }
+}

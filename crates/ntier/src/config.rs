@@ -75,6 +75,12 @@ pub struct SystemConfig {
     /// Streaming telemetry registry + online millibottleneck detector
     /// (off by default; purely observational, like tracing).
     pub metrics: MetricsConfig,
+    /// Closes the loop: at each monitor tick, feed freshly closed
+    /// detector flags back into every Apache balancer as per-Tomcat
+    /// stall signals, which the `detector_driven` policy consults as an
+    /// eligibility veto. Off by default (the metrics subsystem stays
+    /// purely observational); requires `metrics.enabled`.
+    pub detector_feedback: bool,
     /// Event-queue backend. The timer wheel (default) and the
     /// `BinaryHeap` reference produce bit-identical runs; the heap is
     /// kept as the baseline the scale-sweep bench measures against.
@@ -114,6 +120,7 @@ impl SystemConfig {
             routing_budget: SimDuration::from_secs(2),
             trace: TraceConfig::disabled(),
             metrics: MetricsConfig::disabled(),
+            detector_feedback: false,
             queue: QueueKind::Wheel,
         }
     }
@@ -263,6 +270,13 @@ impl SystemConfig {
                 );
             }
         }
+        if self.detector_feedback && !self.metrics.enabled {
+            return Err(
+                "detector_feedback needs the online detector: enable metrics \
+                 (e.g. MetricsConfig::enabled_default())"
+                    .into(),
+            );
+        }
         if let Some(w) = &self.balancer.weights {
             if w.len() != self.tomcats {
                 return Err(format!(
@@ -367,6 +381,15 @@ mod tests {
         assert!(c.validate().is_err(), "sub-50 ms windows are the contract");
         // A disabled subsystem's window is not validated.
         c.metrics.enabled = false;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn detector_feedback_requires_metrics() {
+        let mut c = SystemConfig::smoke(bal());
+        c.detector_feedback = true;
+        assert!(c.validate().is_err(), "feedback without a detector");
+        c.metrics = MetricsConfig::enabled_default();
         assert!(c.validate().is_ok());
     }
 }

@@ -34,6 +34,15 @@ pub struct ExperimentResult {
     pub inflight_at_end: usize,
     /// Total logical requests issued by clients during the run.
     pub requests_issued: u64,
+    /// Sticky-session affinity violations (failovers away from a pinned
+    /// backend); 0 when sticky sessions are off.
+    pub sticky_violations: u64,
+    /// `get_endpoint` give-ups summed over every Apache balancer.
+    pub balancer_giveups: u64,
+    /// Selections where a detector stall signal vetoed an
+    /// otherwise-eligible backend, summed over every Apache balancer
+    /// (`detector_driven` policy with `detector_feedback` only).
+    pub stall_vetoes: u64,
     /// Per-request span traces and VLRT attribution, when
     /// [`SystemConfig::trace`] was enabled.
     pub trace: Option<TraceLog>,
@@ -119,6 +128,17 @@ fn package(system: NTierSystem, events_processed: u64) -> ExperimentResult {
     ));
     let inflight_at_end = system.inflight();
     let requests_issued = system.requests_issued();
+    let sticky_violations = system.sticky_violations();
+    let balancer_giveups = system
+        .apaches()
+        .iter()
+        .map(|a| a.balancer.stats().giveups)
+        .sum();
+    let stall_vetoes = system
+        .apaches()
+        .iter()
+        .map(|a| a.balancer.stats().stall_vetoes)
+        .sum();
     let (telemetry, trace, metrics) = system.into_parts();
     ExperimentResult {
         label,
@@ -131,6 +151,9 @@ fn package(system: NTierSystem, events_processed: u64) -> ExperimentResult {
         pool_exhaustions,
         inflight_at_end,
         requests_issued,
+        sticky_violations,
+        balancer_giveups,
+        stall_vetoes,
         telemetry,
         trace,
         metrics,

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod affinity;
 pub mod config;
 pub mod events;
 pub mod experiment;
@@ -45,6 +46,7 @@ pub mod system;
 pub mod telemetry;
 pub mod trace;
 
+pub use affinity::SessionAffinity;
 pub use config::SystemConfig;
 pub use experiment::{run_experiment, ExperimentResult};
 pub use metrics::{LiveMetrics, MetricsConfig, MetricsReport};

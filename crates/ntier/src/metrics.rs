@@ -4,10 +4,14 @@
 //! [`LiveMetrics`] bundles one [`Registry`] (every layer's instruments,
 //! registered by name at construction in a fixed order) with one
 //! [`MillibottleneckDetector`] fed integer per-window deltas at each
-//! monitor tick. Like tracing, the whole subsystem is **observational**:
-//! it never schedules events or perturbs any random stream, so enabling
-//! it leaves a run's trace digests byte-identical — an invariant the
-//! observability integration tests assert.
+//! monitor tick. Like tracing, the subsystem is **observational** by
+//! default: it never schedules events or perturbs any random stream, so
+//! enabling it leaves a run's trace digests byte-identical — an
+//! invariant the observability integration tests assert. The one opt-in
+//! exception is `SystemConfig::detector_feedback`, which routes freshly
+//! closed detector flags (via [`LiveMetrics::drain_new_flags`]) back
+//! into the balancers' `DetectorDriven` eligibility masks — a deliberate
+//! closing of the loop that changes routing, never the clock or RNGs.
 //!
 //! Instrument map (registration order):
 //!
@@ -94,6 +98,9 @@ pub struct LiveMetrics {
     /// Previous cumulative (busy_us, iowait_us) per server slot, for
     /// integer window deltas.
     last_cpu: Vec<(u64, u64)>,
+    /// Drain cursor into the detector's flag log for the feedback path:
+    /// flags at indices `>= flag_cursor` have not been consumed yet.
+    flag_cursor: usize,
 }
 
 impl LiveMetrics {
@@ -149,6 +156,7 @@ impl LiveMetrics {
             ids,
             interval,
             last_cpu: vec![(0, 0); server_count],
+            flag_cursor: 0,
         }
     }
 
@@ -234,6 +242,18 @@ impl LiveMetrics {
     /// The online detector's current state.
     pub fn detector(&self) -> &MillibottleneckDetector {
         &self.detector
+    }
+
+    /// Drains detector flags that appeared since the previous drain —
+    /// the feed for `detector_feedback` routing. Each call returns only
+    /// fresh flags and advances the cursor, so a tick with no new flags
+    /// yields an empty slice (which the feedback path reads as
+    /// "re-admit everything").
+    pub fn drain_new_flags(&mut self) -> &[DetectorFlag] {
+        let from = self.flag_cursor;
+        let flags = self.detector.flags_since(from);
+        self.flag_cursor = from + flags.len();
+        flags
     }
 
     /// Closes the tail window and any open detector runs, drains the
@@ -323,5 +343,27 @@ mod tests {
             .any(|f| f.kind == FlagKind::IowaitSaturated && f.window == 0));
         assert!(report.jsonl.contains("\"metric\":\"tomcat1.iowait_us\""));
         assert_ne!(report.digest(), 0);
+    }
+
+    #[test]
+    fn drain_new_flags_returns_each_flag_exactly_once() {
+        let mut lm = LiveMetrics::new(
+            &MetricsConfig::enabled_default(),
+            1,
+            1,
+            SimDuration::from_millis(50),
+        );
+        assert!(lm.drain_new_flags().is_empty());
+        // Window 0 for tomcat1 (slot 1): saturated iowait and a queue.
+        lm.sample_server(SimTime::from_millis(50), 1, 0, 30_000, 5, 1_000);
+        let fresh = lm.drain_new_flags();
+        assert!(!fresh.is_empty());
+        assert!(fresh.iter().all(|f| f.window == 0 && f.server == 1));
+        // Nothing new until another window closes with activity.
+        assert!(lm.drain_new_flags().is_empty());
+        lm.sample_server(SimTime::from_millis(100), 1, 0, 60_000, 7, 2_000);
+        let fresh = lm.drain_new_flags();
+        assert!(fresh.iter().all(|f| f.window == 1));
+        assert!(lm.drain_new_flags().is_empty());
     }
 }

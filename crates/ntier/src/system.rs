@@ -38,6 +38,7 @@ use mlb_simkernel::sim::{Model, Scheduler, Simulation};
 use mlb_simkernel::time::{SimDuration, SimTime};
 use mlb_workload::clients::ClientId;
 
+use crate::affinity::SessionAffinity;
 use crate::config::SystemConfig;
 use crate::events::{Event, ServerRef};
 use crate::metrics::{LiveMetrics, MetricsReport};
@@ -77,9 +78,9 @@ pub struct NTierSystem {
     /// Requests blocked in get_endpoint per target Tomcat (the paper's
     /// queue measurements attribute these to the target server).
     endpoint_waiters: Vec<usize>,
-    /// Per-client session pin (sticky sessions): the Tomcat that served
-    /// the client's first request.
-    session_affinity: Vec<Option<usize>>,
+    /// Per-client session pins with violation accounting (sticky
+    /// sessions): the Tomcat that served the client's first request.
+    session_affinity: SessionAffinity,
     telemetry: Telemetry,
     tracer: Tracer,
     /// Streaming registry + online detector, when `cfg.metrics` is on.
@@ -144,11 +145,14 @@ impl NTierSystem {
             mysql,
             requests: RequestArena::with_capacity(cfg.population.clients().min(1 << 20)),
             endpoint_waiters: vec![0; cfg.tomcats],
-            session_affinity: if cfg.balancer.sticky_sessions {
-                vec![None; cfg.population.clients()]
-            } else {
-                Vec::new()
-            },
+            session_affinity: SessionAffinity::new(
+                if cfg.balancer.sticky_sessions {
+                    cfg.population.clients()
+                } else {
+                    0
+                },
+                cfg.balancer.sticky_violation_budget,
+            ),
             telemetry,
             tracer,
             metrics,
@@ -301,6 +305,12 @@ impl NTierSystem {
     /// The Apache servers (for post-run inspection).
     pub fn apaches(&self) -> &[ApacheServer] {
         &self.apaches
+    }
+
+    /// Sticky-session affinity violations recorded so far (0 when sticky
+    /// sessions are off).
+    pub fn sticky_violations(&self) -> u64 {
+        self.session_affinity.violations()
     }
 
     /// The Tomcat servers (for post-run inspection).
@@ -607,7 +617,7 @@ impl NTierSystem {
         // routing pass already gave up on it).
         if self.cfg.balancer.sticky_sessions {
             let client = r.client.0;
-            if let Some(pin) = self.session_affinity[client] {
+            if let Some(pin) = self.session_affinity.pin_of(client) {
                 let pinned_ok = !r.exclude[pin]
                     && self.apaches[a].balancer.state_of(now, BackendId(pin))
                         != mlb_core::WorkerState::Error;
@@ -615,8 +625,10 @@ impl NTierSystem {
                     self.try_endpoint(now, sched, id, pin);
                     return;
                 }
-                // Failover: drop the pin and fall through to selection.
-                self.session_affinity[client] = None;
+                // Failover: an affinity violation. Drop the pin (burning
+                // one unit of the client's violation budget) and fall
+                // through to selection.
+                self.session_affinity.record_violation(client);
             }
         }
         let exclude = r.exclude.clone();
@@ -662,7 +674,7 @@ impl NTierSystem {
                 let probe_timeout = self.apaches[a].balancer.probe_timeout();
                 if self.cfg.balancer.sticky_sessions {
                     let client = Self::live(&self.requests, id).client.0;
-                    self.session_affinity[client] = Some(b);
+                    self.session_affinity.record_service(client, b);
                 }
                 let r = Self::live_mut(&mut self.requests, id);
                 r.backend = Some(b);
@@ -1142,6 +1154,31 @@ impl NTierSystem {
             );
             for (t, &v) in self.apaches[0].balancer.lb_values().iter().enumerate() {
                 m.sample_lb(now, t, v);
+            }
+        }
+        // Detector feedback: convert the flags of the freshly closed
+        // window into per-Tomcat stall signals and push them into every
+        // Apache balancer. Each tick overwrites the previous signals, so
+        // a Tomcat with no fresh flag is re-admitted deterministically
+        // one window after its stall clears.
+        if self.cfg.detector_feedback {
+            let stalled = self.metrics.as_mut().map(|m| {
+                let mut stalled = vec![false; tomcats];
+                for f in m.drain_new_flags() {
+                    // Detector slot order is apaches, tomcats, mysql;
+                    // only Tomcat flags map to routing backends.
+                    if (apaches..apaches + tomcats).contains(&f.server) {
+                        stalled[f.server - apaches] = true;
+                    }
+                }
+                stalled
+            });
+            if let Some(stalled) = stalled {
+                for a in &mut self.apaches {
+                    for (t, &s) in stalled.iter().enumerate() {
+                        a.balancer.signal_stall(BackendId(t), s);
+                    }
+                }
             }
         }
         let next = now + self.cfg.sample_interval;

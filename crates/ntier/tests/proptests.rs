@@ -13,7 +13,11 @@ use mlb_workload::clients::ClientPopulation;
 use proptest::prelude::*;
 
 fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
-    proptest::sample::select(PolicyKind::all_extended().to_vec())
+    let all: Vec<PolicyKind> = PolicyKind::all_extended()
+        .into_iter()
+        .chain(PolicyKind::baselines())
+        .collect();
+    proptest::sample::select(all)
 }
 
 fn mechanism_strategy() -> impl Strategy<Value = MechanismKind> {
@@ -38,6 +42,8 @@ struct FuzzConfig {
     seed: u64,
     flush_interval_ms: u64,
     gc: bool,
+    sticky: bool,
+    feedback: bool,
 }
 
 fn fuzz_strategy() -> impl Strategy<Value = FuzzConfig> {
@@ -46,6 +52,7 @@ fn fuzz_strategy() -> impl Strategy<Value = FuzzConfig> {
         (50u64..2_000, 2usize..40, 1usize..64),
         (1usize..30, policy_strategy(), mechanism_strategy()),
         (any::<u64>(), 300u64..3_000, any::<bool>()),
+        (any::<bool>(), any::<bool>()),
     )
         .prop_map(
             |(
@@ -53,6 +60,7 @@ fn fuzz_strategy() -> impl Strategy<Value = FuzzConfig> {
                 (think_ms, workers, accept_q),
                 (pool, policy, mechanism),
                 (seed, flush_interval_ms, gc),
+                (sticky, feedback),
             )| FuzzConfig {
                 apaches,
                 tomcats,
@@ -66,6 +74,8 @@ fn fuzz_strategy() -> impl Strategy<Value = FuzzConfig> {
                 seed,
                 flush_interval_ms,
                 gc,
+                sticky,
+                feedback,
             },
         )
 }
@@ -94,6 +104,15 @@ fn build(f: &FuzzConfig) -> SystemConfig {
             pause: SimDuration::from_millis(120),
         }),
     };
+    if f.sticky {
+        cfg.balancer.sticky_sessions = true;
+        // A small budget exercises abandonment, not just the pin path.
+        cfg.balancer.sticky_violation_budget = (f.seed % 4) as u32;
+    }
+    if f.feedback {
+        cfg.metrics = mlb_ntier::metrics::MetricsConfig::enabled_default();
+        cfg.detector_feedback = true;
+    }
     cfg.duration = SimDuration::from_secs(3);
     cfg
 }
@@ -135,5 +154,71 @@ proptest! {
             a.telemetry.histogram.buckets(),
             b.telemetry.histogram.buckets()
         );
+    }
+
+    /// The sticky violation counter matches a ground truth recomputed
+    /// from the same operation script by an independent reference model.
+    #[test]
+    fn sticky_violations_match_recomputed_ground_truth(
+        clients in 1usize..6,
+        budget in 0u32..5,
+        // (client, backend, is_violation) operations.
+        ops in proptest::collection::vec((0usize..6, 0usize..4, any::<bool>()), 0..80),
+    ) {
+        use mlb_ntier::SessionAffinity;
+
+        let mut affinity = SessionAffinity::new(clients, budget);
+        // Reference model: plain vectors, written independently of the
+        // SessionAffinity implementation.
+        let mut ref_pins: Vec<Option<usize>> = vec![None; clients];
+        let mut ref_budget: Vec<u64> = vec![u64::from(budget); clients];
+        let mut ref_violations: u64 = 0;
+
+        for (client, backend, violate) in ops {
+            let client = client % clients;
+            if violate {
+                // The routing path only fails over *pinned* clients; an
+                // unpinned client cannot violate.
+                if ref_pins[client].is_some() {
+                    affinity.record_violation(client);
+                    ref_pins[client] = None;
+                    ref_violations += 1;
+                    ref_budget[client] = ref_budget[client].saturating_sub(1);
+                }
+            } else {
+                affinity.record_service(client, backend);
+                if ref_budget[client] > 0 {
+                    ref_pins[client] = Some(backend);
+                }
+            }
+            for c in 0..clients {
+                prop_assert_eq!(affinity.pin_of(c), ref_pins[c], "pin of client {}", c);
+                prop_assert_eq!(
+                    affinity.abandoned(c),
+                    ref_budget[c] == 0,
+                    "abandonment of client {}",
+                    c
+                );
+            }
+        }
+        prop_assert_eq!(affinity.violations(), ref_violations);
+    }
+
+    /// Sticky routing with an unlimited budget completes the same requests
+    /// as it did before violation accounting existed, and its reported
+    /// violation count is deterministic.
+    #[test]
+    fn sticky_experiments_report_deterministic_violations(seed in any::<u64>()) {
+        let mut cfg = SystemConfig::smoke(BalancerConfig::with(
+            PolicyKind::CurrentLoad,
+            MechanismKind::Original,
+        ));
+        cfg.balancer.sticky_sessions = true;
+        cfg.seed = seed;
+        cfg.duration = SimDuration::from_secs(3);
+        let a = run_experiment(cfg.clone()).expect("valid");
+        let b = run_experiment(cfg).expect("valid");
+        prop_assert_eq!(a.sticky_violations, b.sticky_violations);
+        prop_assert_eq!(a.events_processed, b.events_processed);
     }
 }

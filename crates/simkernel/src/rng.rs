@@ -57,6 +57,39 @@ impl SplitMix64 {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
     }
+
+    /// Returns a uniform draw from `[0, n)` without modulo bias, using
+    /// Lemire's widening-multiply rejection method. Consumes one 64-bit
+    /// output in the common case and rejects with probability < n/2⁶⁴.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mlb_simkernel::rng::SplitMix64;
+    ///
+    /// let mut sm = SplitMix64::new(7);
+    /// for _ in 0..100 {
+    ///     assert!(sm.next_bounded(3) < 3);
+    /// }
+    /// ```
+    pub fn next_bounded(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_bounded: n must be positive");
+        let mut m = u128::from(self.next_u64()) * u128::from(n);
+        let mut low = m as u64;
+        if low < n {
+            // Reject the low fringe that maps unevenly onto [0, n).
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                m = u128::from(self.next_u64()) * u128::from(n);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
 }
 
 /// xoshiro256** 1.0 — the kernel's general-purpose generator.
@@ -291,6 +324,35 @@ mod tests {
         assert_eq!(out[0], 6457827717110365317);
         assert_eq!(out[1], 3203168211198807973);
         assert_eq!(out[2], 9817491932198370423);
+    }
+
+    #[test]
+    fn next_bounded_stays_in_range_and_covers_it() {
+        let mut sm = SplitMix64::new(2024);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let x = sm.next_bounded(7);
+            assert!(x < 7);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+        // Degenerate bound.
+        assert_eq!(sm.next_bounded(1), 0);
+    }
+
+    #[test]
+    fn next_bounded_is_deterministic_per_seed() {
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        for n in [2u64, 3, 10, 1 << 40, u64::MAX] {
+            assert_eq!(a.next_bounded(n), b.next_bounded(n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be positive")]
+    fn next_bounded_zero_panics() {
+        SplitMix64::new(0).next_bounded(0);
     }
 
     #[test]
