@@ -1,0 +1,18 @@
+// Fixture: the clean twin of two_hop_trigger.rs. Identical call shape,
+// but hop2 drops its argument and returns a constant — the summary
+// records no param-to-return flow, so the taint dies at the first hop
+// and nothing reaches the scheduler.
+
+fn hop2(_v: u64) -> u64 {
+    0
+}
+
+fn hop1(v: u64) -> u64 {
+    hop2(v)
+}
+
+pub fn arm_probe(sched: &mut Scheduler) {
+    // simlint::allow(no-wall-clock): fixture needs a nondeterministic source
+    let stamp = Instant::now().elapsed().as_micros() as u64;
+    sched.schedule(hop1(stamp), 0);
+}

@@ -1,0 +1,20 @@
+// Fixture: interprocedural `nondet-taint` — the wall-clock reading is
+// laundered through two helper functions before reaching the
+// scheduler, so any per-function analysis loses the trail after the
+// first call. The function summaries (hop2 returns its param, hop1
+// composes with hop2) carry the taint across both hops. Exactly one
+// finding must result: the sink, not one per hop.
+
+fn hop2(v: u64) -> u64 {
+    v
+}
+
+fn hop1(v: u64) -> u64 {
+    hop2(v)
+}
+
+pub fn arm_probe(sched: &mut Scheduler) {
+    // simlint::allow(no-wall-clock): fixture needs a nondeterministic source
+    let stamp = Instant::now().elapsed().as_micros() as u64;
+    sched.schedule(hop1(stamp), 0);
+}

@@ -1,0 +1,7 @@
+// Fixture: clean under `shard-cross-thread`. The closure captures only
+// a config value passed in by the caller — a pure function of the
+// inputs — so running it on worker threads changes nothing observable.
+
+pub fn fan_out(items: &[u64], offset: u64) -> Vec<u64> {
+    par_runs(items, |item| item + offset)
+}

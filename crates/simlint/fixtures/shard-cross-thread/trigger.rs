@@ -1,0 +1,12 @@
+// Fixture: triggers `shard-cross-thread`. The wall-clock stamp is
+// nondeterministic, and the closure handed to `par_runs` runs on a
+// worker thread — every run the workers observe a different stamp, so
+// the fan-out's results stop being a pure function of (config, seed).
+// The suppression scopes the wall-clock *read* (this fixture needs a
+// taint source); the capture is the violation under test.
+
+pub fn fan_out(items: &[u64]) -> Vec<u64> {
+    // simlint::allow(no-wall-clock): fixture needs a nondeterministic source
+    let stamp = Instant::now().elapsed().as_micros() as u64;
+    par_runs(items, |item| item + stamp)
+}

@@ -1,0 +1,12 @@
+// Fixture: clean under `shard-order-agg`. Each result carries its
+// input index and lands in a pre-sized slot, so the join is the same
+// whatever order the workers finish in.
+
+pub fn join_fan_out(n: u64, rx: &Receiver<(u64, u64)>) -> Vec<u64> {
+    let mut out = vec![0u64; n];
+    for _ in 0..n {
+        let (idx, v) = rx.recv();
+        out[idx] = v;
+    }
+    out
+}

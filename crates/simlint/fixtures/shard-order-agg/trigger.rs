@@ -1,0 +1,14 @@
+// Fixture: triggers `shard-order-agg`. The channel delivers fan-out
+// results in completion order — which worker finished first — so the
+// vector's element order differs run to run even when the multiset of
+// values is identical. Any order-sensitive consumer (digests, first-N
+// picks) then diverges.
+
+pub fn join_fan_out(n: u64, rx: &Receiver<u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let v = rx.recv();
+        out.push(v);
+    }
+    out
+}

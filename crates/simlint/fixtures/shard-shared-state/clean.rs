@@ -1,0 +1,11 @@
+// Fixture: clean under `shard-shared-state`. Immutable statics and
+// consts are fine (nothing to race on), and sequentially-consistent
+// atomic updates are ordered the same on every host.
+
+pub const WINDOW_US: u64 = 50_000;
+
+static POLICY_NAME: &str = "round_robin";
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::SeqCst);
+}

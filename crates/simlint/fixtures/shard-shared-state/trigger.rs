@@ -1,0 +1,12 @@
+// Fixture: triggers `shard-shared-state` three ways. Each is shared
+// mutable state that one event-queue shard could scribble on while
+// another reads — invisible to any single-threaded determinism test,
+// fatal the day the kernel shards across cores.
+
+static mut EVENTS_PROCESSED: u64 = 0;
+
+static COMPLETION_LOG: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -683,6 +683,45 @@ pub fn collect_scope_spans(file: &File) -> Vec<Span> {
     out
 }
 
+/// Collects item spans only (functions, consts, statics, impls, mods —
+/// no statements or arms): the anchors baseline fingerprints hash. An
+/// item moves as a unit when code above it changes, so hashing its
+/// token stream instead of its line number keeps fingerprints stable
+/// across unrelated edits.
+pub fn collect_item_spans(file: &File) -> Vec<Span> {
+    let mut out = Vec::new();
+    fn visit(list: &[Item], out: &mut Vec<Span>) {
+        for item in list {
+            out.push(item.span);
+            match &item.kind {
+                ItemKind::Impl(imp) => visit(&imp.items, out),
+                ItemKind::Mod(m) => visit(&m.items, out),
+                ItemKind::Fn(f) => {
+                    if let Some(b) = &f.body {
+                        walk_block_exprs(b, &mut |e| {
+                            if let ExprKind::Block(bb) = &e.kind {
+                                for s in &bb.stmts {
+                                    if let StmtKind::Item(i) = &s.kind {
+                                        visit(std::slice::from_ref(i), out);
+                                    }
+                                }
+                            }
+                        });
+                        for s in &b.stmts {
+                            if let StmtKind::Item(i) = &s.kind {
+                                visit(std::slice::from_ref(i), out);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    visit(&file.items, &mut out);
+    out
+}
+
 /// Walks every function (with its enclosing impl type name, if any)
 /// under the file's items, including functions nested in modules.
 pub fn walk_fns<'a>(file: &'a File, f: &mut impl FnMut(Option<&'a str>, &'a Func)) {

@@ -1,0 +1,183 @@
+//! Baseline files: ratchet CI on *new* findings only.
+//!
+//! A linter that fails the build on every pre-existing finding never
+//! gets adopted — the first run produces a wall of debt and the gate is
+//! turned off. A baseline inverts that: the committed file records the
+//! findings the team has already seen, `--baseline` subtracts them, and
+//! CI fails only when a *new* finding appears. The debt stays visible
+//! (baselined findings are still in the JSON/SARIF artifacts) but it
+//! cannot grow.
+//!
+//! Identity is the structural fingerprint computed in [`crate::lint_workspace`]:
+//! `rule : path : fnv1a(enclosing item's token stream)`. Line numbers
+//! are deliberately absent, so editing code *above* a baselined finding
+//! does not resurrect it; editing the item that *contains* it does —
+//! the moment someone touches that code is exactly when the suppressed
+//! debt should resurface for a decision.
+
+use std::collections::BTreeSet;
+
+use crate::json::{self, Value};
+use crate::report::{json_str, Finding};
+
+/// The baseline entry for one finding: `rule:path:fingerprint-hex`.
+pub fn entry(f: &Finding) -> String {
+    format!("{}:{}:{:016x}", f.rule, f.path, f.fingerprint)
+}
+
+/// A set of known-finding fingerprint entries.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// The empty baseline (every finding is new).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Parses a baseline document previously written by [`render`].
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON, a missing/unsupported `version`, or a
+    /// non-string fingerprint entry all error out — a half-read
+    /// baseline must fail the run loudly, not silently admit findings.
+    pub fn from_json(src: &str) -> Result<Self, String> {
+        let doc = json::parse(src).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+        let version = doc
+            .get("version")
+            .and_then(Value::as_num)
+            .ok_or("baseline lacks a numeric `version` field")?;
+        if version != 1.0 {
+            return Err(format!("unsupported baseline version {version}"));
+        }
+        let raw = doc
+            .get("fingerprints")
+            .and_then(Value::as_arr)
+            .ok_or("baseline lacks a `fingerprints` array")?;
+        let mut entries = BTreeSet::new();
+        for v in raw {
+            let s = v
+                .as_str()
+                .ok_or("baseline `fingerprints` entries must be strings")?;
+            entries.insert(s.to_owned());
+        }
+        Ok(Self { entries })
+    }
+
+    /// Whether the baseline already knows this finding.
+    pub fn contains(&self, f: &Finding) -> bool {
+        self.entries.contains(&entry(f))
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline records nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Splits findings into (new, known-from-baseline), preserving
+    /// order within each half.
+    pub fn partition(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
+        findings.into_iter().partition(|f| !self.contains(f))
+    }
+}
+
+/// Renders the baseline document for a set of findings: version 1,
+/// entries sorted and deduplicated so the committed file diffs cleanly.
+pub fn render(findings: &[Finding]) -> String {
+    let entries: BTreeSet<String> = findings.iter().map(entry).collect();
+    let mut out = String::from("{\n  \"version\": 1,\n  \"fingerprints\": [\n");
+    let n = entries.len();
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&json_str(e));
+        if i + 1 < n {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_source;
+    use crate::workspace::FileRole;
+
+    const CTX: (&str, FileRole, &str, bool) =
+        ("mlb-ntier", FileRole::Lib, "crates/ntier/src/x.rs", false);
+
+    fn lint(src: &str) -> Vec<Finding> {
+        lint_source(src, CTX.0, CTX.1, CTX.2, CTX.3)
+    }
+
+    #[test]
+    fn render_and_reload_round_trip() {
+        let findings = lint("pub fn f() -> u64 {\n    thread_rng().next()\n}\n");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let doc = render(&findings);
+        let b = Baseline::from_json(&doc).unwrap();
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(&findings[0]));
+    }
+
+    #[test]
+    fn baselined_finding_survives_code_added_above_it() {
+        // The planted pre-existing finding: an ambient RNG read.
+        let before = "pub fn f() -> u64 {\n    thread_rng().next()\n}\n";
+        let b = Baseline::from_json(&render(&lint(before))).unwrap();
+
+        // Unrelated code lands above it (lines shift by 3) and a *new*
+        // violation appears in a different function. The baseline must
+        // keep suppressing the old finding and flag only the new one.
+        let after = "\
+pub fn unrelated(a: u64) -> u64 {
+    a + 1
+}
+pub fn f() -> u64 {
+    thread_rng().next()
+}
+pub fn g() -> u64 {
+    thread_rng().next_u64()
+}
+";
+        let findings = lint(after);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        let (new, known) = b.partition(findings);
+        assert_eq!(known.len(), 1, "old finding should be baselined");
+        assert_eq!(known[0].line, 5, "old finding moved but still matched");
+        assert_eq!(new.len(), 1, "new finding must not be baselined");
+        assert_eq!(new[0].line, 8, "{new:?}");
+    }
+
+    #[test]
+    fn editing_the_enclosing_item_resurfaces_the_finding() {
+        let before = "pub fn f() -> u64 {\n    thread_rng().next()\n}\n";
+        let b = Baseline::from_json(&render(&lint(before))).unwrap();
+        // The item containing the finding changed — identity changes
+        // with it, so the finding is "new" again and must be re-triaged.
+        let edited = "pub fn f() -> u64 {\n    thread_rng().next() + 1\n}\n";
+        let (new, known) = b.partition(lint(edited));
+        assert_eq!(known.len(), 0);
+        assert_eq!(new.len(), 1);
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::from_json("not json").is_err());
+        assert!(Baseline::from_json("{}").is_err());
+        assert!(Baseline::from_json("{\"version\": 2, \"fingerprints\": []}").is_err());
+        assert!(Baseline::from_json("{\"version\": 1, \"fingerprints\": [7]}").is_err());
+        let empty = Baseline::from_json("{\"version\": 1, \"fingerprints\": []}").unwrap();
+        assert!(empty.is_empty());
+    }
+}

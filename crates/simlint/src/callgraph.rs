@@ -1,0 +1,388 @@
+//! Cross-file call graph and per-function taint summaries.
+//!
+//! This is the interprocedural layer on top of `dataflow.rs`. For every
+//! function defined in the flow-analyzed crates it computes a
+//! [`FnSummary`] describing how values move *through* the function:
+//! which parameters flow to the return value, which parameters reach an
+//! event-scheduling sink inside the body (directly or via further
+//! calls), and whether the return value is itself a nondeterminism
+//! source or a hash-ordered collection. `dataflow.rs` then consumes the
+//! summaries at call sites, so a taint laundered through a helper —
+//! `sched.schedule(hop1(stamp), 0)` where `hop1` forwards to `hop2`
+//! which returns its argument — is still reported at the one call site
+//! where the tainted value actually enters the flow.
+//!
+//! Like the rest of simlint's symbol layer, summaries are keyed by
+//! *name*, not by resolved path: the hand-rolled parser has no type
+//! information, so `Wheel::push` and `Vec::push` are the same node.
+//! Names defined with conflicting arities are excluded outright
+//! (callers fall back to the conservative intra-procedural behavior),
+//! and same-arity same-name definitions are merged by union, which
+//! over-approximates but never misses a flow.
+//!
+//! Recursion and mutual calls terminate because summaries are computed
+//! as a fixpoint over the call graph's strongly connected components:
+//! Tarjan's algorithm (iterative, so adversarial call-chain depth
+//! cannot overflow the stack) emits SCCs callees-first; single
+//! functions are summarized once, and each cycle starts from the empty
+//! summary and iterates until stable. Every summary field only ever
+//! grows (bit-masks union, flags latch), so the fixpoint is reached in
+//! a bounded number of rounds.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{walk_block_exprs, ExprKind, File, Func, Item, ItemKind};
+use crate::dataflow::{summarize_fn, TaintKind};
+use crate::symbols::{Symbols, UnitAnnotations};
+
+/// How values flow through one named function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnSummary {
+    /// Declared parameter count, `self` included.
+    pub arity: usize,
+    /// The first parameter is a `self` receiver.
+    pub has_self: bool,
+    /// Bitmask of parameters (bit *i* = param *i*, capped at 31) whose
+    /// value can reach the function's return value.
+    pub param_to_return: u32,
+    /// Bitmask of parameters whose value can reach a scheduling sink
+    /// (`schedule`/`push`/`SimTime` construction) inside the body,
+    /// transitively through further calls.
+    pub param_to_sink: u32,
+    /// The return value originates from a nondeterminism source inside
+    /// the body (wall clock, ambient RNG, hash-order iteration).
+    pub returns_taint: Option<TaintKind>,
+    /// The return value is (or contains) a hash-ordered collection.
+    pub returns_hashy: bool,
+}
+
+impl FnSummary {
+    fn empty(arity: usize, has_self: bool) -> FnSummary {
+        FnSummary {
+            arity,
+            has_self,
+            param_to_return: 0,
+            param_to_sink: 0,
+            returns_taint: None,
+            returns_hashy: false,
+        }
+    }
+
+    /// Union of two same-name definitions (or of an old and a recomputed
+    /// iterate): the merge only grows, which is what makes the SCC
+    /// fixpoint terminate.
+    fn merge(self, other: FnSummary) -> FnSummary {
+        FnSummary {
+            arity: self.arity,
+            has_self: self.has_self || other.has_self,
+            param_to_return: self.param_to_return | other.param_to_return,
+            param_to_sink: self.param_to_sink | other.param_to_sink,
+            returns_taint: self.returns_taint.or(other.returns_taint),
+            returns_hashy: self.returns_hashy || other.returns_hashy,
+        }
+    }
+}
+
+/// Name-keyed function summaries. `None` marks a name excluded for
+/// conflicting arities (mirroring `Symbols::fn_param_units`).
+#[derive(Debug, Default)]
+pub struct Summaries {
+    map: BTreeMap<String, Option<FnSummary>>,
+}
+
+impl Summaries {
+    /// A table with no summaries at all; callers degrade to the
+    /// conservative intra-procedural behavior everywhere.
+    pub fn empty() -> Summaries {
+        Summaries::default()
+    }
+
+    /// The summary for `name`, if one exists and is unambiguous.
+    pub fn get(&self, name: &str) -> Option<FnSummary> {
+        self.map.get(name).copied().flatten()
+    }
+
+    /// Number of summarized (non-excluded) names.
+    pub fn len(&self) -> usize {
+        self.map.values().filter(|s| s.is_some()).count()
+    }
+
+    /// `true` if nothing was summarized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Builds summaries for every function defined in `files` (skipping
+/// `#[cfg(test)]` modules, like the symbol table does).
+pub fn build(files: &[(&File, &UnitAnnotations)], symbols: &Symbols) -> Summaries {
+    // 1. Collect definitions: name → [(func, file's annotations)].
+    let mut defs: BTreeMap<String, Vec<(&Func, &UnitAnnotations)>> = BTreeMap::new();
+    for (file, anns) in files {
+        let mut fns = Vec::new();
+        collect_fns(&file.items, &mut fns);
+        for f in fns {
+            defs.entry(f.name.clone()).or_default().push((f, anns));
+        }
+    }
+
+    // 2. Exclude names whose definitions disagree on arity: a bitmask
+    //    indexed by parameter position is meaningless across them, and
+    //    deciding exclusion *before* the fixpoint keeps it monotone.
+    let mut summaries = Summaries::default();
+    let names: Vec<&String> = defs
+        .keys()
+        .filter(|name| {
+            let arities: BTreeSet<usize> =
+                defs[*name].iter().map(|(f, _)| f.params.len()).collect();
+            if arities.len() > 1 {
+                summaries.map.insert((**name).clone(), None);
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let index_of: BTreeMap<&str, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+
+    // 3. Call edges at name granularity: every `name(..)` path call and
+    //    `.name(..)` method call inside a body whose name we define.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+    for (i, name) in names.iter().enumerate() {
+        let mut callees = BTreeSet::new();
+        for (f, _) in &defs[*name] {
+            let Some(body) = &f.body else { continue };
+            walk_block_exprs(body, &mut |e| {
+                let called = match &e.kind {
+                    ExprKind::Call { callee, .. } => match &callee.kind {
+                        ExprKind::Path(segs) => segs.last().map(String::as_str),
+                        _ => None,
+                    },
+                    ExprKind::MethodCall { method, .. } => Some(method.as_str()),
+                    _ => None,
+                };
+                if let Some(c) = called {
+                    if let Some(&j) = index_of.get(c) {
+                        callees.insert(j);
+                    }
+                }
+            });
+        }
+        adj[i] = callees.into_iter().collect();
+    }
+
+    // 4. SCC condensation, emitted callees-first by construction.
+    let sccs = tarjan_sccs(&adj);
+
+    // 5. Summarize in reverse topological order; iterate within each
+    //    SCC from the empty summary until stable.
+    for scc in sccs {
+        for &ni in &scc {
+            let (f, _) = defs[names[ni]][0];
+            summaries.map.insert(
+                names[ni].clone(),
+                Some(FnSummary::empty(
+                    f.params.len(),
+                    f.params
+                        .first()
+                        .is_some_and(|p| p.name.as_deref() == Some("self")),
+                )),
+            );
+        }
+        // Bit-masks and flags only grow, so each round either changes a
+        // summary or is the last; the bound is a safety net, not a
+        // budget that real code approaches.
+        for _round in 0..64 {
+            let mut changed = false;
+            for &ni in &scc {
+                let name = names[ni];
+                let mut computed: Option<FnSummary> = None;
+                for (f, anns) in &defs[name] {
+                    let s = summarize_fn(f, symbols, anns, &summaries);
+                    computed = Some(match computed {
+                        Some(m) => m.merge(s),
+                        None => s,
+                    });
+                }
+                let old = summaries.get(name);
+                let new = computed.map(|c| match old {
+                    Some(o) => o.merge(c),
+                    None => c,
+                });
+                if new != old {
+                    changed = true;
+                    summaries.map.insert(name.clone(), new);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    summaries
+}
+
+/// Collects every function definition outside `#[cfg(test)]` modules.
+fn collect_fns<'a>(items: &'a [Item], out: &mut Vec<&'a Func>) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Fn(f) => out.push(f),
+            ItemKind::Impl(imp) => collect_fns(&imp.items, out),
+            ItemKind::Mod(m) if !m.cfg_test => collect_fns(&m.items, out),
+            _ => {}
+        }
+    }
+}
+
+/// Iterative Tarjan: returns SCCs in reverse topological order of the
+/// condensation (every SCC appears after all SCCs it calls into have
+/// been emitted), which is exactly the summarization order we need.
+fn tarjan_sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index: Vec<Option<u32>> = vec![None; n];
+    let mut low: Vec<u32> = vec![0; n];
+    let mut on_stack: Vec<bool> = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next: u32 = 0;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    for start in 0..n {
+        if index[start].is_some() {
+            continue;
+        }
+        // Explicit DFS frames: (node, next-child cursor).
+        let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(frame) = frames.last_mut() {
+            let (v, ci) = *frame;
+            if ci == 0 && index[v].is_none() {
+                index[v] = Some(next);
+                low[v] = next;
+                next += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if ci < adj[v].len() {
+                frame.1 += 1;
+                let w = adj[v][ci];
+                if index[w].is_none() {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w].expect("visited node has an index"));
+                }
+            } else {
+                frames.pop();
+                if let Some(&(p, _)) = frames.last() {
+                    low[p] = low[p].min(low[v]);
+                }
+                if Some(low[v]) == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("SCC root is on the Tarjan stack");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+    use crate::symbols::parse_unit_annotations;
+
+    fn summarize(src: &str) -> Summaries {
+        let toks = lex(src);
+        let file = parse_file(&toks);
+        assert_eq!(file.recovered_skips, 0, "test source must parse");
+        let (anns, bad) = parse_unit_annotations(&toks);
+        assert!(bad.is_empty(), "{bad:?}");
+        let symbols = Symbols::build(&[(&file, &anns)]);
+        build(&[(&file, &anns)], &symbols)
+    }
+
+    #[test]
+    fn identity_fn_maps_param_to_return() {
+        let s = summarize("pub fn id(v: u64) -> u64 { v }");
+        let sum = s.get("id").unwrap();
+        assert_eq!(sum.param_to_return, 1);
+        assert_eq!(sum.param_to_sink, 0);
+    }
+
+    #[test]
+    fn two_hop_forwarding_composes() {
+        let s = summarize(
+            "pub fn hop2(v: u64) -> u64 { v }\n\
+             pub fn hop1(v: u64) -> u64 { hop2(v) }",
+        );
+        assert_eq!(s.get("hop1").unwrap().param_to_return, 1);
+    }
+
+    #[test]
+    fn sink_reaching_param_is_recorded_transitively() {
+        let s = summarize(
+            "pub fn inner(sched: &mut S, t: u64) { sched.schedule(t, 0); }\n\
+             pub fn outer(sched: &mut S, t: u64) { inner(sched, t); }",
+        );
+        assert_eq!(s.get("inner").unwrap().param_to_sink, 0b10);
+        assert_eq!(s.get("outer").unwrap().param_to_sink, 0b10);
+    }
+
+    #[test]
+    fn source_in_body_marks_return_tainted() {
+        let s = summarize("pub fn stamp() -> u64 { Instant::now() }");
+        assert_eq!(
+            s.get("stamp").unwrap().returns_taint,
+            Some(TaintKind::WallClock)
+        );
+    }
+
+    #[test]
+    fn recursion_and_mutual_calls_terminate() {
+        let s = summarize(
+            "pub fn even(n: u64) -> bool { if n == 0 { true } else { odd(n - 1) } }\n\
+             pub fn odd(n: u64) -> bool { if n == 0 { false } else { even(n - 1) } }\n\
+             pub fn rec(v: u64) -> u64 { if v > 1 { rec(v) } else { v } }",
+        );
+        assert_eq!(s.get("rec").unwrap().param_to_return, 1);
+        assert!(s.get("even").is_some());
+    }
+
+    #[test]
+    fn conflicting_arities_are_excluded() {
+        let s = summarize(
+            "pub fn f(a: u64) -> u64 { a }\n\
+             pub mod inner { pub fn f(a: u64, b: u64) -> u64 { a + b } }",
+        );
+        assert!(s.get("f").is_none());
+    }
+
+    #[test]
+    fn self_receiver_is_bit_zero() {
+        let s = summarize(
+            "pub struct W { q: Vec<u64> }\n\
+             impl W { pub fn take(&mut self) -> Vec<u64> { self.q.clone() } }",
+        );
+        let sum = s.get("take").unwrap();
+        assert!(sum.has_self);
+        assert_eq!(sum.param_to_return & 1, 1);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_not_summarized() {
+        let s = summarize("#[cfg(test)]\nmod tests { pub fn helper(v: u64) -> u64 { v } }");
+        assert!(s.get("helper").is_none());
+    }
+}

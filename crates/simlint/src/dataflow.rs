@@ -1,4 +1,4 @@
-//! Intra-procedural dataflow: nondeterminism taint and time units.
+//! Dataflow: nondeterminism taint, time units, and shard safety.
 //!
 //! A single forward walk over each function body maintains a scope
 //! stack of per-binding [`Facts`]:
@@ -17,18 +17,34 @@
 //!   meet: constructor arguments, unit-suffixed parameters and fields,
 //!   additive arithmetic and comparisons. Multiplication and division
 //!   legitimately change units, so they erase the fact instead.
+//! * **shard safety** — values that cross a thread boundary. A tainted
+//!   or hash-ordered binding captured by a closure passed to
+//!   `thread::scope`/`spawn`/`par_runs`, or sent through a channel, is
+//!   a `shard-cross-thread` finding; a value received from a channel
+//!   carries a *completion-order* fact, and aggregating it by arrival
+//!   (`.push`/`.extend`) instead of by index is a `shard-order-agg`
+//!   finding.
 //!
-//! The analysis is deliberately conservative in the other direction
-//! too: one pass, no fixpoint (a taint that only becomes visible on a
-//! loop's second iteration is missed), branch facts don't merge back,
-//! and unknown calls propagate argument taint but never invent it.
-//! Under the workspace's other lint rules the sources are individually
-//! banned, so this layer is defense-in-depth: it catches flows from
-//! *suppressed* sources and from future code the lexer rules can't see.
+//! The analysis is interprocedural: call sites consult the per-function
+//! [`FnSummary`] table built by `callgraph.rs`, so a taint laundered
+//! through helper calls still reaches its sink, and a helper whose body
+//! schedules its argument turns every call site into a sink. The same
+//! walker runs in a second, *summarize* mode (no findings, `collect`
+//! set) to produce those summaries: parameters are seeded with one bit
+//! each, and the bits surviving to `return` / sink positions become the
+//! summary masks.
+//!
+//! The analysis stays deliberately conservative in the other direction:
+//! one pass per body, branch facts don't merge back, and unknown calls
+//! propagate argument taint but never invent it. Under the workspace's
+//! other lint rules the sources are individually banned, so this layer
+//! is defense-in-depth: it catches flows from *suppressed* sources and
+//! from future code the lexer rules can't see.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::ast::{Block, Expr, ExprKind, Func, Lit, StmtKind};
+use crate::callgraph::{FnSummary, Summaries};
 use crate::symbols::{declared_unit, unit_from_name, Symbols, Unit, UnitAnnotations, HASH_TYPES};
 
 /// Which rule family a flow finding belongs to.
@@ -38,6 +54,62 @@ pub enum FlowRule {
     Taint,
     /// `time-unit`.
     Unit,
+    /// `shard-cross-thread`.
+    CrossThread,
+    /// `shard-order-agg`.
+    OrderAgg,
+}
+
+/// Which finding families a given file gets reports for. Tracking
+/// always runs in full; only *reporting* is gated, so e.g. taint facts
+/// still feed the cross-thread rule in files where plain `nondet-taint`
+/// is off.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowFamilies {
+    /// Report `nondet-taint`.
+    pub taint: bool,
+    /// Report `time-unit`.
+    pub unit: bool,
+    /// Report `shard-cross-thread` / `shard-order-agg`.
+    pub shard: bool,
+}
+
+impl FlowFamilies {
+    /// Every family — sim-crate library code.
+    pub fn all() -> FlowFamilies {
+        FlowFamilies {
+            taint: true,
+            unit: true,
+            shard: true,
+        }
+    }
+
+    /// Shard safety only — the bench crate legitimately reads the wall
+    /// clock for throughput numbers, but its fan-outs must still keep
+    /// nondeterminism out of cross-thread traffic.
+    pub fn shard_only() -> FlowFamilies {
+        FlowFamilies {
+            taint: false,
+            unit: false,
+            shard: true,
+        }
+    }
+
+    fn none() -> FlowFamilies {
+        FlowFamilies {
+            taint: false,
+            unit: false,
+            shard: false,
+        }
+    }
+
+    fn enables(self, rule: FlowRule) -> bool {
+        match rule {
+            FlowRule::Taint => self.taint,
+            FlowRule::Unit => self.unit,
+            FlowRule::CrossThread | FlowRule::OrderAgg => self.shard,
+        }
+    }
 }
 
 /// One raw dataflow finding (rule name resolution happens in
@@ -56,9 +128,12 @@ pub struct FlowFinding {
 
 /// What kind of nondeterminism a taint originates from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TaintKind {
+pub enum TaintKind {
+    /// Iteration order of a hash-keyed collection.
     HashIter,
+    /// `Instant`/`SystemTime` wall-clock reads.
     WallClock,
+    /// Ambient (OS-seeded) RNG.
     Rng,
 }
 
@@ -86,6 +161,15 @@ struct Facts {
     unit: Option<Unit>,
     /// The value is (or contains) a hash-ordered collection.
     hashy: bool,
+    /// Bitmask of enclosing-function parameters this value depends on
+    /// (summarize mode seeds param *i* with bit *i*; report mode keeps
+    /// the bits flowing so summaries compose, but never reports them).
+    params: u32,
+    /// The value was received from a channel, so its identity depends
+    /// on cross-thread completion order.
+    completion: bool,
+    /// The value is a channel endpoint (`channel()` / `sync_channel()`).
+    channel: bool,
 }
 
 impl Facts {
@@ -110,6 +194,9 @@ impl Facts {
                 None
             },
             hashy: self.hashy || other.hashy,
+            params: self.params | other.params,
+            completion: self.completion || other.completion,
+            channel: self.channel || other.channel,
         }
     }
 }
@@ -150,11 +237,23 @@ const UNIT_PRESERVING: [&str; 12] = [
 /// taint sinks.
 const SINK_METHODS: [&str; 4] = ["schedule", "schedule_at", "push", "push_at"];
 
-/// Analyzes one function body, appending taint/unit findings to `out`.
+/// Functions/methods whose closure argument runs on another thread.
+pub const CROSS_THREAD_FNS: [&str; 3] = ["spawn", "scope", "par_runs"];
+
+/// Channel receives: the value's identity depends on completion order.
+const RECV_METHODS: [&str; 3] = ["recv", "try_recv", "recv_timeout"];
+
+/// Aggregation methods that append in call order; feeding them a
+/// completion-ordered value makes the aggregate order-sensitive.
+const AGG_METHODS: [&str; 5] = ["push", "extend", "insert", "push_back", "append"];
+
+/// Analyzes one function body, appending flow findings to `out`.
 pub fn analyze_fn(
     func: &Func,
     symbols: &Symbols,
     anns: &UnitAnnotations,
+    summaries: &Summaries,
+    families: FlowFamilies,
     out: &mut Vec<FlowFinding>,
 ) {
     let Some(body) = &func.body else {
@@ -163,29 +262,102 @@ pub fn analyze_fn(
     let mut a = Analysis {
         symbols,
         anns,
+        summaries,
         scopes: vec![BTreeMap::new()],
         out,
+        families,
+        collect: None,
+        boundaries: Vec::new(),
+        next_boundary: 0,
+        reported_captures: BTreeSet::new(),
     };
-    for p in &func.params {
-        let Some(name) = &p.name else { continue };
-        let facts = Facts {
-            taint: None,
-            unit: declared_unit(name, p.line, anns),
-            hashy: p.ty.as_ref().is_some_and(|t| t.mentions(&HASH_TYPES)),
-        };
-        a.bind(name.clone(), facts);
-    }
+    a.bind_params(func);
     a.run_block(body);
+}
+
+/// Computes one function's [`FnSummary`] by running the same walker in
+/// summarize mode: no findings, parameters seeded with one bit each,
+/// return/sink positions recorded.
+pub fn summarize_fn(
+    func: &Func,
+    symbols: &Symbols,
+    anns: &UnitAnnotations,
+    summaries: &Summaries,
+) -> FnSummary {
+    let mut sink = Vec::new();
+    let mut a = Analysis {
+        symbols,
+        anns,
+        summaries,
+        scopes: vec![BTreeMap::new()],
+        out: &mut sink,
+        families: FlowFamilies::none(),
+        collect: Some(SummaryCollect::default()),
+        boundaries: Vec::new(),
+        next_boundary: 0,
+        reported_captures: BTreeSet::new(),
+    };
+    a.bind_params(func);
+    if let Some(body) = &func.body {
+        let trailing = a.run_block(body);
+        a.record_return(trailing);
+    }
+    let c = a.collect.take().unwrap_or_default();
+    FnSummary {
+        arity: func.params.len(),
+        has_self: func
+            .params
+            .first()
+            .is_some_and(|p| p.name.as_deref() == Some("self")),
+        param_to_return: c.param_to_return,
+        param_to_sink: c.param_to_sink,
+        returns_taint: c.returns_taint,
+        returns_hashy: c.returns_hashy,
+    }
+}
+
+/// Accumulator for summarize mode.
+#[derive(Debug, Default)]
+struct SummaryCollect {
+    param_to_return: u32,
+    param_to_sink: u32,
+    returns_taint: Option<TaintKind>,
+    returns_hashy: bool,
 }
 
 struct Analysis<'a> {
     symbols: &'a Symbols,
     anns: &'a UnitAnnotations,
+    summaries: &'a Summaries,
     scopes: Vec<BTreeMap<String, Facts>>,
     out: &'a mut Vec<FlowFinding>,
+    families: FlowFamilies,
+    /// `Some` in summarize mode.
+    collect: Option<SummaryCollect>,
+    /// Active thread-crossing closures: (scope depth at entry, id).
+    /// A binding resolved from a scope *below* the entry depth was
+    /// captured across the thread boundary.
+    boundaries: Vec<(usize, usize)>,
+    next_boundary: usize,
+    /// (boundary id, name) pairs already reported, so one captured
+    /// binding used five times yields one finding.
+    reported_captures: BTreeSet<(usize, String)>,
 }
 
 impl Analysis<'_> {
+    fn bind_params(&mut self, func: &Func) {
+        for (i, p) in func.params.iter().enumerate() {
+            let Some(name) = &p.name else { continue };
+            let facts = Facts {
+                unit: declared_unit(name, p.line, self.anns),
+                hashy: p.ty.as_ref().is_some_and(|t| t.mentions(&HASH_TYPES)),
+                params: 1u32 << i.min(31),
+                ..Facts::default()
+            };
+            self.bind(name.clone(), facts);
+        }
+    }
+
     fn bind(&mut self, name: String, facts: Facts) {
         if let Some(top) = self.scopes.last_mut() {
             top.insert(name, facts);
@@ -196,13 +368,49 @@ impl Analysis<'_> {
         self.scopes.iter().rev().find_map(|s| s.get(name)).copied()
     }
 
+    /// Like [`lookup`](Self::lookup), also reporting which scope depth
+    /// the binding lives at (for capture detection).
+    fn lookup_depth(&self, name: &str) -> Option<(usize, Facts)> {
+        self.scopes
+            .iter()
+            .enumerate()
+            .rev()
+            .find_map(|(d, s)| s.get(name).map(|f| (d, *f)))
+    }
+
     fn report(&mut self, rule: FlowRule, line: u32, col: u32, message: String) {
+        if !self.families.enables(rule) {
+            return;
+        }
         self.out.push(FlowFinding {
             rule,
             line,
             col,
             message,
         });
+    }
+
+    fn record_return(&mut self, f: Facts) {
+        if let Some(c) = self.collect.as_mut() {
+            c.param_to_return |= f.params;
+            if c.returns_taint.is_none() {
+                c.returns_taint = f.taint.map(|t| t.kind);
+            }
+            c.returns_hashy |= f.hashy;
+        }
+    }
+
+    /// A value arrived at a scheduling sink: report its taint and, in
+    /// summarize mode, record which parameters reach the sink.
+    fn sink_arg(&mut self, arg: &Expr, f: Facts, sink: &str) {
+        if let Some(t) = f.taint {
+            self.taint_into_sink(arg, t, sink);
+        }
+        if f.params != 0 {
+            if let Some(c) = self.collect.as_mut() {
+                c.param_to_sink |= f.params;
+            }
+        }
     }
 
     fn unit_mismatch(&mut self, e: &Expr, got: Unit, want: Unit, context: &str) {
@@ -238,6 +446,24 @@ impl Analysis<'_> {
         );
     }
 
+    /// A tainted/hash-ordered value crosses a thread boundary.
+    fn cross_thread(&mut self, e: &Expr, f: Facts, how: &str) {
+        let what = match f.taint {
+            Some(t) => format!("{} from line {}", t.kind.label(), t.origin_line),
+            None if f.hashy => "a hash-ordered collection".to_owned(),
+            None => return,
+        };
+        self.report(
+            FlowRule::CrossThread,
+            e.span.line,
+            e.span.col,
+            format!(
+                "nondeterministic value ({what}) {how}; \
+                 values crossing threads must be pure functions of (config, seed)"
+            ),
+        );
+    }
+
     /// Runs a block in a fresh scope; returns the trailing expression's
     /// facts.
     fn run_block(&mut self, b: &Block) -> Facts {
@@ -260,9 +486,9 @@ impl Analysis<'_> {
                         self.bind(
                             name.clone(),
                             Facts {
-                                taint: init_facts.taint,
                                 unit: declared.or(init_facts.unit),
                                 hashy: init_facts.hashy || ty_hashy,
+                                ..init_facts
                             },
                         );
                     } else {
@@ -270,9 +496,8 @@ impl Analysis<'_> {
                             self.bind(
                                 name.clone(),
                                 Facts {
-                                    taint: init_facts.taint,
                                     unit: unit_from_name(name),
-                                    hashy: init_facts.hashy,
+                                    ..init_facts
                                 },
                             );
                         }
@@ -288,7 +513,7 @@ impl Analysis<'_> {
 
     fn eval(&mut self, e: &Expr) -> Facts {
         match &e.kind {
-            ExprKind::Path(segs) => self.eval_path(segs),
+            ExprKind::Path(segs) => self.eval_path(e, segs),
             ExprKind::Lit(_) => Facts::default(),
             ExprKind::Call { callee, args } => self.eval_call(e, callee, args),
             ExprKind::MethodCall { recv, method, args } => self.eval_method(e, recv, method, args),
@@ -303,6 +528,9 @@ impl Analysis<'_> {
                     taint: r.taint,
                     unit: unit_from_name(name),
                     hashy: self.symbols.hash_fields.contains(name),
+                    params: r.params,
+                    completion: r.completion,
+                    channel: false,
                 }
             }
             ExprKind::Index { recv, index } => {
@@ -310,8 +538,9 @@ impl Analysis<'_> {
                 let i = self.eval(index);
                 Facts {
                     taint: r.taint.or(i.taint),
-                    unit: None,
-                    hashy: false,
+                    params: r.params | i.params,
+                    completion: r.completion,
+                    ..Facts::default()
                 }
             }
             ExprKind::Unary { expr } | ExprKind::Try { expr } => self.eval(expr),
@@ -351,7 +580,9 @@ impl Analysis<'_> {
                     } else {
                         None
                     },
-                    hashy: false,
+                    params: l.params | r.params,
+                    completion: l.completion || r.completion,
+                    ..Facts::default()
                 }
             }
             ExprKind::Assign { lhs, rhs, .. } => {
@@ -372,9 +603,8 @@ impl Analysis<'_> {
                     self.bind(
                         key,
                         Facts {
-                            taint: r.taint,
                             unit: declared.or(r.unit),
-                            hashy: r.hashy,
+                            ..r
                         },
                     );
                 } else {
@@ -384,6 +614,8 @@ impl Analysis<'_> {
             }
             ExprKind::StructLit { fields, .. } => {
                 let mut taint = None;
+                let mut params = 0u32;
+                let mut completion = false;
                 for (name, value, _line) in fields {
                     let f = match value {
                         Some(v) => {
@@ -397,22 +629,34 @@ impl Analysis<'_> {
                         None => self.lookup(name).unwrap_or_default(),
                     };
                     taint = taint.or(f.taint);
+                    params |= f.params;
+                    completion |= f.completion;
                 }
                 Facts {
                     taint,
-                    unit: None,
-                    hashy: false,
+                    params,
+                    completion,
+                    ..Facts::default()
                 }
             }
             ExprKind::Tuple(es) | ExprKind::Array(es) | ExprKind::MacroCall { args: es, .. } => {
                 let mut taint = None;
+                let mut params = 0u32;
+                let mut completion = false;
+                let mut channel = false;
                 for x in es {
-                    taint = taint.or(self.eval(x).taint);
+                    let f = self.eval(x);
+                    taint = taint.or(f.taint);
+                    params |= f.params;
+                    completion |= f.completion;
+                    channel |= f.channel;
                 }
                 Facts {
                     taint,
-                    unit: None,
-                    hashy: false,
+                    params,
+                    completion,
+                    channel,
+                    ..Facts::default()
                 }
             }
             ExprKind::Block(b) => self.run_block(b),
@@ -428,9 +672,8 @@ impl Analysis<'_> {
                     self.bind(
                         n.clone(),
                         Facts {
-                            taint: f.taint,
                             unit: unit_from_name(n).or(f.unit),
-                            hashy: f.hashy,
+                            ..f
                         },
                     );
                 }
@@ -443,14 +686,7 @@ impl Analysis<'_> {
                     self.scopes.push(BTreeMap::new());
                     for n in arm.pat.bound_names() {
                         let unit = unit_from_name(&n).or(s.unit);
-                        self.bind(
-                            n,
-                            Facts {
-                                taint: s.taint,
-                                unit,
-                                hashy: s.hashy,
-                            },
-                        );
+                        self.bind(n, Facts { unit, ..s });
                     }
                     if let Some(g) = &arm.guard {
                         self.eval(g);
@@ -470,13 +706,18 @@ impl Analysis<'_> {
                         origin_line: iter.span.line,
                     })
                 });
+                // Draining a channel in a loop yields values in
+                // completion order.
+                let completion = it.completion || it.channel;
                 for n in names {
                     self.bind(
                         n.clone(),
                         Facts {
                             taint,
                             unit: unit_from_name(n),
-                            hashy: false,
+                            params: it.params,
+                            completion,
+                            ..Facts::default()
                         },
                     );
                 }
@@ -495,46 +736,33 @@ impl Analysis<'_> {
                 self.run_block(body);
                 Facts::default()
             }
-            ExprKind::Closure { params, body } => {
-                self.scopes.push(BTreeMap::new());
-                for p in params {
-                    let unit = unit_from_name(p);
-                    self.bind(
-                        p.clone(),
-                        Facts {
-                            taint: None,
-                            unit,
-                            hashy: false,
-                        },
-                    );
-                }
-                let f = self.eval(body);
-                self.scopes.pop();
-                // The closure value itself carries its body's taint so
-                // `sched.push(move || tainted)` still reports at the sink.
-                Facts {
-                    taint: f.taint,
-                    unit: None,
-                    hashy: false,
-                }
-            }
+            ExprKind::Closure { params, body } => self.eval_closure(params, body, false),
             ExprKind::Range { lo, hi } => {
                 let mut taint = None;
+                let mut params = 0u32;
                 if let Some(e) = lo {
-                    taint = taint.or(self.eval(e).taint);
+                    let f = self.eval(e);
+                    taint = taint.or(f.taint);
+                    params |= f.params;
                 }
                 if let Some(e) = hi {
-                    taint = taint.or(self.eval(e).taint);
+                    let f = self.eval(e);
+                    taint = taint.or(f.taint);
+                    params |= f.params;
                 }
                 Facts {
                     taint,
-                    unit: None,
-                    hashy: false,
+                    params,
+                    ..Facts::default()
                 }
             }
             ExprKind::Jump(v) => {
                 if let Some(e) = v {
-                    self.eval(e);
+                    let f = self.eval(e);
+                    // `return`/`break`-with-value contributes to what
+                    // the function can hand back (over-approximating
+                    // `break` inside closures is safe: bits only grow).
+                    self.record_return(f);
                 }
                 Facts::default()
             }
@@ -542,9 +770,41 @@ impl Analysis<'_> {
         }
     }
 
-    fn eval_path(&mut self, segs: &[String]) -> Facts {
+    fn eval_closure(&mut self, params: &[String], body: &Expr, cross: bool) -> Facts {
+        if cross {
+            self.next_boundary += 1;
+            self.boundaries
+                .push((self.scopes.len(), self.next_boundary));
+        }
+        self.scopes.push(BTreeMap::new());
+        for p in params {
+            let unit = unit_from_name(p);
+            self.bind(
+                p.clone(),
+                Facts {
+                    unit,
+                    ..Facts::default()
+                },
+            );
+        }
+        let f = self.eval(body);
+        self.scopes.pop();
+        if cross {
+            self.boundaries.pop();
+        }
+        // The closure value itself carries its body's taint so
+        // `sched.push(move || tainted)` still reports at the sink.
+        Facts {
+            taint: f.taint,
+            params: f.params,
+            ..Facts::default()
+        }
+    }
+
+    fn eval_path(&mut self, e: &Expr, segs: &[String]) -> Facts {
         if segs.len() == 1 {
-            if let Some(f) = self.lookup(&segs[0]) {
+            if let Some((depth, f)) = self.lookup_depth(&segs[0]) {
+                self.check_capture(e, &segs[0], depth, f);
                 return f;
             }
         }
@@ -557,21 +817,111 @@ impl Analysis<'_> {
             .copied()
             .or_else(|| unit_from_name(last));
         Facts {
-            taint: None,
             unit,
-            hashy: false,
+            ..Facts::default()
         }
     }
 
+    /// Reports a nondeterministic binding resolved from outside the
+    /// innermost thread-crossing closure (i.e. captured across it).
+    fn check_capture(&mut self, e: &Expr, name: &str, depth: usize, f: Facts) {
+        if f.taint.is_none() && !f.hashy {
+            return;
+        }
+        let Some(&(_, id)) = self.boundaries.iter().rev().find(|(bd, _)| depth < *bd) else {
+            return;
+        };
+        if !self.reported_captures.insert((id, name.to_owned())) {
+            return;
+        }
+        self.cross_thread(
+            e,
+            f,
+            &format!("is captured (as `{name}`) by a closure that crosses a thread boundary"),
+        );
+    }
+
+    /// Evaluates call/method arguments, opening a capture boundary
+    /// around closure literals handed to thread-crossing callees.
+    fn eval_args(&mut self, args: &[Expr], crosses: bool) -> Vec<Facts> {
+        args.iter()
+            .map(|a| match &a.kind {
+                ExprKind::Closure { params, body } if crosses => {
+                    self.eval_closure(params, body, true)
+                }
+                _ => {
+                    let f = self.eval(a);
+                    if crosses && (f.taint.is_some() || f.hashy) {
+                        // Non-closure argument to spawn/scope/par_runs:
+                        // the value itself travels to other threads.
+                        self.cross_thread(a, f, "is passed to a thread-crossing call");
+                    }
+                    f
+                }
+            })
+            .collect()
+    }
+
+    /// Applies a callee's [`FnSummary`] at a call site: arguments whose
+    /// summary bit reaches a sink are sinks *here*, and arguments whose
+    /// bit reaches the return value flow into the result facts.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_summary(
+        &mut self,
+        e: &Expr,
+        s: FnSummary,
+        recv: Option<(&Expr, Facts)>,
+        args: &[Expr],
+        arg_facts: &[Facts],
+        offset: usize,
+        name: &str,
+    ) -> Facts {
+        let mut res = Facts {
+            taint: s.returns_taint.map(|kind| Taint {
+                kind,
+                origin_line: e.span.line,
+            }),
+            hashy: s.returns_hashy || self.symbols.hash_fns.contains(name),
+            unit: unit_from_name(name),
+            ..Facts::default()
+        };
+        let mut slots: Vec<(usize, &Expr, Facts)> = Vec::new();
+        if let Some((recv_e, recv_f)) = recv {
+            slots.push((0, recv_e, recv_f));
+        }
+        for (i, (arg, f)) in args.iter().zip(arg_facts).enumerate() {
+            slots.push((i + offset, arg, *f));
+        }
+        for (idx, arg, f) in slots {
+            let bit = 1u32 << idx.min(31);
+            if s.param_to_sink & bit != 0 {
+                self.sink_arg(arg, f, &format!("`{name}` (whose body schedules it)"));
+            }
+            if s.param_to_return & bit != 0 {
+                res.taint = res.taint.or(f.taint);
+                res.hashy |= f.hashy;
+                res.params |= f.params;
+                res.completion |= f.completion;
+            }
+        }
+        res
+    }
+
     fn eval_call(&mut self, e: &Expr, callee: &Expr, args: &[Expr]) -> Facts {
-        let arg_facts: Vec<Facts> = args.iter().map(|a| self.eval(a)).collect();
+        let callee_name = match &callee.kind {
+            ExprKind::Path(segs) => segs.last().map(String::as_str).unwrap_or(""),
+            _ => "",
+        };
+        let crosses = CROSS_THREAD_FNS.contains(&callee_name);
+        let arg_facts = self.eval_args(args, crosses);
         let arg_taint = arg_facts.iter().find_map(|f| f.taint);
+        let arg_params = arg_facts.iter().fold(0u32, |m, f| m | f.params);
         let ExprKind::Path(segs) = &callee.kind else {
             self.eval(callee);
             return Facts {
                 taint: arg_taint,
-                unit: None,
-                hashy: false,
+                params: arg_params,
+                ..Facts::default()
             };
         };
         let last = segs.last().map(String::as_str).unwrap_or("");
@@ -589,6 +939,14 @@ impl Analysis<'_> {
         {
             return Facts {
                 hashy: true,
+                ..Facts::default()
+            };
+        }
+
+        // Channel construction: both endpoints of the returned pair.
+        if last == "channel" || last == "sync_channel" {
+            return Facts {
+                channel: true,
                 ..Facts::default()
             };
         }
@@ -613,14 +971,12 @@ impl Analysis<'_> {
                     if let Some(got) = f.unit {
                         self.unit_mismatch(arg, got, want, &format!("`{ty}::{last}`"));
                     }
-                    if let Some(t) = f.taint {
-                        self.taint_into_sink(arg, t, &format!("`{ty}` construction"));
-                    }
+                    self.sink_arg(arg, *f, &format!("`{ty}` construction"));
                 }
                 return Facts {
                     taint: arg_taint,
-                    unit: None,
-                    hashy: false,
+                    params: arg_params,
+                    ..Facts::default()
                 };
             }
         }
@@ -628,9 +984,7 @@ impl Analysis<'_> {
         // Free-function sinks (`schedule(at, ev)` helpers).
         if SINK_METHODS.contains(&last) {
             for (arg, f) in args.iter().zip(&arg_facts) {
-                if let Some(t) = f.taint {
-                    self.taint_into_sink(arg, t, &format!("`{last}`"));
-                }
+                self.sink_arg(arg, *f, &format!("`{last}`"));
             }
         }
 
@@ -646,26 +1000,77 @@ impl Analysis<'_> {
             }
         }
 
+        // Interprocedural: consume the callee's summary. Direct sink
+        // names were already handled above (skipping them avoids a
+        // duplicate report when a workspace fn shares a sink's name).
+        if !SINK_METHODS.contains(&last) {
+            if let Some(s) = self.summaries.get(last) {
+                let offset = usize::from(s.has_self && s.arity == args.len() + 1);
+                return self.apply_summary(e, s, None, args, &arg_facts, offset, last);
+            }
+        }
+
         Facts {
             taint: arg_taint,
             unit: unit_from_name(last),
             hashy: self.symbols.hash_fns.contains(last),
+            params: arg_params,
+            ..Facts::default()
         }
     }
 
     fn eval_method(&mut self, e: &Expr, recv: &Expr, method: &str, args: &[Expr]) -> Facts {
         let r = self.eval(recv);
-        let arg_facts: Vec<Facts> = args.iter().map(|a| self.eval(a)).collect();
+        let crosses = CROSS_THREAD_FNS.contains(&method);
+        let arg_facts = self.eval_args(args, crosses);
         let arg_taint = arg_facts.iter().find_map(|f| f.taint);
+        let arg_params = arg_facts.iter().fold(0u32, |m, f| m | f.params);
+
+        // Channel sends are a thread crossing for the payload.
+        if method == "send" {
+            for (arg, f) in args.iter().zip(&arg_facts) {
+                self.cross_thread(arg, *f, "is sent through a channel");
+            }
+        }
+
+        // Completion-order aggregation: appending a channel-received
+        // value means the aggregate's order depends on thread timing.
+        if AGG_METHODS.contains(&method) {
+            for (arg, f) in args.iter().zip(&arg_facts) {
+                if f.completion {
+                    self.report(
+                        FlowRule::OrderAgg,
+                        arg.span.line,
+                        arg.span.col,
+                        format!(
+                            "fan-out result received in completion order is aggregated with \
+                             `.{method}`; combine results by index (one slot per input) so the \
+                             join is schedule-independent"
+                        ),
+                    );
+                }
+            }
+        }
 
         // Sinks: scheduling/enqueueing a tainted value, or a tainted
         // timestamp, is the finding this rule exists for.
         if SINK_METHODS.contains(&method) {
             for (arg, f) in args.iter().zip(&arg_facts) {
-                if let Some(t) = f.taint {
-                    self.taint_into_sink(arg, t, &format!("`{method}`"));
-                }
+                self.sink_arg(arg, *f, &format!("`{method}`"));
             }
+        }
+
+        // Channel receives yield completion-ordered values (so does
+        // iterating the receiver).
+        if RECV_METHODS.contains(&method)
+            || (r.channel && matches!(method, "iter" | "try_iter" | "into_iter"))
+        {
+            return Facts {
+                taint: r.taint,
+                params: r.params,
+                completion: true,
+                ..Facts::default()
+            };
         }
 
         // Unit-typed accessors on SimTime/SimDuration.
@@ -679,7 +1084,9 @@ impl Analysis<'_> {
             return Facts {
                 taint: r.taint.or(arg_taint),
                 unit: Some(u),
-                hashy: false,
+                params: r.params | arg_params,
+                completion: r.completion,
+                ..Facts::default()
             };
         }
 
@@ -690,8 +1097,9 @@ impl Analysis<'_> {
                     kind: TaintKind::HashIter,
                     origin_line: e.span.line,
                 }),
-                unit: None,
                 hashy: true,
+                params: r.params,
+                ..Facts::default()
             };
         }
 
@@ -710,7 +1118,20 @@ impl Analysis<'_> {
                 taint: r.taint.or(arg_taint),
                 unit: r.unit.or_else(|| arg_facts.first().and_then(|f| f.unit)),
                 hashy: r.hashy && method == "clone",
+                params: r.params | arg_params,
+                completion: r.completion,
+                channel: r.channel && method == "clone",
             };
+        }
+
+        // Interprocedural: a workspace method with a known summary.
+        // Sink/aggregation names were already handled directly above.
+        if !SINK_METHODS.contains(&method) && !AGG_METHODS.contains(&method) {
+            if let Some(s) = self.summaries.get(method) {
+                if s.has_self {
+                    return self.apply_summary(e, s, Some((recv, r)), args, &arg_facts, 1, method);
+                }
+            }
         }
 
         // Generic propagation: taint and hashiness survive chaining
@@ -721,6 +1142,9 @@ impl Analysis<'_> {
             taint: r.taint.or(arg_taint),
             unit: None,
             hashy: r.hashy || self.symbols.hash_fns.contains(method),
+            params: r.params | arg_params,
+            completion: r.completion,
+            channel: r.channel,
         }
     }
 }
@@ -773,15 +1197,32 @@ mod tests {
         let (anns, bad) = parse_unit_annotations(&toks);
         assert!(bad.is_empty(), "{bad:?}");
         let symbols = Symbols::build(&[(&file, &anns)]);
+        let summaries = crate::callgraph::build(&[(&file, &anns)], &symbols);
         let mut out = Vec::new();
-        walk_fns(&file, &mut |_, f| analyze_fn(f, &symbols, &anns, &mut out));
+        walk_fns(&file, &mut |_, f| {
+            analyze_fn(
+                f,
+                &symbols,
+                &anns,
+                &summaries,
+                FlowFamilies::all(),
+                &mut out,
+            );
+        });
         // Also walk functions inside cfg(test) mods for test purposes.
         for item in &file.items {
             if let ItemKind::Mod(m) = &item.kind {
                 if m.cfg_test {
                     for it in &m.items {
                         if let ItemKind::Fn(f) = &it.kind {
-                            analyze_fn(f, &symbols, &anns, &mut out);
+                            analyze_fn(
+                                f,
+                                &symbols,
+                                &anns,
+                                &summaries,
+                                FlowFamilies::all(),
+                                &mut out,
+                            );
                         }
                     }
                 }
@@ -790,12 +1231,16 @@ mod tests {
         out
     }
 
+    fn count(f: &[FlowFinding], rule: FlowRule) -> usize {
+        f.iter().filter(|x| x.rule == rule).count()
+    }
+
     fn taints(f: &[FlowFinding]) -> usize {
-        f.iter().filter(|x| x.rule == FlowRule::Taint).count()
+        count(f, FlowRule::Taint)
     }
 
     fn units(f: &[FlowFinding]) -> usize {
-        f.iter().filter(|x| x.rule == FlowRule::Unit).count()
+        count(f, FlowRule::Unit)
     }
 
     #[test]
@@ -948,5 +1393,171 @@ mod tests {
                SimTime::from_micros(a_us.saturating_add(b_us))\n\
              }");
         assert_eq!(units(&f2), 0, "{f2:?}");
+    }
+
+    // ── interprocedural ──────────────────────────────────────────────
+
+    #[test]
+    fn two_hop_helper_launders_taint_to_exactly_one_finding() {
+        let f = run("pub fn hop2(v: u64) -> u64 { v }\n\
+             pub fn hop1(v: u64) -> u64 { hop2(v) }\n\
+             pub fn bad(sched: &mut Sched) {\n\
+               let stamp = Instant::now();\n\
+               sched.schedule(hop1(stamp), 0);\n\
+             }");
+        assert_eq!(taints(&f), 1, "{f:?}");
+    }
+
+    #[test]
+    fn helper_that_drops_its_argument_is_clean() {
+        let f = run("pub fn hop2(_v: u64) -> u64 { 0 }\n\
+             pub fn hop1(v: u64) -> u64 { hop2(v) }\n\
+             pub fn good(sched: &mut Sched) {\n\
+               let stamp = Instant::now();\n\
+               sched.schedule(hop1(stamp), 0);\n\
+             }");
+        assert_eq!(taints(&f), 0, "{f:?}");
+    }
+
+    #[test]
+    fn helper_whose_body_schedules_makes_the_call_site_a_sink() {
+        let f = run(
+            "pub fn stamp_all(sched: &mut Sched, t: u64) { sched.schedule(t, 0); }\n\
+             pub fn bad(sched: &mut Sched) {\n\
+               stamp_all(sched, Instant::now());\n\
+             }",
+        );
+        assert_eq!(taints(&f), 1, "{f:?}");
+    }
+
+    #[test]
+    fn tainted_fn_return_value_reaches_a_sink() {
+        let f = run("pub fn stamp() -> u64 { Instant::now() }\n\
+             pub fn bad(q: &mut Q) { q.push(stamp()); }");
+        assert_eq!(taints(&f), 1, "{f:?}");
+    }
+
+    #[test]
+    fn recursion_and_mutual_calls_terminate_cleanly() {
+        let f = run(
+            "pub fn even(n: u64) -> bool { if n == 0 { true } else { odd(n - 1) } }\n\
+             pub fn odd(n: u64) -> bool { if n == 0 { false } else { even(n - 1) } }\n\
+             pub fn rec(v: u64) -> u64 { if v > 1 { rec(v) } else { v } }",
+        );
+        assert_eq!(f.len(), 0, "{f:?}");
+    }
+
+    // ── shard safety ─────────────────────────────────────────────────
+
+    #[test]
+    fn tainted_capture_into_scoped_spawn_is_flagged_once() {
+        let f = run("pub fn bad(work: u64) {\n\
+               let t0 = Instant::now();\n\
+               std::thread::scope(|s| {\n\
+                 s.spawn(|| consume(t0, work));\n\
+                 s.spawn(|| consume(t0, work));\n\
+               });\n\
+             }");
+        // One finding per (boundary, name): two spawns, one capture each.
+        assert_eq!(count(&f, FlowRule::CrossThread), 2, "{f:?}");
+    }
+
+    #[test]
+    fn hashy_capture_into_par_runs_is_flagged() {
+        let f = run("pub fn bad(items: Vec<u64>) {\n\
+               let m = HashMap::new();\n\
+               par_runs(items, |k| m.len() + k);\n\
+             }");
+        assert_eq!(count(&f, FlowRule::CrossThread), 1, "{f:?}");
+    }
+
+    #[test]
+    fn untainted_captures_are_clean() {
+        let f = run("pub fn good(cfg: u64, items: Vec<u64>) {\n\
+               par_runs(items, |k| k + cfg);\n\
+             }");
+        assert_eq!(count(&f, FlowRule::CrossThread), 0, "{f:?}");
+    }
+
+    #[test]
+    fn taint_created_inside_the_closure_is_not_a_capture() {
+        let f = run("pub fn good(items: Vec<u64>) {\n\
+               par_runs(items, |k| {\n\
+                 let start = Instant::now();\n\
+                 k + start\n\
+               });\n\
+             }");
+        assert_eq!(count(&f, FlowRule::CrossThread), 0, "{f:?}");
+    }
+
+    #[test]
+    fn sending_a_tainted_value_through_a_channel_is_flagged() {
+        let f = run("pub fn bad(tx: Sender<u64>) {\n\
+               let t = Instant::now();\n\
+               tx.send(t);\n\
+             }");
+        assert_eq!(count(&f, FlowRule::CrossThread), 1, "{f:?}");
+    }
+
+    #[test]
+    fn completion_order_aggregation_is_flagged() {
+        let f = run("pub fn bad(n: u64) -> Vec<u64> {\n\
+               let (tx, rx) = channel();\n\
+               let mut out = Vec::new();\n\
+               for _ in 0..n {\n\
+                 let v = rx.recv();\n\
+                 out.push(v);\n\
+               }\n\
+               out\n\
+             }");
+        assert_eq!(count(&f, FlowRule::OrderAgg), 1, "{f:?}");
+    }
+
+    #[test]
+    fn indexed_join_is_clean() {
+        let f = run("pub fn good(n: u64, out: &mut Vec<u64>) {\n\
+               let (tx, rx) = channel();\n\
+               for _ in 0..n {\n\
+                 let (idx, v) = rx.recv();\n\
+                 out[idx] = v;\n\
+               }\n\
+             }");
+        assert_eq!(count(&f, FlowRule::OrderAgg), 0, "{f:?}");
+    }
+
+    #[test]
+    fn draining_a_channel_in_a_for_loop_carries_completion_order() {
+        let f = run("pub fn bad(acc: &mut Vec<u64>) {\n\
+               let (tx, rx) = channel();\n\
+               for v in rx.iter() {\n\
+                 acc.push(v);\n\
+               }\n\
+             }");
+        assert_eq!(count(&f, FlowRule::OrderAgg), 1, "{f:?}");
+    }
+
+    #[test]
+    fn shard_family_gating_suppresses_taint_reports() {
+        let toks = lex("pub fn bench(q: &mut Q) {\n\
+               let t = Instant::now();\n\
+               q.push(t);\n\
+             }");
+        let file = parse_file(&toks);
+        assert_eq!(file.recovered_skips, 0);
+        let (anns, _) = parse_unit_annotations(&toks);
+        let symbols = Symbols::build(&[(&file, &anns)]);
+        let summaries = crate::callgraph::build(&[(&file, &anns)], &symbols);
+        let mut out = Vec::new();
+        walk_fns(&file, &mut |_, f| {
+            analyze_fn(
+                f,
+                &symbols,
+                &anns,
+                &summaries,
+                FlowFamilies::shard_only(),
+                &mut out,
+            );
+        });
+        assert_eq!(out.len(), 0, "{out:?}");
     }
 }

@@ -21,15 +21,22 @@
 //! | `nondet-taint` | nondeterministic values never flow into event scheduling |
 //! | `time-unit` | µs/ms/s units agree across literals, consts, params, and `SimTime` |
 //! | `match-exhaustive` | sim-enum matches name every variant, no `_` catch-alls |
+//! | `shard-cross-thread` | tainted values never cross thread boundaries (closures, channels) |
+//! | `shard-shared-state` | no `static mut`, interior-mutable statics, or `Relaxed` atomics |
+//! | `shard-order-agg` | fan-out results are joined by index, not completion order |
 //!
-//! The first nine are token-stream heuristics; the last three run on a
-//! real (if lightweight) syntax tree: [`parser`] builds an [`ast`] from
-//! the lexer's tokens, [`symbols`] collects cross-file facts (enum
-//! variants, hash-returning functions, declared time units), and
-//! [`dataflow`] pushes taint and unit facts through each function body.
-//! Everything is hand-rolled (lexer included) because the build
-//! environment has no registry access: no `syn`, no `proc-macro2`, no
-//! `serde`.
+//! The first nine are token-stream heuristics; the rest run on a real
+//! (if lightweight) syntax tree: [`parser`] builds an [`ast`] from the
+//! lexer's tokens, [`symbols`] collects cross-file facts (enum
+//! variants, hash-returning functions, declared time units),
+//! [`callgraph`] condenses the cross-file call graph into per-function
+//! taint summaries (a fixpoint over strongly connected components, so
+//! recursion terminates), and [`dataflow`] pushes taint, unit, and
+//! thread-crossing facts through each function body, consulting the
+//! summaries at call sites so nondeterminism laundered through helper
+//! functions is still caught. Everything is hand-rolled (lexer
+//! included) because the build environment has no registry access: no
+//! `syn`, no `proc-macro2`, no `serde`.
 //!
 //! # Suppressions
 //!
@@ -62,12 +69,16 @@
 //!   [--json] [--fix]`.
 
 pub mod ast;
+pub mod baseline;
+pub mod callgraph;
 pub mod dataflow;
 pub mod fix;
+pub mod json;
 pub mod lexer;
 pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 pub mod symbols;
 pub mod workspace;
 
@@ -86,6 +97,87 @@ use workspace::{DiscoverError, FileRole, Workspace};
 /// Whether `rel_path` is a crate root (`src/lib.rs` or `src/main.rs`).
 fn is_crate_root(rel_path: &str) -> bool {
     rel_path.ends_with("src/lib.rs") || rel_path.ends_with("src/main.rs")
+}
+
+/// Runs `f` over `items` on up to 8 threads, preserving input order in
+/// the output. Each worker owns one contiguous chunk, so results land
+/// in pre-assigned slots and the caller sees exactly the sequential
+/// order — parallelism must never be observable in the report. Small
+/// inputs run inline.
+fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+        .min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every par_map slot is written by exactly one worker"))
+        .collect()
+}
+
+/// Folds `bytes` into an FNV-1a 64-bit state.
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Structural fingerprint for one finding: FNV-1a over the rule name,
+/// the workspace-relative path, and the non-comment token texts of the
+/// smallest enclosing item. Line numbers never enter the hash, so a
+/// baselined finding keeps its identity when unrelated code is added or
+/// removed above it; it changes identity exactly when the enclosing
+/// item's code changes — which is when a human should re-triage it.
+/// Findings outside any item (crate-header, malformed directives) hash
+/// only (rule, path).
+fn compute_fingerprint(
+    rule: &str,
+    rel_path: &str,
+    line: u32,
+    tokens: &[Token],
+    item_spans: &[ast::Span],
+) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    fnv1a(&mut h, rule.as_bytes());
+    fnv1a(&mut h, b"\0");
+    fnv1a(&mut h, rel_path.as_bytes());
+    fnv1a(&mut h, b"\0");
+    let enclosing = item_spans
+        .iter()
+        .filter(|sp| sp.line <= line && line <= sp.end_line)
+        .min_by_key(|sp| (sp.end_line - sp.line, sp.line));
+    if let Some(sp) = enclosing {
+        for t in tokens {
+            if !t.is_comment() && t.line >= sp.line && t.line <= sp.end_line {
+                fnv1a(&mut h, t.text.as_bytes());
+                fnv1a(&mut h, b"\x01");
+            }
+        }
+    }
+    h
 }
 
 /// Suppression scoping: the inclusive line range a suppression on
@@ -132,6 +224,7 @@ fn parse_comment_directives(
             line,
             col,
             message: msg,
+            fingerprint: 0,
         });
     }
     for s in &suppressions {
@@ -143,6 +236,7 @@ fn parse_comment_directives(
                     line: s.line,
                     col: 1,
                     message: format!("suppression names unknown rule `{r}`"),
+                    fingerprint: 0,
                 });
             }
         }
@@ -155,6 +249,7 @@ fn parse_comment_directives(
             line,
             col,
             message: msg,
+            fingerprint: 0,
         });
     }
     let spans = ast::collect_scope_spans(file);
@@ -251,13 +346,21 @@ pub fn lint_workspace_full(root: &Path) -> Result<(Report, Vec<FileFix>), Discov
     let mut parsed: Vec<(ast::File, UnitAnnotations)> = Vec::new();
     let mut raw: Vec<Finding> = Vec::new();
 
-    // Pass 1: read, lex, parse; collect comment directives and the
-    // cross-file symbol inputs.
-    for f in &ws.files {
+    // Pass 1: read, lex, parse every file, fanned out across threads —
+    // this is where the scan spends its time. Everything that writes
+    // shared state (directive findings, file bookkeeping) stays in the
+    // sequential loop below, in discovery order, so the report is
+    // byte-identical to a single-threaded scan.
+    type LexedFile = Result<(Vec<Token>, ast::File), DiscoverError>;
+    let lexed: Vec<LexedFile> = par_map(&ws.files, |f| {
         let src = fs::read_to_string(&f.abs_path)
             .map_err(|e| DiscoverError(format!("reading {}: {e}", f.rel_path)))?;
         let tokens = lex(&src);
         let file = parser::parse_file(&tokens);
+        Ok((tokens, file))
+    });
+    for (f, lexed) in ws.files.iter().zip(lexed) {
+        let (tokens, file) = lexed?;
         let (suppressions, scopes, anns) =
             parse_comment_directives(&tokens, &file, &f.rel_path, &mut raw);
         let used = suppressions
@@ -289,8 +392,25 @@ pub fn lint_workspace_full(root: &Path) -> Result<(Report, Vec<FileFix>), Discov
         .collect();
     let symbols = Symbols::build(&symbol_inputs);
 
-    // Pass 2: token rules + AST/dataflow rules per file.
-    for (f, (fd, (file, anns))) in ws.files.iter().zip(files.iter().zip(&parsed)) {
+    // Function summaries span exactly the files the dataflow rules will
+    // visit (sim-crate libraries plus the bench library), so a helper
+    // defined in one crate is understood at call sites in another.
+    let summary_inputs: Vec<(&ast::File, &UnitAnnotations)> = ws
+        .files
+        .iter()
+        .zip(&parsed)
+        .filter(|(f, _)| rules::flow_families_for(&f.crate_name, f.role).is_some())
+        .map(|(_, (file, anns))| (file, anns))
+        .collect();
+    let summaries = callgraph::build(&summary_inputs, &symbols);
+
+    // Pass 2: token rules + AST/dataflow rules per file, fanned out the
+    // same way; per-file finding vectors are re-joined in file order.
+    let indices: Vec<usize> = (0..ws.files.len()).collect();
+    let per_file: Vec<Vec<Finding>> = par_map(&indices, |&i| {
+        let f = &ws.files[i];
+        let fd = &files[i];
+        let (file, anns) = &parsed[i];
         let input = FileInput {
             crate_name: &f.crate_name,
             role: f.role,
@@ -298,8 +418,12 @@ pub fn lint_workspace_full(root: &Path) -> Result<(Report, Vec<FileFix>), Discov
             tokens: &fd.tokens,
             is_crate_root: fd.is_crate_root,
         };
-        raw.extend(check_file(&input));
-        raw.extend(check_ast(&input, file, &symbols, anns));
+        let mut out = check_file(&input);
+        out.extend(check_ast(&input, file, &symbols, anns, &summaries));
+        out
+    });
+    for findings in per_file {
+        raw.extend(findings);
     }
 
     // Workspace-level rule: span-attribution.
@@ -341,6 +465,7 @@ pub fn lint_workspace_full(root: &Path) -> Result<(Report, Vec<FileFix>), Discov
                     line: s.line,
                     col: 1,
                     message,
+                    fingerprint: 0,
                 });
                 stale_plans.push(StaleAllow { line: s.line, keep });
             }
@@ -357,6 +482,26 @@ pub fn lint_workspace_full(root: &Path) -> Result<(Report, Vec<FileFix>), Discov
                 missing_header,
             });
         }
+    }
+
+    // Fingerprints: anchor every finding (suppressed ones too, so a
+    // future un-suppression matches the baseline) to the token stream
+    // of its enclosing item.
+    let item_spans: Vec<Vec<ast::Span>> = parsed
+        .iter()
+        .map(|(file, _)| ast::collect_item_spans(file))
+        .collect();
+    let stamp = |f: &mut Finding| {
+        if let Some(i) = files.iter().position(|fd| fd.rel_path == f.path) {
+            f.fingerprint =
+                compute_fingerprint(f.rule, &f.path, f.line, &files[i].tokens, &item_spans[i]);
+        }
+    };
+    for f in &mut report.findings {
+        stamp(f);
+    }
+    for (f, _) in &mut report.suppressed {
+        stamp(f);
     }
 
     report.sort();
@@ -388,8 +533,9 @@ pub fn lint_source(
         tokens: &tokens,
         is_crate_root: crate_root,
     };
+    let summaries = callgraph::build(&[(&file, &anns)], &symbols);
     raw.extend(check_file(&input));
-    raw.extend(check_ast(&input, &file, &symbols, &anns));
+    raw.extend(check_ast(&input, &file, &symbols, &anns, &summaries));
     if !rules::span_variants(&tokens).is_empty() {
         raw.extend(span_attribution(
             rel_path,
@@ -415,8 +561,13 @@ pub fn lint_source(
                 line: s.line,
                 col: 1,
                 message,
+                fingerprint: 0,
             });
         }
+    }
+    let spans = ast::collect_item_spans(&file);
+    for f in &mut out {
+        f.fingerprint = compute_fingerprint(f.rule, rel_path, f.line, &tokens, &spans);
     }
     out
 }

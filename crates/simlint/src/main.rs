@@ -2,9 +2,11 @@
 //! The `mlb-simlint` command-line front end.
 //!
 //! ```text
-//! cargo run -p mlb-simlint -- --workspace            # human diagnostics
-//! cargo run -p mlb-simlint -- --workspace --json     # machine-readable (CI)
-//! cargo run -p mlb-simlint -- --workspace --fix      # apply mechanical fixes
+//! cargo run -p mlb-simlint -- --workspace                       # human diagnostics
+//! cargo run -p mlb-simlint -- --workspace --json                # machine-readable (CI)
+//! cargo run -p mlb-simlint -- --workspace --sarif out.sarif     # SARIF 2.1.0 artifact
+//! cargo run -p mlb-simlint -- --workspace --baseline known.json # fail on NEW findings only
+//! cargo run -p mlb-simlint -- --workspace --fix                 # apply mechanical fixes
 //! cargo run -p mlb-simlint -- --list-rules
 //! ```
 //!
@@ -13,6 +15,11 @@
 //! suppressions and missing `#![forbid(unsafe_code)]` headers are
 //! repaired first and the report (and exit status) reflect the
 //! post-fix state, so findings that need a human still fail the run.
+//! With `--baseline`, findings whose structural fingerprint is already
+//! recorded in the baseline file don't affect the exit status (they are
+//! still printed, marked `[baselined]`): CI ratchets on new findings
+//! without forcing old debt to be paid first. `--update-baseline`
+//! rewrites the file from the current scan.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -21,6 +28,7 @@ use mlb_simlint::rules::RULES;
 
 fn usage() -> &'static str {
     "usage: mlb-simlint --workspace [--root <dir>] [--json] [--fix]\n\
+     \x20                [--sarif <file>] [--baseline <file>] [--update-baseline <file>]\n\
      \x20      mlb-simlint --list-rules\n\
      \n\
      Scans the cargo workspace for violations of the simulation\n\
@@ -56,6 +64,9 @@ fn main() -> ExitCode {
     let mut list_rules = false;
     let mut apply_fix = false;
     let mut root: Option<PathBuf> = None;
+    let mut sarif_out: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -67,6 +78,27 @@ fn main() -> ExitCode {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("--root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--sarif" => match args.next() {
+                Some(p) => sarif_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--sarif needs an output file\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--baseline needs a baseline file\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--update-baseline" => match args.next() {
+                Some(p) => update_baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--update-baseline needs an output file\n{}", usage());
                     return ExitCode::from(2);
                 }
             },
@@ -123,14 +155,73 @@ fn main() -> ExitCode {
             }
         }
     }
+    // A missing or malformed baseline is a usage error (exit 2), never
+    // a silent "everything is new": load it before spending the scan.
+    let baseline = match &baseline_path {
+        None => None,
+        Some(p) => {
+            let text = match std::fs::read_to_string(p) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("reading baseline {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match mlb_simlint::baseline::Baseline::from_json(&text) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("baseline {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
     match mlb_simlint::lint_workspace(Path::new(&root)) {
         Ok(report) => {
+            if let Some(p) = &sarif_out {
+                if let Err(e) = std::fs::write(p, mlb_simlint::sarif::render_sarif(&report)) {
+                    eprintln!("writing SARIF to {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            }
+            if let Some(p) = &update_baseline {
+                if let Err(e) = std::fs::write(p, mlb_simlint::baseline::render(&report.findings)) {
+                    eprintln!("writing baseline to {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+                if !json {
+                    eprintln!(
+                        "baseline: recorded {} finding(s) to {}",
+                        report.findings.len(),
+                        p.display()
+                    );
+                }
+            }
+            let new_count = match &baseline {
+                None => report.findings.len(),
+                Some(b) => report.findings.iter().filter(|f| !b.contains(f)).count(),
+            };
             if json {
                 println!("{}", report.render_json());
+            } else if let Some(b) = &baseline {
+                for f in &report.findings {
+                    if b.contains(f) {
+                        println!("{f} [baselined]");
+                    } else {
+                        println!("{f}");
+                    }
+                }
+                println!(
+                    "simlint: {} file(s), {} finding(s) ({} baselined), {} suppressed",
+                    report.files_scanned.len(),
+                    report.findings.len(),
+                    report.findings.len() - new_count,
+                    report.suppressed.len()
+                );
             } else {
                 print!("{}", report.render_human());
             }
-            if report.is_clean() {
+            if new_count == 0 {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE

@@ -17,6 +17,12 @@ pub struct Finding {
     pub col: u32,
     /// Human-readable description of the violation.
     pub message: String,
+    /// Structural fingerprint of the enclosing item (FNV-1a over the
+    /// rule, the path, and the item's non-comment token stream) — the
+    /// identity `--baseline` matches on. Line numbers deliberately do
+    /// not participate, so findings survive unrelated edits above them.
+    /// Zero until [`crate::lint_workspace`] fills it in.
+    pub fingerprint: u64,
 }
 
 impl fmt::Display for Finding {
@@ -148,12 +154,14 @@ impl Report {
         out.push_str("  \"findings\": [\n");
         for (i, f) in self.findings.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}{}\n",
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}, \
+                 \"fingerprint\": \"{:016x}\"}}{}\n",
                 json_str(f.rule),
                 json_str(&f.path),
                 f.line,
                 f.col,
                 json_str(&f.message),
+                f.fingerprint,
                 if i + 1 < self.findings.len() { "," } else { "" }
             ));
         }
@@ -181,7 +189,7 @@ impl Report {
 }
 
 /// Escapes `s` as a JSON string literal.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -245,6 +253,7 @@ mod tests {
             line: 3,
             col: 9,
             message: "say \"no\"".into(),
+            fingerprint: 0xabcd,
         });
         r.files_scanned.push("crates/x/src/lib.rs".into());
         let j = r.render_json();

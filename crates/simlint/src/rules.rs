@@ -63,7 +63,7 @@ pub const SPAN_REF_PATHS: [&str; 1] = ["crates/ntier/src/trace.rs"];
 
 /// Every registered rule. The fixture meta-test enforces one triggering
 /// and one clean fixture per entry.
-pub const RULES: [RuleMeta; 12] = [
+pub const RULES: [RuleMeta; 15] = [
     RuleMeta {
         name: "no-wall-clock",
         summary: "Instant::now/SystemTime banned in sim-crate library code; sim time must come from the event queue",
@@ -112,6 +112,18 @@ pub const RULES: [RuleMeta; 12] = [
         name: "match-exhaustive",
         summary: "matches over SpanKind/FlagKind/QueueKind in sim-crate library code may not hide variants behind a catch-all arm",
     },
+    RuleMeta {
+        name: "shard-cross-thread",
+        summary: "tainted or hash-ordered values may not be captured by thread-crossing closures (thread::scope/spawn/par_runs) or sent through channels",
+    },
+    RuleMeta {
+        name: "shard-shared-state",
+        summary: "static mut, interior-mutable statics (RefCell/Cell/Mutex/RwLock/UnsafeCell), and Relaxed atomic orderings are cross-thread nondeterminism hazards in sim-crate library code",
+    },
+    RuleMeta {
+        name: "shard-order-agg",
+        summary: "channel-received fan-out results must be combined by index, not appended in completion order",
+    },
 ];
 
 /// Looks up a rule by name.
@@ -153,6 +165,7 @@ pub fn check_file(input: &FileInput<'_>) -> Vec<Finding> {
         no_wall_clock(input, &code, &mut findings);
         no_system_io(input, &code, &mut findings);
         no_hash_order(input, &code, &mut findings);
+        shard_shared_state(input, &code, &mut findings);
     }
     if !input.is_shim() {
         no_ambient_rng(input, &code, &mut findings);
@@ -176,6 +189,7 @@ fn finding(input: &FileInput<'_>, rule: &'static str, t: &Token, message: String
         line: t.line,
         col: t.col,
         message,
+        fingerprint: 0,
     }
 }
 
@@ -257,6 +271,74 @@ fn no_system_io(input: &FileInput<'_>, code: &[&Token], out: &mut Vec<Finding>) 
                      runs must be a function of (config, seed) alone — take inputs from \
                      SystemConfig and write artifacts from the bench/CLI layer"
                 ),
+            ));
+        }
+    }
+}
+
+/// Types providing interior mutability: a static of one of these is
+/// shared mutable state reachable from every future event-queue shard.
+const INTERIOR_MUTABLE: [&str; 5] = ["RefCell", "Cell", "Mutex", "RwLock", "UnsafeCell"];
+
+/// `shard-shared-state`: `static mut`, statics with interior-mutable
+/// types, and `Ordering::Relaxed` atomic accesses in sim-crate library
+/// code. All three are invisible cross-thread channels: once the event
+/// queue is sharded across cores, any of them lets one shard's timing
+/// leak into another shard's state, which breaks byte-reproducibility
+/// in exactly the way no single-threaded test can catch. Shard state
+/// must be threaded through explicit ownership instead.
+fn shard_shared_state(input: &FileInput<'_>, code: &[&Token], out: &mut Vec<Finding>) {
+    for (i, t) in code.iter().enumerate() {
+        // `'static` lifetimes lex as one Lifetime token, so an Ident
+        // `static` here is always the item keyword.
+        if t.is_ident("static") {
+            if matches!(code.get(i + 1), Some(n) if n.is_ident("mut")) {
+                out.push(finding(
+                    input,
+                    "shard-shared-state",
+                    t,
+                    "`static mut` is unsynchronized shared mutable state; once the kernel \
+                     shards across threads this races — thread the state through explicit \
+                     ownership (struct fields passed down the call tree)"
+                        .to_owned(),
+                ));
+                continue;
+            }
+            // Scan the declared type (up to the initializer or the end
+            // of the item) for interior-mutable wrappers.
+            for n in code.iter().skip(i + 1).take(40) {
+                if n.is_punct('=') || n.is_punct(';') || n.is_punct('{') {
+                    break;
+                }
+                if n.kind == TokenKind::Ident && INTERIOR_MUTABLE.contains(&n.text.as_str()) {
+                    out.push(finding(
+                        input,
+                        "shard-shared-state",
+                        n,
+                        format!(
+                            "static with interior mutability (`{}`) is cross-thread shared \
+                             state; shard determinism requires state owned by exactly one \
+                             shard and joined by index",
+                            n.text
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+        if t.is_ident("Ordering")
+            && matches!(code.get(i + 1), Some(n) if n.is_punct(':'))
+            && matches!(code.get(i + 2), Some(n) if n.is_punct(':'))
+            && matches!(code.get(i + 3), Some(n) if n.is_ident("Relaxed"))
+        {
+            out.push(finding(
+                input,
+                "shard-shared-state",
+                t,
+                "`Ordering::Relaxed` provides no cross-thread ordering; observed values \
+                 depend on the host memory model and timing — use at least Acquire/Release, \
+                 or better, keep shard state unshared"
+                    .to_owned(),
             ));
         }
     }
@@ -654,6 +736,7 @@ fn crate_header(input: &FileInput<'_>, code: &[&Token], out: &mut Vec<Finding>) 
             line: 1,
             col: 1,
             message: "crate root lacks #![forbid(unsafe_code)]".to_owned(),
+            fingerprint: 0,
         });
     }
 }
@@ -726,6 +809,7 @@ pub fn span_attribution(
             message: "could not locate `enum SpanKind`; the span-attribution rule is wired to a \
                       declaration that no longer exists"
                 .to_owned(),
+            fingerprint: 0,
         }];
     }
     let mut referenced: Vec<String> = Vec::new();
@@ -758,6 +842,7 @@ pub fn span_attribution(
                  would silently fall out of VLRT attribution",
                 sources.join(", ")
             ),
+            fingerprint: 0,
         })
         .collect()
 }
@@ -769,62 +854,119 @@ pub fn span_attribution(
 /// that actually classifies detector flags is `FlagKind`.)
 pub const MATCH_ENUMS: [&str; 3] = ["SpanKind", "FlagKind", "QueueKind"];
 
+/// Which dataflow rule families apply to a file, if any. This is the
+/// single scope decision shared by the analysis pass and the summary
+/// builder: sim-crate library code gets everything; `mlb-bench` library
+/// code gets only the shard family (the harness legitimately reads wall
+/// clocks and appends results, but a tainted capture crossing into
+/// `par_runs` is still a bug there); everything else — tests, bins,
+/// shims, the linter itself — is out of scope.
+pub fn flow_families_for(crate_name: &str, role: FileRole) -> Option<dataflow::FlowFamilies> {
+    if role != FileRole::Lib {
+        return None;
+    }
+    if SIM_CRATES.contains(&crate_name) {
+        Some(dataflow::FlowFamilies::all())
+    } else if crate_name == "mlb-bench" {
+        Some(dataflow::FlowFamilies::shard_only())
+    } else {
+        None
+    }
+}
+
 /// Runs the AST/dataflow rule families (`nondet-taint`, `time-unit`,
-/// `match-exhaustive`) on one parsed file. Scope matches the other
-/// determinism rules: sim-crate library code only, `#[cfg(test)]`
-/// modules skipped.
+/// `shard-cross-thread`, `shard-order-agg`, `match-exhaustive`) on one
+/// parsed file. Scope comes from [`flow_families_for`]; `#[cfg(test)]`
+/// modules are skipped. `summaries` carries the workspace-wide function
+/// summaries so taint is tracked across call boundaries.
 pub fn check_ast(
     input: &FileInput<'_>,
     file: &ast::File,
     symbols: &Symbols,
     anns: &UnitAnnotations,
+    summaries: &crate::callgraph::Summaries,
 ) -> Vec<Finding> {
     let mut findings = Vec::new();
-    if input.in_sim_crate() && input.role == FileRole::Lib {
-        check_ast_items(input, &file.items, symbols, anns, &mut findings);
-    }
+    let Some(families) = flow_families_for(input.crate_name, input.role) else {
+        return findings;
+    };
+    // match-exhaustive is about sim-enum vocabulary, not dataflow: it
+    // applies exactly to sim-crate library code, not to the bench crate.
+    let sim_enums = input.in_sim_crate();
+    check_ast_items(
+        input,
+        &file.items,
+        symbols,
+        anns,
+        summaries,
+        families,
+        sim_enums,
+        &mut findings,
+    );
     findings
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_ast_items(
     input: &FileInput<'_>,
     items: &[ast::Item],
     symbols: &Symbols,
     anns: &UnitAnnotations,
+    summaries: &crate::callgraph::Summaries,
+    families: dataflow::FlowFamilies,
+    sim_enums: bool,
     out: &mut Vec<Finding>,
 ) {
     for item in items {
         match &item.kind {
-            ast::ItemKind::Fn(func) => check_ast_fn(input, func, symbols, anns, out),
-            ast::ItemKind::Impl(imp) => check_ast_items(input, &imp.items, symbols, anns, out),
+            ast::ItemKind::Fn(func) => {
+                check_ast_fn(
+                    input, func, symbols, anns, summaries, families, sim_enums, out,
+                );
+            }
+            ast::ItemKind::Impl(imp) => check_ast_items(
+                input, &imp.items, symbols, anns, summaries, families, sim_enums, out,
+            ),
             ast::ItemKind::Mod(m) if !m.cfg_test => {
-                check_ast_items(input, &m.items, symbols, anns, out);
+                check_ast_items(
+                    input, &m.items, symbols, anns, summaries, families, sim_enums, out,
+                );
             }
             _ => {}
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_ast_fn(
     input: &FileInput<'_>,
     func: &ast::Func,
     symbols: &Symbols,
     anns: &UnitAnnotations,
+    summaries: &crate::callgraph::Summaries,
+    families: dataflow::FlowFamilies,
+    sim_enums: bool,
     out: &mut Vec<Finding>,
 ) {
     let mut flow = Vec::new();
-    dataflow::analyze_fn(func, symbols, anns, &mut flow);
+    dataflow::analyze_fn(func, symbols, anns, summaries, families, &mut flow);
     for f in flow {
         out.push(Finding {
             rule: match f.rule {
                 FlowRule::Taint => "nondet-taint",
                 FlowRule::Unit => "time-unit",
+                FlowRule::CrossThread => "shard-cross-thread",
+                FlowRule::OrderAgg => "shard-order-agg",
             },
             path: input.rel_path.to_owned(),
             line: f.line,
             col: f.col,
             message: f.message,
+            fingerprint: 0,
         });
+    }
+    if !sim_enums {
+        return;
     }
     let Some(body) = &func.body else { return };
     ast::walk_block_exprs(body, &mut |e| {
@@ -845,6 +987,7 @@ fn check_ast_fn(
                         "match over `{enum_name}` hides variants behind a catch-all arm; \
                          name every variant so adding one forces an explicit decision here"
                     ),
+                    fingerprint: 0,
                 });
             }
         }

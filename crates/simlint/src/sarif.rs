@@ -1,0 +1,227 @@
+//! SARIF 2.1.0 writer.
+//!
+//! SARIF (Static Analysis Results Interchange Format) is the lingua
+//! franca of code-scanning UIs: one `simlint.sarif` artifact lets any
+//! SARIF viewer (or a code-hosting annotation bot) render findings
+//! inline on the diff, without knowing anything about simlint. The
+//! writer emits the minimal valid subset of SARIF 2.1.0:
+//!
+//! * one `run` with a `tool.driver` declaring every registered rule, so
+//!   viewers can show rule metadata next to each result;
+//! * one `result` per finding with a `physicalLocation` and the
+//!   structural fingerprint under `partialFingerprints` (key
+//!   `simlintItemHash/v1`), which SARIF-aware ratchets use for the same
+//!   new-vs-known matching `--baseline` does natively;
+//! * suppressed findings included as level-`note` results carrying a
+//!   `suppressions` entry (`kind: "inSource"`), because an audit trail
+//!   that omits what was silenced invites silent rot.
+//!
+//! Rendering is hand-rolled string building (the crate is
+//! dependency-free); the unit tests parse the output back with
+//! [`crate::json`] to prove the document is structurally valid, not
+//! just eyeballed.
+
+use crate::report::{json_str, Finding, Report};
+use crate::rules::RULES;
+
+/// The `partialFingerprints` key for simlint's structural item hash.
+pub const FINGERPRINT_KEY: &str = "simlintItemHash/v1";
+
+/// Renders one result object. `suppressed_why` switches between an
+/// active `error` result and a suppressed `note` one.
+fn render_result(f: &Finding, suppressed_why: Option<&str>, is_last: bool) -> String {
+    let rule_index = RULES
+        .iter()
+        .position(|r| r.name == f.rule)
+        .map_or(-1i64, |i| i as i64);
+    let mut out = String::from("        {\n");
+    out.push_str(&format!("          \"ruleId\": {},\n", json_str(f.rule)));
+    out.push_str(&format!("          \"ruleIndex\": {rule_index},\n"));
+    out.push_str(&format!(
+        "          \"level\": {},\n",
+        json_str(if suppressed_why.is_some() {
+            "note"
+        } else {
+            "error"
+        })
+    ));
+    out.push_str(&format!(
+        "          \"message\": {{\"text\": {}}},\n",
+        json_str(&f.message)
+    ));
+    out.push_str(&format!(
+        "          \"locations\": [{{\"physicalLocation\": {{\
+         \"artifactLocation\": {{\"uri\": {}}}, \
+         \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}],\n",
+        json_str(&f.path),
+        f.line,
+        f.col
+    ));
+    if let Some(why) = suppressed_why {
+        out.push_str(&format!(
+            "          \"suppressions\": [{{\"kind\": \"inSource\", \"justification\": {}}}],\n",
+            json_str(why)
+        ));
+    }
+    out.push_str(&format!(
+        "          \"partialFingerprints\": {{{}: {}}}\n",
+        json_str(FINGERPRINT_KEY),
+        json_str(&format!("{:016x}", f.fingerprint))
+    ));
+    out.push_str(if is_last {
+        "        }\n"
+    } else {
+        "        },\n"
+    });
+    out
+}
+
+/// Renders the whole report as a SARIF 2.1.0 document.
+pub fn render_sarif(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"mlb-simlint\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/mlb-simlint\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{}\n",
+            json_str(r.name),
+            json_str(r.summary),
+            if i + 1 < RULES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    let total = report.findings.len() + report.suppressed.len();
+    let mut emitted = 0usize;
+    for f in &report.findings {
+        emitted += 1;
+        out.push_str(&render_result(f, None, emitted == total));
+    }
+    for (f, why) in &report.suppressed {
+        emitted += 1;
+        out.push_str(&render_result(f, Some(why), emitted == total));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Value};
+
+    fn sample_report() -> Report {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            rule: "no-wall-clock",
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 9,
+            message: "Instant::now() in simulation code".into(),
+            fingerprint: 0x1234_5678_9abc_def0,
+        });
+        r.suppressed.push((
+            Finding {
+                rule: "panic-hygiene",
+                path: "crates/x/src/sim.rs".into(),
+                line: 7,
+                col: 1,
+                message: "unwrap in hot path".into(),
+                fingerprint: 0xffff,
+            },
+            "a live RequestId always maps to a request".to_owned(),
+        ));
+        r.files_scanned.push("crates/x/src/lib.rs".into());
+        r
+    }
+
+    #[test]
+    fn document_is_valid_sarif_2_1_0_shape() {
+        let doc = json::parse(&render_sarif(&sample_report())).expect("SARIF must be valid JSON");
+        assert_eq!(doc.get("version").and_then(Value::as_str), Some("2.1.0"));
+        assert!(doc
+            .get("$schema")
+            .and_then(Value::as_str)
+            .is_some_and(|s| s.contains("sarif-2.1.0")));
+        let runs = doc.get("runs").and_then(Value::as_arr).unwrap();
+        assert_eq!(runs.len(), 1);
+        let driver = runs[0].get("tool").and_then(|t| t.get("driver")).unwrap();
+        assert_eq!(
+            driver.get("name").and_then(Value::as_str),
+            Some("mlb-simlint")
+        );
+        let rules = driver.get("rules").and_then(Value::as_arr).unwrap();
+        assert_eq!(rules.len(), RULES.len());
+        for (meta, rule) in RULES.iter().zip(rules) {
+            assert_eq!(rule.get("id").and_then(Value::as_str), Some(meta.name));
+        }
+    }
+
+    #[test]
+    fn results_carry_location_fingerprint_and_suppression() {
+        let doc = json::parse(&render_sarif(&sample_report())).unwrap();
+        let runs = doc.get("runs").and_then(Value::as_arr).unwrap();
+        let results = runs[0].get("results").and_then(Value::as_arr).unwrap();
+        assert_eq!(results.len(), 2);
+
+        let active = &results[0];
+        assert_eq!(
+            active.get("ruleId").and_then(Value::as_str),
+            Some("no-wall-clock")
+        );
+        assert_eq!(active.get("level").and_then(Value::as_str), Some("error"));
+        let loc = active.get("locations").and_then(Value::as_arr).unwrap()[0]
+            .get("physicalLocation")
+            .unwrap();
+        assert_eq!(
+            loc.get("artifactLocation")
+                .and_then(|a| a.get("uri"))
+                .and_then(Value::as_str),
+            Some("crates/x/src/lib.rs")
+        );
+        assert_eq!(
+            loc.get("region")
+                .and_then(|r| r.get("startLine"))
+                .and_then(Value::as_num),
+            Some(3.0)
+        );
+        assert_eq!(
+            active
+                .get("partialFingerprints")
+                .and_then(|p| p.get(FINGERPRINT_KEY))
+                .and_then(Value::as_str),
+            Some("123456789abcdef0")
+        );
+        assert!(active.get("suppressions").is_none());
+
+        let silenced = &results[1];
+        assert_eq!(silenced.get("level").and_then(Value::as_str), Some("note"));
+        let sup = silenced
+            .get("suppressions")
+            .and_then(Value::as_arr)
+            .unwrap();
+        assert_eq!(sup[0].get("kind").and_then(Value::as_str), Some("inSource"));
+        assert!(sup[0]
+            .get("justification")
+            .and_then(Value::as_str)
+            .is_some_and(|j| j.contains("RequestId")));
+    }
+
+    #[test]
+    fn empty_report_is_still_valid() {
+        let doc = json::parse(&render_sarif(&Report::default())).unwrap();
+        let runs = doc.get("runs").and_then(Value::as_arr).unwrap();
+        assert_eq!(
+            runs[0]
+                .get("results")
+                .and_then(Value::as_arr)
+                .map(|r| r.len()),
+            Some(0)
+        );
+    }
+}

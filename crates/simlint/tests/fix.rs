@@ -76,6 +76,61 @@ fn stale_suppressions_fail_the_lint_and_fix_repairs_them() {
     fs::remove_dir_all(&root).unwrap();
 }
 
+/// Reads every file under `root` into a path→contents map so two tree
+/// states can be compared exactly.
+fn tree_snapshot(root: &PathBuf) -> std::collections::BTreeMap<PathBuf, String> {
+    fn walk(dir: &PathBuf, out: &mut std::collections::BTreeMap<PathBuf, String>) {
+        for entry in fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                walk(&path, out);
+            } else {
+                out.insert(path.clone(), fs::read_to_string(&path).unwrap());
+            }
+        }
+    }
+    let mut out = std::collections::BTreeMap::new();
+    walk(root, &mut out);
+    out
+}
+
+#[test]
+fn fix_is_idempotent_across_the_whole_tree() {
+    // The property that makes `--fix` safe to run from a pre-commit
+    // hook: once it has fixed everything mechanical, running it again
+    // must not touch a single byte anywhere in the tree — not the fixed
+    // file, not its neighbors. A fix that oscillates (removes a line,
+    // then re-wraps the file differently on the next pass) would churn
+    // diffs forever.
+    let root = scaffold("idem");
+    // A second file stacks every mechanical fix: two stale allows (one
+    // partially stale, one fully) around a live one.
+    fs::write(
+        root.join("crates/sim/src/util.rs"),
+        "//! Scaffold module.\n\n\
+         // simlint::allow(no-hash-order): keyed access only\n\
+         pub fn lookup(m: &HashMap<u64, u64>, k: u64) -> u64 {\n    m[&k]\n}\n\n\
+         // simlint::allow(no-ambient-rng, no-wall-clock): rng is real, clock is not\n\
+         pub fn jitter() -> u64 {\n    thread_rng()\n}\n",
+    )
+    .unwrap();
+
+    let (_, fixes) = lint_workspace_full(&root).unwrap();
+    apply_fixes(&fixes).unwrap();
+    let after_first = tree_snapshot(&root);
+
+    let (_, fixes) = lint_workspace_full(&root).unwrap();
+    let summary = apply_fixes(&fixes).unwrap();
+    assert_eq!(summary.files_changed, 0, "second fix pass must be a no-op");
+    let after_second = tree_snapshot(&root);
+    assert_eq!(
+        after_first, after_second,
+        "a second --fix changed bytes somewhere in the tree"
+    );
+
+    fs::remove_dir_all(&root).unwrap();
+}
+
 #[test]
 fn live_suppressions_survive_the_fix() {
     let root = scaffold("live");

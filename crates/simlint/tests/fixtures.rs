@@ -27,8 +27,10 @@ fn context(rule: &str) -> (&'static str, FileRole, &'static str, bool) {
         ),
         // The AST/dataflow families run in any sim crate's library code;
         // the match-exhaustive fixtures declare their own `QueueKind` so
-        // the single-file symbol table knows the variant set.
-        "nondet-taint" | "time-unit" | "match-exhaustive" => (
+        // the single-file symbol table knows the variant set. The shard
+        // family shares the same natural habitat.
+        "nondet-taint" | "time-unit" | "match-exhaustive" | "shard-cross-thread"
+        | "shard-shared-state" | "shard-order-agg" => (
             "mlb-simkernel",
             FileRole::Lib,
             "crates/simkernel/src/fixture.rs",
@@ -123,5 +125,82 @@ fn clean_fixtures_are_clean() {
             "fixtures/{}/clean.rs has findings: {findings:?}",
             rule.name
         );
+    }
+}
+
+/// Fixtures beyond the mandatory `{trigger,clean}.rs` pair, with the
+/// *exact* number of findings of the owning rule each must produce.
+/// Exactness matters for the interprocedural ones: a finding per hop
+/// (instead of one at the sink) would drown real reports in echoes.
+const EXTRA_FIXTURES: [(&str, &str, usize); 2] = [
+    ("nondet-taint", "two_hop_trigger", 1),
+    ("nondet-taint", "two_hop_clean", 0),
+];
+
+/// Trigger fixtures that must produce *exactly one* finding overall —
+/// the violation under test and no collateral noise.
+const EXACTLY_ONE: [&str; 2] = ["shard-cross-thread", "shard-order-agg"];
+
+#[test]
+fn extra_fixtures_produce_exact_finding_counts() {
+    for (rule, stem, expected) in EXTRA_FIXTURES {
+        let (krate, role, rel, root) = context(rule);
+        let findings = lint_source(&read(rule, stem), krate, role, rel, root);
+        let hits = findings.iter().filter(|f| f.rule == rule).count();
+        assert_eq!(
+            hits, expected,
+            "fixtures/{rule}/{stem}.rs: want exactly {expected} `{rule}` finding(s), got {findings:?}"
+        );
+        assert_eq!(
+            findings.len(),
+            expected,
+            "fixtures/{rule}/{stem}.rs must not raise other rules: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn single_violation_triggers_stay_single() {
+    for rule in EXACTLY_ONE {
+        let (krate, role, rel, root) = context(rule);
+        let findings = lint_source(&read(rule, "trigger"), krate, role, rel, root);
+        assert_eq!(
+            findings.len(),
+            1,
+            "fixtures/{rule}/trigger.rs must produce exactly one finding: {findings:?}"
+        );
+        assert_eq!(findings[0].rule, rule, "{findings:?}");
+    }
+}
+
+/// Every `.rs` file under `fixtures/` must be referenced by a test —
+/// either a rule's `{trigger,clean}.rs` pair or an `EXTRA_FIXTURES`
+/// row. An orphaned fixture is dead weight that silently stops
+/// asserting anything.
+#[test]
+fn every_fixture_file_is_referenced() {
+    for dir in fs::read_dir(fixture_dir()).expect("fixtures dir") {
+        let dir = dir.unwrap();
+        let rule = dir.file_name().into_string().unwrap();
+        assert!(
+            RULES.iter().any(|r| r.name == rule),
+            "fixtures/{rule}/ does not match any registered rule"
+        );
+        for file in fs::read_dir(dir.path()).unwrap() {
+            let name = file.unwrap().file_name().into_string().unwrap();
+            let stem = name.strip_suffix(".rs").unwrap_or_else(|| {
+                panic!("fixtures/{rule}/{name} is not a .rs file");
+            });
+            let referenced = stem == "trigger"
+                || stem == "clean"
+                || EXTRA_FIXTURES
+                    .iter()
+                    .any(|(r, s, _)| *r == rule && *s == stem);
+            assert!(
+                referenced,
+                "fixtures/{rule}/{name} is not referenced by any fixture test; \
+                 add it to EXTRA_FIXTURES or delete it"
+            );
+        }
     }
 }

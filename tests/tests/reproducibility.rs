@@ -113,6 +113,67 @@ fn trace_digests_match_pre_btreemap_golden_values() {
 }
 
 #[test]
+fn ewma_family_digests_match_golden_values() {
+    // LeastEwmaLatency and C3 were only ever exercised through the
+    // policy tournament, whose output is aggregate rankings — a scoring
+    // regression (EWMA decay constant, C3 concurrency exponent, tie
+    // breaking) could shift every routing decision without failing any
+    // test. These digests pin the exact per-request history of both
+    // policies on the smoke scenario at three seeds. If an intentional
+    // scoring change breaks them, re-capture in the same commit and say
+    // why. The VLRT counts are worth reading too: they are the paper's
+    // story in miniature — latency-only EWMA still strands hundreds of
+    // requests behind the millibottleneck, C3's concurrency term all
+    // but eliminates them.
+    let traced = |kind: PolicyKind, seed: u64| {
+        let mut cfg = SystemConfig::smoke(BalancerConfig::with(kind, MechanismKind::Original));
+        cfg.seed = seed;
+        cfg.trace = TraceConfig::enabled_default();
+        run_experiment(cfg)
+            .expect("smoke config is valid")
+            .trace
+            .expect("tracing was enabled")
+    };
+    for (kind, seed, digest, completed, vlrt) in [
+        (
+            PolicyKind::LeastEwmaLatency,
+            7u64,
+            0x4ce4b9ef966dfdbc_u64,
+            16_392_u64,
+            460_u64,
+        ),
+        (
+            PolicyKind::LeastEwmaLatency,
+            8,
+            0xd2b6a9f87467b3e5,
+            15_998,
+            626,
+        ),
+        (
+            PolicyKind::LeastEwmaLatency,
+            42,
+            0xaa8d98d03b97f0c4,
+            15_950,
+            312,
+        ),
+        (PolicyKind::C3, 7, 0x4e42c7667e839164, 16_659, 11),
+        (PolicyKind::C3, 8, 0x80467ea495273433, 16_697, 0),
+        (PolicyKind::C3, 42, 0xbd5bf9c9492a7f43, 16_346, 0),
+    ] {
+        let log = traced(kind, seed);
+        assert_eq!(
+            log.digest(),
+            digest,
+            "{} seed {seed}: trace digest drifted from the golden value",
+            kind.name()
+        );
+        assert_eq!(log.completed, completed, "{} seed {seed}", kind.name());
+        assert_eq!(log.failed, 0, "{} seed {seed}", kind.name());
+        assert_eq!(log.summary.vlrt_total, vlrt, "{} seed {seed}", kind.name());
+    }
+}
+
+#[test]
 fn timer_wheel_and_heap_backends_are_digest_identical() {
     // The timer wheel is the default event queue; the BinaryHeap
     // reference is kept precisely so this test can exist. A full traced
