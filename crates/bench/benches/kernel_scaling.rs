@@ -19,7 +19,8 @@
 use std::path::PathBuf;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mlb_bench::{run_scale_sweep, ScaleSweepConfig};
+use mlb_bench::history::{append_record, history_path};
+use mlb_bench::{run_scale_sweep, BenchMeta, ScaleSweepConfig};
 
 /// Kernel acceptance bar: wheel-over-heap queue ops/sec in the hold
 /// churn at the 16× pending-set size.
@@ -50,7 +51,9 @@ fn scale_sweep_gate(_c: &mut Criterion) {
         cfg.seeds
     );
     let report = run_scale_sweep(&cfg);
-    report.write_json(&workspace_root().join("BENCH_kernel.json"));
+    let meta = BenchMeta::capture();
+    report.write_json(&workspace_root().join("BENCH_kernel.json"), &meta);
+    append_record(&history_path(), &report.history_record(&meta));
 
     for &scale in &cfg.scales {
         let system = report.speedup_at(scale).expect("both backends measured");

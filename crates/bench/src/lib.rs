@@ -24,6 +24,7 @@
 pub mod ablations;
 pub mod extensions;
 pub mod figures;
+pub mod history;
 pub mod robustness;
 pub mod runs;
 pub mod scaling;
@@ -66,6 +67,7 @@ where
 pub use ablations::{all_ablations, build_ablation};
 pub use extensions::{all_extensions, build_extension};
 pub use figures::{all_artifacts, build, required_runs, Figure};
+pub use history::{BenchMeta, HistoryPoint, HistoryRecord};
 pub use robustness::build_robustness;
 pub use runs::{RunCache, RunKey};
 pub use scaling::{run_scale_sweep, ScaleSweepConfig, ScaleSweepReport};

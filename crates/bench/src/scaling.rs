@@ -27,6 +27,7 @@ use mlb_simkernel::sim::Simulation;
 use mlb_simkernel::time::{SimDuration, SimTime};
 use mlb_workload::clients::ClientPopulation;
 
+use crate::history::{BenchMeta, HistoryPoint, HistoryRecord};
 use crate::par_runs;
 
 /// What to sweep and how long to run each point.
@@ -44,12 +45,13 @@ pub struct ScaleSweepConfig {
 }
 
 impl ScaleSweepConfig {
-    /// The full sweep the BENCH trajectory records: 1×/4×/16×/64×.
+    /// The full sweep the BENCH trajectory records: 1×/4×/16×/64×, each
+    /// point fanned over the golden seed triple {7, 8, 42}.
     pub fn full() -> Self {
         ScaleSweepConfig {
             scales: vec![1, 4, 16, 64],
             secs: 2,
-            seeds: vec![7, 8],
+            seeds: vec![7, 8, 42],
             slices: 8,
         }
     }
@@ -74,6 +76,9 @@ pub struct ScalePoint {
     pub clients: usize,
     /// Event-queue backend measured.
     pub queue: QueueKind,
+    /// Seeds this point aggregates over (recorded per point so a report
+    /// re-read later is self-describing even if the sweep config drifts).
+    pub seeds: Vec<u64>,
     /// Kernel events processed, summed over seeds.
     pub events_processed: u64,
     /// Events per wall-clock second (total events / total wall).
@@ -221,6 +226,7 @@ pub fn run_scale_sweep(cfg: &ScaleSweepConfig) -> ScaleSweepReport {
                 scale,
                 clients: 70_000 * scale,
                 queue: kind,
+                seeds: cfg.seeds.clone(),
                 events_processed: events,
                 events_per_sec: events as f64 / wall.max(1e-9),
                 wall_secs_per_sim_sec: wall / sim_secs.max(1e-9),
@@ -299,10 +305,12 @@ impl ScaleSweepReport {
     }
 
     /// Serializes the report as pretty-printed JSON (handwritten — the
-    /// workspace carries no serde).
-    pub fn to_json(&self) -> String {
-        let mut out =
-            String::from("{\n  \"bench\": \"kernel_scaling\",\n  \"base\": \"paper_4x4\",\n");
+    /// workspace carries no serde). `meta` supplies the shared
+    /// schema/commit/host header every BENCH artifact carries.
+    pub fn to_json(&self, meta: &BenchMeta) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&meta.json_header());
+        out.push_str("  \"bench\": \"kernel_scaling\",\n  \"base\": \"paper_4x4\",\n");
         out.push_str(&format!("  \"sim_secs_per_run\": {},\n", self.config.secs));
         out.push_str(&format!(
             "  \"seeds\": [{}],\n",
@@ -317,12 +325,17 @@ impl ScaleSweepReport {
         for (i, p) in self.points.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"scale\": {}, \"clients\": {}, \"backend\": \"{}\", \
-                 \"events_processed\": {}, \"events_per_sec\": {:.1}, \
+                 \"seeds\": [{}], \"events_processed\": {}, \"events_per_sec\": {:.1}, \
                  \"wall_secs_per_sim_sec\": {:.6}, \"peak_queue_len\": {}, \
                  \"requests_completed\": {}}}{}\n",
                 p.scale,
                 p.clients,
                 kind_name(p.queue),
+                p.seeds
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", "),
                 p.events_processed,
                 p.events_per_sec,
                 p.wall_secs_per_sim_sec,
@@ -374,9 +387,36 @@ impl ScaleSweepReport {
     /// # Panics
     ///
     /// Panics if the file cannot be written.
-    pub fn write_json(&self, path: &std::path::Path) {
-        std::fs::write(path, self.to_json()).expect("write BENCH_kernel.json");
+    pub fn write_json(&self, path: &std::path::Path, meta: &BenchMeta) {
+        std::fs::write(path, self.to_json(meta)).expect("write BENCH_kernel.json");
         eprintln!("  wrote {}", path.display());
+    }
+
+    /// The sweep's perf-trajectory ledger record: one point per
+    /// `(scale, backend)` full-system measurement (key `"{scale}x/{backend}"`)
+    /// plus one per kernel-only hold churn (key `"hold/{scale}x/{backend}"`).
+    /// The `events_per_sec` metrics here are what the `repro -- trend`
+    /// gate watches.
+    pub fn history_record(&self, meta: &BenchMeta) -> HistoryRecord {
+        let mut record = HistoryRecord::new(meta, "kernel_scaling", self.config.seeds.clone());
+        for p in &self.points {
+            record.points.push(HistoryPoint::new(
+                format!("{}x/{}", p.scale, kind_name(p.queue)),
+                vec![
+                    ("events_per_sec", p.events_per_sec),
+                    ("wall_secs_per_sim_sec", p.wall_secs_per_sim_sec),
+                    ("peak_queue_len", p.peak_queue_len as f64),
+                    ("requests_completed", p.requests_completed as f64),
+                ],
+            ));
+        }
+        for h in &self.hold {
+            record.points.push(HistoryPoint::new(
+                format!("hold/{}x/{}", h.scale, kind_name(h.queue)),
+                vec![("ops_per_sec", h.ops_per_sec)],
+            ));
+        }
+        record
     }
 }
 
@@ -397,19 +437,19 @@ mod tests {
         assert_eq!(wheel.peak_queue, heap.peak_queue);
     }
 
-    #[test]
-    fn report_json_is_well_formed_enough() {
-        let report = ScaleSweepReport {
+    fn tiny_report() -> ScaleSweepReport {
+        ScaleSweepReport {
             config: ScaleSweepConfig {
                 scales: vec![1],
                 secs: 1,
-                seeds: vec![7],
+                seeds: vec![7, 8, 42],
                 slices: 2,
             },
             points: vec![ScalePoint {
                 scale: 1,
                 clients: 70_000,
                 queue: QueueKind::Wheel,
+                seeds: vec![7, 8, 42],
                 events_processed: 10,
                 events_per_sec: 5.0,
                 wall_secs_per_sim_sec: 2.0,
@@ -422,11 +462,42 @@ mod tests {
                 queue: QueueKind::Wheel,
                 ops_per_sec: 100.0,
             }],
-        };
-        let json = report.to_json();
+        }
+    }
+
+    #[test]
+    fn report_json_is_well_formed_enough() {
+        let report = tiny_report();
+        let json = report.to_json(&BenchMeta::fixed("cafe", "testhost"));
+        assert!(json.contains("\"schema_version\": 1,"));
+        assert!(json.contains("\"commit\": \"cafe\","));
         assert!(json.contains("\"bench\": \"kernel_scaling\""));
         assert!(json.contains("\"backend\": \"wheel\""));
+        assert!(json.contains("\"seeds\": [7, 8, 42]"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn full_sweep_fans_over_the_golden_seed_triple() {
+        assert_eq!(ScaleSweepConfig::full().seeds, vec![7, 8, 42]);
+    }
+
+    #[test]
+    fn history_record_carries_every_point() {
+        let record = tiny_report().history_record(&BenchMeta::fixed("cafe", "testhost"));
+        assert_eq!(record.bench, "kernel_scaling");
+        assert_eq!(record.seeds, vec![7, 8, 42]);
+        let p = record.point("1x/wheel").expect("system point present");
+        assert_eq!(p.metric("events_per_sec"), Some(5.0));
+        assert_eq!(p.metric("peak_queue_len"), Some(3.0));
+        let h = record.point("hold/1x/wheel").expect("hold point present");
+        assert_eq!(h.metric("ops_per_sec"), Some(100.0));
+        // And the record survives its own serialization.
+        let line = record.to_json_line();
+        assert_eq!(
+            crate::history::HistoryRecord::from_json_line(&line).unwrap(),
+            record
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! the JSON is bit-identical run to run.
 
 use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
+use mlb_metrics::ascii::{Align, Table};
 use mlb_metrics::histogram::ResponseTimeHistogram;
 use mlb_metrics::summary::ResponseStats;
 use mlb_ntier::config::SystemConfig;
@@ -34,6 +35,7 @@ use mlb_ntier::metrics::MetricsConfig;
 use mlb_osmodel::machine::{GcConfig, MachineConfig};
 use mlb_simkernel::time::SimDuration;
 
+use crate::history::{append_record, history_path, BenchMeta, HistoryPoint, HistoryRecord};
 use crate::par_runs;
 
 /// Tournament extent: how long each cell runs and over which seeds.
@@ -291,13 +293,28 @@ impl TournamentReport {
             .find(|r| r.policy == policy && r.scenario == scenario)
     }
 
-    /// Renders the scorecard as one ASCII table per scenario.
+    /// Renders the scorecard as one ASCII table per scenario, through
+    /// the workspace's shared [`Table`] writer.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for scenario in Scenario::all() {
             out.push_str(&format!("scenario: {}\n", scenario.name()));
-            out.push_str(&format!(
-                "  {:<16} {:>10} {:>8} {:>10} {:>8} {:>8} {:>9} {:>8} {:>7}\n",
+            let mut table = Table::new(
+                "  ",
+                " ",
+                vec![
+                    (Align::Left, 16),
+                    (Align::Right, 10),
+                    (Align::Right, 8),
+                    (Align::Right, 10),
+                    (Align::Right, 8),
+                    (Align::Right, 8),
+                    (Align::Right, 9),
+                    (Align::Right, 8),
+                    (Align::Right, 7),
+                ],
+            );
+            table.row(&[
                 "policy",
                 "avg_rt_ms",
                 "%VLRT",
@@ -307,31 +324,33 @@ impl TournamentReport {
                 "sticky_v",
                 "giveups",
                 "vetoes",
-            ));
+            ]);
             for r in self.rows.iter().filter(|r| r.scenario == scenario.name()) {
-                out.push_str(&format!(
-                    "  {:<16} {:>10.1} {:>8.2} {:>10.1} {:>8.1} {:>8} {:>9} {:>8} {:>7}\n",
-                    r.policy,
-                    r.avg_rt_ms,
-                    r.pct_vlrt,
-                    r.p999_ms,
-                    r.throughput_rps,
-                    r.failed,
-                    r.sticky_violations,
-                    r.giveups,
-                    r.stall_vetoes,
-                ));
+                table.row(&[
+                    r.policy.clone(),
+                    format!("{:.1}", r.avg_rt_ms),
+                    format!("{:.2}", r.pct_vlrt),
+                    format!("{:.1}", r.p999_ms),
+                    format!("{:.1}", r.throughput_rps),
+                    format!("{}", r.failed),
+                    format!("{}", r.sticky_violations),
+                    format!("{}", r.giveups),
+                    format!("{}", r.stall_vetoes),
+                ]);
             }
+            out.push_str(table.as_str());
             out.push('\n');
         }
         out
     }
 
     /// Serializes the report as pretty-printed JSON (handwritten — the
-    /// workspace carries no serde).
-    pub fn to_json(&self) -> String {
-        let mut out =
-            String::from("{\n  \"bench\": \"policy_tournament\",\n  \"base\": \"smoke\",\n");
+    /// workspace carries no serde). `meta` supplies the shared
+    /// schema/commit/host header every BENCH artifact carries.
+    pub fn to_json(&self, meta: &BenchMeta) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&meta.json_header());
+        out.push_str("  \"bench\": \"policy_tournament\",\n  \"base\": \"smoke\",\n");
         out.push_str(&format!("  \"sim_secs_per_run\": {},\n", self.config.secs));
         out.push_str(&format!(
             "  \"seeds\": [{}],\n",
@@ -372,9 +391,28 @@ impl TournamentReport {
     /// # Panics
     ///
     /// Panics if the file cannot be written.
-    pub fn write_json(&self, path: &std::path::Path) {
-        std::fs::write(path, self.to_json()).expect("write BENCH_policies.json");
+    pub fn write_json(&self, path: &std::path::Path, meta: &BenchMeta) {
+        std::fs::write(path, self.to_json(meta)).expect("write BENCH_policies.json");
         eprintln!("  wrote {}", path.display());
+    }
+
+    /// The tournament's perf-trajectory ledger record: one point per
+    /// scorecard cell (key `"{scenario}/{policy}"`) carrying the
+    /// latency/throughput metrics the dashboard tracks over commits.
+    pub fn history_record(&self, meta: &BenchMeta) -> HistoryRecord {
+        let mut record = HistoryRecord::new(meta, "policy_tournament", self.config.seeds.clone());
+        for r in &self.rows {
+            record.points.push(HistoryPoint::new(
+                format!("{}/{}", r.scenario, r.policy),
+                vec![
+                    ("avg_rt_ms", r.avg_rt_ms),
+                    ("pct_vlrt", r.pct_vlrt),
+                    ("p999_ms", r.p999_ms),
+                    ("throughput_rps", r.throughput_rps),
+                ],
+            ));
+        }
+        record
     }
 }
 
@@ -383,12 +421,14 @@ impl TournamentReport {
 /// scorecard as terminal text.
 pub fn build_tournament(cfg: &TournamentConfig) -> crate::Figure {
     let report = run_tournament(cfg);
+    let meta = BenchMeta::capture();
     // Bin/bench cwd varies; anchor on the compile-time package dir.
     let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .canonicalize()
         .expect("workspace root exists");
-    report.write_json(&root.join("BENCH_policies.json"));
+    report.write_json(&root.join("BENCH_policies.json"), &meta);
+    append_record(&history_path(), &report.history_record(&meta));
     crate::Figure {
         id: "tournament",
         title: format!(
@@ -441,25 +481,46 @@ mod tests {
         }
     }
 
+    fn tiny_report() -> TournamentReport {
+        TournamentReport {
+            config: TournamentConfig::smoke(),
+            rows: vec![
+                TournamentRow {
+                    policy: "current_load".to_owned(),
+                    scenario: "flush_storm",
+                    avg_rt_ms: 12.5,
+                    pct_vlrt: 0.5,
+                    p999_ms: 800.0,
+                    throughput_rps: 300.0,
+                    completed: 2_400,
+                    failed: 1,
+                    sticky_violations: 0,
+                    giveups: 2,
+                    stall_vetoes: 0,
+                },
+                TournamentRow {
+                    policy: "a_policy_name_longer_than_the_column".to_owned(),
+                    scenario: "gc_pause",
+                    avg_rt_ms: 1234.567,
+                    pct_vlrt: 99.999,
+                    p999_ms: 0.0,
+                    throughput_rps: 0.04,
+                    completed: 1,
+                    failed: 123_456_789,
+                    sticky_violations: 7,
+                    giveups: 0,
+                    stall_vetoes: 42,
+                },
+            ],
+        }
+    }
+
     #[test]
     fn report_json_is_well_formed_enough() {
-        let report = TournamentReport {
-            config: TournamentConfig::smoke(),
-            rows: vec![TournamentRow {
-                policy: "current_load".to_owned(),
-                scenario: "flush_storm",
-                avg_rt_ms: 12.5,
-                pct_vlrt: 0.5,
-                p999_ms: 800.0,
-                throughput_rps: 300.0,
-                completed: 2_400,
-                failed: 1,
-                sticky_violations: 0,
-                giveups: 2,
-                stall_vetoes: 0,
-            }],
-        };
-        let json = report.to_json();
+        let report = tiny_report();
+        let json = report.to_json(&BenchMeta::fixed("cafe", "testhost"));
+        assert!(json.contains("\"schema_version\": 1,"));
+        assert!(json.contains("\"commit\": \"cafe\","));
         assert!(json.contains("\"bench\": \"policy_tournament\""));
         assert!(json.contains("\"policy\": \"current_load\""));
         assert!(json.contains("\"scenario\": \"flush_storm\""));
@@ -467,6 +528,63 @@ mod tests {
         let txt = report.render();
         assert!(txt.contains("current_load"));
         assert!(txt.contains("flush_storm"));
+    }
+
+    #[test]
+    fn render_is_byte_identical_to_the_format_string_renderer() {
+        // The renderer-dedupe contract: the shared Table writer must
+        // reproduce the retired per-bench format! renderer exactly,
+        // including overlong cells that widen their row.
+        let report = tiny_report();
+        let mut oracle = String::new();
+        for scenario in Scenario::all() {
+            oracle.push_str(&format!("scenario: {}\n", scenario.name()));
+            oracle.push_str(&format!(
+                "  {:<16} {:>10} {:>8} {:>10} {:>8} {:>8} {:>9} {:>8} {:>7}\n",
+                "policy",
+                "avg_rt_ms",
+                "%VLRT",
+                "p99.9_ms",
+                "rps",
+                "failed",
+                "sticky_v",
+                "giveups",
+                "vetoes",
+            ));
+            for r in report.rows.iter().filter(|r| r.scenario == scenario.name()) {
+                oracle.push_str(&format!(
+                    "  {:<16} {:>10.1} {:>8.2} {:>10.1} {:>8.1} {:>8} {:>9} {:>8} {:>7}\n",
+                    r.policy,
+                    r.avg_rt_ms,
+                    r.pct_vlrt,
+                    r.p999_ms,
+                    r.throughput_rps,
+                    r.failed,
+                    r.sticky_violations,
+                    r.giveups,
+                    r.stall_vetoes,
+                ));
+            }
+            oracle.push('\n');
+        }
+        assert_eq!(report.render(), oracle);
+    }
+
+    #[test]
+    fn history_record_carries_one_point_per_cell() {
+        let record = tiny_report().history_record(&BenchMeta::fixed("cafe", "testhost"));
+        assert_eq!(record.bench, "policy_tournament");
+        assert_eq!(record.points.len(), 2);
+        let p = record
+            .point("flush_storm/current_load")
+            .expect("cell point present");
+        assert_eq!(p.metric("avg_rt_ms"), Some(12.5));
+        assert_eq!(p.metric("throughput_rps"), Some(300.0));
+        let line = record.to_json_line();
+        assert_eq!(
+            crate::history::HistoryRecord::from_json_line(&line).unwrap(),
+            record
+        );
     }
 
     #[test]

@@ -160,6 +160,126 @@ fn format_x(v: f64) -> String {
     }
 }
 
+/// Horizontal alignment of one [`Table`] column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right (`{:<w$}`).
+    Left,
+    /// Pad on the left (`{:>w$}`).
+    Right,
+}
+
+/// The one column-aligned text-table writer of the workspace.
+///
+/// Both Table-I-style summaries ([`crate::summary::render_table`]) and
+/// the bench scorecards render through this: the caller pre-formats each
+/// cell (numeric precision, `%` suffixes), the table owns padding,
+/// separators, and rules. Cells longer than their column's width are
+/// never truncated — they just widen that row, exactly like `format!`
+/// width specifiers.
+#[derive(Debug)]
+pub struct Table {
+    indent: String,
+    sep: String,
+    cols: Vec<(Align, usize)>,
+    out: String,
+}
+
+impl Table {
+    /// Creates a writer emitting `indent` before each row, `sep` between
+    /// cells, and padding cell `i` to `cols[i]`'s width and alignment.
+    pub fn new(indent: &str, sep: &str, cols: Vec<(Align, usize)>) -> Self {
+        Table {
+            indent: indent.to_owned(),
+            sep: sep.to_owned(),
+            cols,
+            out: String::new(),
+        }
+    }
+
+    /// Appends one row. `cells` may be shorter than the column list (the
+    /// row just ends early) but not longer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` has more entries than there are columns.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        assert!(
+            cells.len() <= self.cols.len(),
+            "row of {} cells exceeds {} columns",
+            cells.len(),
+            self.cols.len()
+        );
+        self.out.push_str(&self.indent);
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(&self.sep);
+            }
+            let (align, width) = self.cols[i];
+            let cell = cell.as_ref();
+            match align {
+                Align::Left => {
+                    self.out.push_str(cell);
+                    for _ in cell.len()..width {
+                        self.out.push(' ');
+                    }
+                }
+                Align::Right => {
+                    for _ in cell.len()..width {
+                        self.out.push(' ');
+                    }
+                    self.out.push_str(cell);
+                }
+            }
+        }
+        self.out.push('\n');
+    }
+
+    /// Appends a horizontal rule: every column filled with `-`, joined by
+    /// the separator with spaces turned into `-` and `|` into `+` — so a
+    /// `" | "` table rules as `"---+---"`.
+    pub fn rule(&mut self) {
+        self.out.push_str(&self.indent);
+        for (i, &(_, width)) in self.cols.iter().enumerate() {
+            if i > 0 {
+                for c in self.sep.chars() {
+                    self.out.push(match c {
+                        ' ' => '-',
+                        '|' => '+',
+                        other => other,
+                    });
+                }
+            }
+            for _ in 0..width {
+                self.out.push('-');
+            }
+        }
+        self.out.push('\n');
+    }
+
+    /// Appends a raw line (no columns), still honouring the indent.
+    pub fn line(&mut self, text: &str) {
+        self.out.push_str(&self.indent);
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    /// Appends an empty line.
+    pub fn blank(&mut self) {
+        self.out.push('\n');
+    }
+
+    /// The rendered table so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Consumes the writer, returning the rendered table.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,5 +357,55 @@ mod tests {
     #[should_panic(expected = "too small")]
     fn tiny_chart_panics() {
         line_chart("t", &[0.0], &[], 2, 2);
+    }
+
+    #[test]
+    fn table_pads_per_column_alignment() {
+        let mut t = Table::new(
+            "  ",
+            " ",
+            vec![(Align::Left, 6), (Align::Right, 5), (Align::Right, 4)],
+        );
+        t.row(&["name", "12", "3"]);
+        assert_eq!(t.as_str(), "  name      12    3\n");
+    }
+
+    #[test]
+    fn table_matches_format_width_specifiers_byte_for_byte() {
+        // The contract behind the renderer dedupe: a Table row is the
+        // same bytes as the format! width specifiers it replaced.
+        let mut t = Table::new("  ", " ", vec![(Align::Left, 16), (Align::Right, 10)]);
+        t.row(&["policy".to_owned(), format!("{:.1}", 12.35)]);
+        assert_eq!(t.as_str(), format!("  {:<16} {:>10.1}\n", "policy", 12.35));
+    }
+
+    #[test]
+    fn table_never_truncates_long_cells() {
+        let mut t = Table::new("", " ", vec![(Align::Left, 4), (Align::Right, 4)]);
+        t.row(&["longer-than-four", "x"]);
+        assert_eq!(t.as_str(), "longer-than-four    x\n");
+    }
+
+    #[test]
+    fn table_rule_maps_pipe_separators_to_plus() {
+        let mut t = Table::new("", " | ", vec![(Align::Left, 3), (Align::Right, 2)]);
+        t.rule();
+        assert_eq!(t.as_str(), "----+---\n");
+    }
+
+    #[test]
+    fn table_short_rows_line_and_blank() {
+        let mut t = Table::new("> ", " ", vec![(Align::Left, 3), (Align::Right, 3)]);
+        t.row(&["ab"]);
+        t.line("raw");
+        t.blank();
+        assert_eq!(t.into_string(), "> ab \n> raw\n\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn table_rejects_overlong_rows() {
+        let mut t = Table::new("", " ", vec![(Align::Left, 3)]);
+        t.row(&["a", "b"]);
     }
 }

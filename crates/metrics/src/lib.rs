@@ -21,8 +21,12 @@
 //! * [`heatmap`] — per-window × per-segment VLRT attribution heatmap
 //!   (ASCII + `fig_attribution_heatmap.csv`).
 //! * [`csv`] — plain CSV emission for external re-plotting.
-//! * [`ascii`] — terminal line/bar charts so every figure is visible
-//!   directly in the harness output.
+//! * [`ascii`] — terminal line/bar charts and the shared column-aligned
+//!   [`Table`] writer, so every figure is visible directly in the
+//!   harness output.
+//! * [`prof`] — the `prof.*` namespace: kernel self-profiles exported
+//!   through the registry's sinks with a wall-ns-excluding deterministic
+//!   digest.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,17 +37,20 @@ pub mod csv;
 pub mod detector;
 pub mod heatmap;
 pub mod histogram;
+pub mod prof;
 pub mod registry;
 pub mod series;
 pub mod spans;
 pub mod summary;
 
+pub use ascii::{Align, Table};
 pub use csv::CsvTable;
 pub use detector::{DetectorConfig, DetectorFlag, FlagKind, MillibottleneckDetector};
 pub use heatmap::AttributionHeatmap;
 pub use histogram::ResponseTimeHistogram;
 pub use registry::{
-    fnv1a, CsvSink, JsonlSink, MemorySink, MetricId, MetricKind, MetricSink, Registry, WindowRecord,
+    fnv1a, log2_percentile, CsvSink, JsonlSink, MemorySink, MetricId, MetricKind, MetricSink,
+    Registry, WindowRecord,
 };
 pub use series::{WindowAggregate, WindowedCounter, WindowedSeries};
 pub use spans::{

@@ -325,6 +325,41 @@ impl Registry {
     }
 }
 
+/// Percentile estimate over a [`WindowRecord`]'s log₂ buckets.
+///
+/// `buckets` are ascending `(bit_width, count)` pairs as exported in
+/// [`WindowRecord::buckets`]; `permille` is the rank in thousandths
+/// (999 = p99.9), saturating at 1000. Returns the *upper bound* of the
+/// bucket containing the rank — width `w` covers values of bit width
+/// `w`, so the bound is `2^w − 1` (width 0 holds only the value zero;
+/// width 64 saturates to `u64::MAX`). `None` for an empty histogram.
+///
+/// Integer-only on purpose: the rank is `⌈total · permille / 1000⌉`
+/// computed in `u128`, so the estimate is exact and this file stays
+/// free of float accumulation.
+pub fn log2_percentile(buckets: &[(u8, u64)], permille: u32) -> Option<u64> {
+    let total: u64 = buckets.iter().map(|&(_, n)| n).sum();
+    if total == 0 {
+        return None;
+    }
+    let permille = u128::from(permille.min(1000));
+    let rank = (u128::from(total) * permille).div_ceil(1000).max(1);
+    let mut cumulative: u128 = 0;
+    let mut last_width = 0;
+    for &(width, count) in buckets {
+        cumulative += u128::from(count);
+        last_width = width;
+        if cumulative >= rank {
+            break;
+        }
+    }
+    Some(match last_width {
+        0 => 0,
+        w if w >= 64 => u64::MAX,
+        w => (1u64 << w) - 1,
+    })
+}
+
 /// FNV-1a over a byte slice — same constants as `TraceLog::digest`, so
 /// golden values from both subsystems live in one hash family.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -599,5 +634,61 @@ mod tests {
         let text = sink.into_string();
         assert!(text.starts_with("window,start_us,metric,kind,"));
         assert!(text.contains("0,0,dirty,gauge,1,4294967295,4294967295,4294967295,4294967295"));
+    }
+
+    #[test]
+    fn log2_percentile_of_empty_histogram_is_none() {
+        assert_eq!(log2_percentile(&[], 500), None);
+        assert_eq!(log2_percentile(&[(3, 0), (7, 0)], 999), None);
+    }
+
+    #[test]
+    fn log2_percentile_of_single_sample_hits_its_bucket_at_every_rank() {
+        // One value of bit width 5 (16..=31): every permille, including
+        // the degenerate 0, lands in that bucket's upper bound.
+        for permille in [0, 1, 500, 999, 1000] {
+            assert_eq!(log2_percentile(&[(5, 1)], permille), Some(31));
+        }
+        // Width 0 is the value zero itself.
+        assert_eq!(log2_percentile(&[(0, 1)], 999), Some(0));
+    }
+
+    #[test]
+    fn log2_percentile_on_exact_bucket_boundary() {
+        // 999 samples in width 4, 1 sample in width 10: rank(p99.9) =
+        // ⌈1000·999/1000⌉ = 999 — exactly the last sample of the first
+        // bucket, so p999 must NOT spill into the outlier bucket...
+        let buckets = [(4u8, 999u64), (10u8, 1u64)];
+        assert_eq!(log2_percentile(&buckets, 999), Some(15));
+        // ...while one more thousandth of rank does.
+        assert_eq!(log2_percentile(&buckets, 1000), Some(1023));
+    }
+
+    #[test]
+    fn log2_percentile_saturates_at_the_top_bucket() {
+        // Width 64 holds values ≥ 2^63; its bound saturates to u64::MAX
+        // instead of overflowing 1 << 64.
+        assert_eq!(log2_percentile(&[(64, 3)], 999), Some(u64::MAX));
+        // Permille above 1000 clamps rather than over-ranking.
+        assert_eq!(log2_percentile(&[(2, 4)], 5000), Some(3));
+    }
+
+    #[test]
+    fn log2_percentile_matches_cell_bucketing() {
+        // End to end: observe values through a real registry window and
+        // check the percentile of the exported buckets.
+        let mut reg = Registry::new(SimDuration::from_millis(10));
+        let h = reg.register_histogram("rt");
+        for v in [1u64, 2, 3, 900, 1_500] {
+            reg.observe(h, t(100), v);
+        }
+        reg.finish();
+        let mut sink = MemorySink::new();
+        reg.drain_into(&mut sink);
+        let buckets = &sink.records[0].2.buckets;
+        // p50 → rank 3 → value 3 (width 2, bound 3).
+        assert_eq!(log2_percentile(buckets, 500), Some(3));
+        // p99.9 → rank 5 → 1500 (width 11, bound 2047).
+        assert_eq!(log2_percentile(buckets, 999), Some(2047));
     }
 }

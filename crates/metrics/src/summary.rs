@@ -5,6 +5,7 @@
 //! (< 10 ms). [`ResponseStats`] accumulates exactly those, plus a couple
 //! of tail quantile helpers.
 
+use crate::ascii::{Align, Table};
 use mlb_simkernel::time::SimDuration;
 use std::fmt;
 
@@ -154,30 +155,35 @@ pub fn render_table(rows: &[TableRow]) -> String {
         .max()
         .unwrap_or(6)
         .max("Policy".len());
-    let mut out = String::new();
-    out.push_str(&format!(
-        "{:<label_w$} | {:>14} | {:>18} | {:>22} | {:>22}\n",
-        "Policy", "# Total Req", "Avg RT (ms)", "% VLRT (>1000 ms)", "% Normal (<10 ms)"
-    ));
-    out.push_str(&format!(
-        "{}-+-{}-+-{}-+-{}-+-{}\n",
-        "-".repeat(label_w),
-        "-".repeat(14),
-        "-".repeat(18),
-        "-".repeat(22),
-        "-".repeat(22)
-    ));
+    let mut table = Table::new(
+        "",
+        " | ",
+        vec![
+            (Align::Left, label_w),
+            (Align::Right, 14),
+            (Align::Right, 18),
+            (Align::Right, 22),
+            (Align::Right, 22),
+        ],
+    );
+    table.row(&[
+        "Policy",
+        "# Total Req",
+        "Avg RT (ms)",
+        "% VLRT (>1000 ms)",
+        "% Normal (<10 ms)",
+    ]);
+    table.rule();
     for row in rows {
-        out.push_str(&format!(
-            "{:<label_w$} | {:>14} | {:>18.2} | {:>21.2}% | {:>21.2}%\n",
-            row.label,
-            row.stats.total(),
-            row.stats.avg_ms(),
-            row.stats.pct_vlrt(),
-            row.stats.pct_normal()
-        ));
+        table.row(&[
+            row.label.clone(),
+            format!("{}", row.stats.total()),
+            format!("{:.2}", row.stats.avg_ms()),
+            format!("{:.2}%", row.stats.pct_vlrt()),
+            format!("{:.2}%", row.stats.pct_normal()),
+        ]);
     }
-    out
+    table.into_string()
 }
 
 impl fmt::Display for ResponseStats {
@@ -258,6 +264,45 @@ mod tests {
         assert!(out.contains("100")); // total requests
         assert!(out.contains("5.00%")); // vlrt pct
         assert!(out.contains("95.00%")); // normal pct
+    }
+
+    #[test]
+    fn table_output_is_byte_identical_to_the_format_string_renderer() {
+        // The pre-`ascii::Table` renderer, inlined as the oracle: the
+        // dedupe must not move a single byte.
+        let mut s = ResponseStats::new();
+        for _ in 0..95 {
+            s.record(ms(5));
+        }
+        for _ in 0..5 {
+            s.record(ms(1_500));
+        }
+        let rows = [TableRow::new("Original total_request", s)];
+        let label_w = rows[0].label.len();
+        let mut expected = String::new();
+        expected.push_str(&format!(
+            "{:<label_w$} | {:>14} | {:>18} | {:>22} | {:>22}\n",
+            "Policy", "# Total Req", "Avg RT (ms)", "% VLRT (>1000 ms)", "% Normal (<10 ms)"
+        ));
+        expected.push_str(&format!(
+            "{}-+-{}-+-{}-+-{}-+-{}\n",
+            "-".repeat(label_w),
+            "-".repeat(14),
+            "-".repeat(18),
+            "-".repeat(22),
+            "-".repeat(22)
+        ));
+        for row in &rows {
+            expected.push_str(&format!(
+                "{:<label_w$} | {:>14} | {:>18.2} | {:>21.2}% | {:>21.2}%\n",
+                row.label,
+                row.stats.total(),
+                row.stats.avg_ms(),
+                row.stats.pct_vlrt(),
+                row.stats.pct_normal()
+            ));
+        }
+        assert_eq!(render_table(&rows), expected);
     }
 
     #[test]

@@ -85,6 +85,11 @@ pub struct SystemConfig {
     /// `BinaryHeap` reference produce bit-identical runs; the heap is
     /// kept as the baseline the scale-sweep bench measures against.
     pub queue: QueueKind,
+    /// Kernel self-profiling (`simprof`): per-event-kind and per-phase
+    /// wall-time counters plus wheel/arena statistics, exported as
+    /// `prof.*` metrics. Off by default; purely observational — a
+    /// profiled run is byte-identical to an unprofiled one.
+    pub prof: bool,
 }
 
 impl SystemConfig {
@@ -122,6 +127,7 @@ impl SystemConfig {
             metrics: MetricsConfig::disabled(),
             detector_feedback: false,
             queue: QueueKind::Wheel,
+            prof: false,
         }
     }
 

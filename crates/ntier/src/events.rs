@@ -143,6 +143,65 @@ pub enum Event {
     MonitorSample,
 }
 
+impl Event {
+    /// Stable snake_case names for every event kind, indexed by
+    /// [`Event::kind`] — the `prof.kind.*` vocabulary of the kernel
+    /// profiler. Order matches the variant declaration order.
+    pub const KIND_NAMES: &'static [&'static str] = &[
+        "client_issue",
+        "client_retransmit",
+        "arrive_apache",
+        "apache_cpu_done",
+        "route_request",
+        "endpoint_retry",
+        "arrive_tomcat",
+        "arrive_probe",
+        "probe_reply",
+        "probe_timeout",
+        "tomcat_cpu_done",
+        "db_dispatch",
+        "arrive_mysql",
+        "mysql_cpu_done",
+        "db_reply",
+        "apache_reply",
+        "client_done",
+        "pdflush_wake",
+        "flush_end",
+        "gc_start",
+        "gc_end",
+        "monitor_sample",
+    ];
+
+    /// Index of this event's kind in [`Event::KIND_NAMES`]. A pure
+    /// function of the variant, so profiles are deterministic.
+    pub fn kind(&self) -> usize {
+        match self {
+            Event::ClientIssue { .. } => 0,
+            Event::ClientRetransmit { .. } => 1,
+            Event::ArriveApache { .. } => 2,
+            Event::ApacheCpuDone { .. } => 3,
+            Event::RouteRequest { .. } => 4,
+            Event::EndpointRetry { .. } => 5,
+            Event::ArriveTomcat { .. } => 6,
+            Event::ArriveProbe { .. } => 7,
+            Event::ProbeReply { .. } => 8,
+            Event::ProbeTimeout { .. } => 9,
+            Event::TomcatCpuDone { .. } => 10,
+            Event::DbDispatch { .. } => 11,
+            Event::ArriveMysql { .. } => 12,
+            Event::MysqlCpuDone { .. } => 13,
+            Event::DbReply { .. } => 14,
+            Event::ApacheReply { .. } => 15,
+            Event::ClientDone { .. } => 16,
+            Event::PdflushWake { .. } => 17,
+            Event::FlushEnd { .. } => 18,
+            Event::GcStart { .. } => 19,
+            Event::GcEnd { .. } => 20,
+            Event::MonitorSample => 21,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +211,18 @@ mod tests {
         assert_eq!(ServerRef::Apache(0).to_string(), "apache1");
         assert_eq!(ServerRef::Tomcat(3).to_string(), "tomcat4");
         assert_eq!(ServerRef::MySql.to_string(), "mysql");
+    }
+
+    #[test]
+    fn every_kind_index_is_in_vocabulary_range() {
+        assert_eq!(Event::KIND_NAMES.len(), 22);
+        assert_eq!(Event::MonitorSample.kind(), Event::KIND_NAMES.len() - 1);
+        assert_eq!(
+            Event::KIND_NAMES[Event::ClientIssue {
+                client: ClientId(0)
+            }
+            .kind()],
+            "client_issue"
+        );
     }
 }

@@ -6,6 +6,7 @@ use mlb_simkernel::time::SimTime;
 
 use crate::config::SystemConfig;
 use crate::metrics::MetricsReport;
+use crate::prof::ProfileReport;
 use crate::system::{InvalidSystemConfigError, NTierSystem};
 use crate::telemetry::Telemetry;
 
@@ -49,6 +50,9 @@ pub struct ExperimentResult {
     /// Streaming registry export and online detector outcome, when
     /// [`SystemConfig::metrics`] was enabled.
     pub metrics: Option<MetricsReport>,
+    /// Kernel self-profile (`prof.*`), when [`SystemConfig::prof`] was
+    /// enabled.
+    pub profile: Option<ProfileReport>,
 }
 
 impl ExperimentResult {
@@ -90,11 +94,16 @@ pub fn run_experiment(cfg: SystemConfig) -> Result<ExperimentResult, InvalidSyst
     let mut sim: Simulation<NTierSystem> = NTierSystem::build_simulation(cfg)?;
     sim.run_until(horizon);
     let events_processed = sim.events_processed();
+    let kernel_profile = sim.profile_snapshot();
     let system = sim.into_model();
-    Ok(package(system, events_processed))
+    Ok(package(system, events_processed, kernel_profile))
 }
 
-fn package(system: NTierSystem, events_processed: u64) -> ExperimentResult {
+fn package(
+    system: NTierSystem,
+    events_processed: u64,
+    kernel_profile: Option<mlb_simkernel::prof::KernelProfile>,
+) -> ExperimentResult {
     let label = system.config().balancer.label();
     let duration_secs = system.config().duration.as_secs_f64();
     let apache_drops = system
@@ -139,6 +148,10 @@ fn package(system: NTierSystem, events_processed: u64) -> ExperimentResult {
         .iter()
         .map(|a| a.balancer.stats().stall_vetoes)
         .sum();
+    let profile = kernel_profile.map(|kernel| ProfileReport {
+        kernel,
+        arena: system.arena_stats(),
+    });
     let (telemetry, trace, metrics) = system.into_parts();
     ExperimentResult {
         label,
@@ -157,6 +170,7 @@ fn package(system: NTierSystem, events_processed: u64) -> ExperimentResult {
         telemetry,
         trace,
         metrics,
+        profile,
     }
 }
 
@@ -223,6 +237,18 @@ mod tests {
                 r.inflight_at_end
             );
         }
+    }
+
+    #[test]
+    fn profile_is_present_exactly_when_asked_for() {
+        let mut cfg = SystemConfig::smoke(BalancerConfig::default());
+        assert!(run_experiment(cfg.clone()).unwrap().profile.is_none());
+        cfg.prof = true;
+        let r = run_experiment(cfg).unwrap();
+        let profile = r.profile.expect("cfg.prof was set");
+        assert_eq!(profile.kernel.events_total(), r.events_processed);
+        assert!(profile.arena.fresh > 0, "requests must hit the arena");
+        assert!(profile.kernel.wheel.is_some(), "default queue is the wheel");
     }
 
     #[test]

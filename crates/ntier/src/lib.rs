@@ -39,6 +39,7 @@ pub mod config;
 pub mod events;
 pub mod experiment;
 pub mod metrics;
+pub mod prof;
 pub mod request;
 pub mod servers;
 pub mod slab;
@@ -50,6 +51,7 @@ pub use affinity::SessionAffinity;
 pub use config::SystemConfig;
 pub use experiment::{run_experiment, ExperimentResult};
 pub use metrics::{LiveMetrics, MetricsConfig, MetricsReport};
+pub use prof::ProfileReport;
 pub use system::{InvalidSystemConfigError, NTierSystem};
 pub use telemetry::{PhaseBreakdown, Telemetry};
 pub use trace::{TraceConfig, Tracer};

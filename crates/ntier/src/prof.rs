@@ -1,0 +1,102 @@
+//! The system-level profile report: kernel profile + arena counters.
+//!
+//! `mlb-metrics` exports a [`KernelProfile`] generically; this module is
+//! where the n-tier system's own structural counters (the request
+//! arena's occupancy/recycling statistics) join the export under the
+//! same `prof.*` namespace. Everything here is presentation — the
+//! profile never feeds back into the simulation.
+
+use mlb_metrics::prof::{deterministic_digest, kernel_pairs, pairs_to_jsonl, render_pairs};
+use mlb_simkernel::prof::KernelProfile;
+
+use crate::slab::ArenaStats;
+
+/// Everything `simprof` measured during one experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileReport {
+    /// Per-event-kind, per-phase, and timer-wheel counters from the
+    /// kernel.
+    pub kernel: KernelProfile,
+    /// Request-arena occupancy and free-list reuse counters.
+    pub arena: ArenaStats,
+}
+
+impl ProfileReport {
+    /// Flattens the report into ordered `(metric name, value)` pairs:
+    /// the kernel's `prof.phase.*`/`prof.kind.*`/`prof.wheel.*` followed
+    /// by `prof.arena.*`.
+    pub fn pairs(&self) -> Vec<(String, u64)> {
+        let mut pairs = kernel_pairs(&self.kernel);
+        for (name, value) in [
+            ("reused", self.arena.reused),
+            ("fresh", self.arena.fresh),
+            ("peak_live", self.arena.peak_live),
+            ("peak_window", self.arena.peak_window),
+        ] {
+            pairs.push((format!("prof.arena.{name}"), value));
+        }
+        pairs
+    }
+
+    /// Registry-format JSONL export of the whole report.
+    pub fn to_jsonl(&self) -> String {
+        pairs_to_jsonl(&self.pairs())
+    }
+
+    /// Digest over the deterministic subset of the export (everything
+    /// except `.wall_ns` lines) — pinned by golden tests.
+    pub fn deterministic_digest(&self) -> u64 {
+        deterministic_digest(&self.to_jsonl())
+    }
+
+    /// ASCII rendering of the report.
+    pub fn render(&self) -> String {
+        render_pairs("kernel profile (prof.*)", &self.pairs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_pairs_follow_kernel_pairs() {
+        let report = ProfileReport {
+            kernel: KernelProfile {
+                kind_names: &["e"],
+                kind_counts: vec![2],
+                kind_wall_ns: vec![10],
+                phase_counts: [1, 2, 0],
+                phase_wall_ns: [5, 6, 0],
+                wheel: None,
+            },
+            arena: ArenaStats {
+                reused: 3,
+                fresh: 4,
+                peak_live: 5,
+                peak_window: 6,
+            },
+        };
+        let pairs = report.pairs();
+        let tail: Vec<(&str, u64)> = pairs
+            .iter()
+            .rev()
+            .take(4)
+            .rev()
+            .map(|(n, v)| (n.as_str(), *v))
+            .collect();
+        assert_eq!(
+            tail,
+            vec![
+                ("prof.arena.reused", 3),
+                ("prof.arena.fresh", 4),
+                ("prof.arena.peak_live", 5),
+                ("prof.arena.peak_window", 6),
+            ]
+        );
+        assert!(report.render().contains("prof.arena.peak_live"));
+        assert!(report
+            .to_jsonl()
+            .contains("\"metric\":\"prof.arena.fresh\""));
+    }
+}

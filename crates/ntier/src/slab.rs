@@ -39,6 +39,23 @@ struct RequestSlot<T> {
     state: Option<T>,
 }
 
+/// Occupancy and recycling counters for a [`RequestArena`].
+///
+/// Pure functions of the insert/remove history — deterministic for a
+/// fixed seed — exported under the `prof.arena.*` namespace when kernel
+/// profiling is enabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Inserts served by recycling a freed slot.
+    pub reused: u64,
+    /// Inserts that had to grow the slot vector.
+    pub fresh: u64,
+    /// Maximum simultaneously live entries.
+    pub peak_live: u64,
+    /// Maximum width of the sliding id window (live span incl. gaps).
+    pub peak_window: u64,
+}
+
 /// A generation-checked handle to one arena entry.
 ///
 /// Resolving a `SlotRef` after its entry was removed — even if the slot
@@ -63,6 +80,7 @@ pub struct RequestArena<T> {
     /// Key of `index`'s front position.
     base: u64,
     live: usize,
+    stats: ArenaStats,
 }
 
 impl<T> RequestArena<T> {
@@ -80,7 +98,13 @@ impl<T> RequestArena<T> {
             index: VecDeque::with_capacity(capacity),
             base: 0,
             live: 0,
+            stats: ArenaStats::default(),
         }
+    }
+
+    /// Lifetime occupancy/recycling counters.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
     }
 
     /// Number of live entries.
@@ -132,6 +156,7 @@ impl<T> RequestArena<T> {
                 let entry = &mut self.slots[s as usize];
                 entry.key = key;
                 entry.state = Some(value);
+                self.stats.reused += 1;
                 s
             }
             None => {
@@ -143,12 +168,15 @@ impl<T> RequestArena<T> {
                     key,
                     state: Some(value),
                 });
+                self.stats.fresh += 1;
                 s
             }
         };
         let generation = self.slots[slot as usize].generation;
         self.index[off] = (u64::from(generation) << 32) | u64::from(slot);
         self.live += 1;
+        self.stats.peak_live = self.stats.peak_live.max(self.live as u64);
+        self.stats.peak_window = self.stats.peak_window.max(self.index.len() as u64);
     }
 
     /// Shared access to the entry under `key`.
@@ -358,5 +386,20 @@ mod tests {
         let mut a = RequestArena::new();
         a.insert(4, 1);
         a.insert(4, 2);
+    }
+
+    #[test]
+    fn stats_count_reuse_and_peaks() {
+        let mut a = RequestArena::new();
+        a.insert(0, 'a');
+        a.insert(1, 'b');
+        a.remove(0);
+        a.insert(2, 'c'); // free-list hit
+        a.insert(3, 'd');
+        let s = a.stats();
+        assert_eq!(s.fresh, 3);
+        assert_eq!(s.reused, 1);
+        assert_eq!(s.peak_live, 3);
+        assert!(s.peak_window >= 3);
     }
 }

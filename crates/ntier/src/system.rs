@@ -257,6 +257,12 @@ impl NTierSystem {
         // Telemetry ticks at the sampling interval.
         let tick = sim.model().cfg.sample_interval;
         sim.schedule(SimTime::ZERO + tick, Event::MonitorSample);
+
+        // Kernel self-profiling, when asked for. Purely observational:
+        // the golden-digest tests pin profiled == unprofiled.
+        if sim.model().cfg.prof {
+            sim.enable_profiling();
+        }
         Ok(sim)
     }
 
@@ -316,6 +322,12 @@ impl NTierSystem {
     /// The Tomcat servers (for post-run inspection).
     pub fn tomcats(&self) -> &[TomcatServer] {
         &self.tomcats
+    }
+
+    /// Occupancy/recycling counters of the request arena (for the
+    /// `prof.arena.*` export).
+    pub fn arena_stats(&self) -> crate::slab::ArenaStats {
+        self.requests.stats()
     }
 
     /// The MySQL server (for post-run inspection).
@@ -1223,5 +1235,13 @@ impl Model for NTierSystem {
             Event::GcEnd { server } => self.on_gc_end(now, sched, server),
             Event::MonitorSample => self.on_monitor(now, sched),
         }
+    }
+
+    fn event_kind_names() -> &'static [&'static str] {
+        Event::KIND_NAMES
+    }
+
+    fn event_kind(event: &Event) -> usize {
+        event.kind()
     }
 }

@@ -51,19 +51,22 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod prof;
 pub mod queue;
 pub mod rng;
 pub mod sim;
 pub mod time;
 
-pub use queue::EventQueue;
+pub use prof::{KernelProfile, KernelProfiler, Phase};
+pub use queue::{EventQueue, WheelStats};
 pub use rng::{SeedSequence, SplitMix64, Xoshiro256StarStar};
 pub use sim::{Model, RunReport, Scheduler, Simulation, StopReason};
 pub use time::{SimDuration, SimTime};
 
 /// Convenient glob-import surface: `use mlb_simkernel::prelude::*;`.
 pub mod prelude {
-    pub use crate::queue::EventQueue;
+    pub use crate::prof::{KernelProfile, Phase};
+    pub use crate::queue::{EventQueue, WheelStats};
     pub use crate::rng::{SeedSequence, Xoshiro256StarStar};
     pub use crate::sim::{Model, RunReport, Scheduler, Simulation, StopReason};
     pub use crate::time::{SimDuration, SimTime};

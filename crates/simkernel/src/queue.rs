@@ -47,12 +47,12 @@ use std::collections::{BinaryHeap, VecDeque};
 use crate::time::SimTime;
 
 /// Bits of time resolved per wheel level.
-const SLOT_BITS: u32 = 6;
+pub const SLOT_BITS: u32 = 6;
 /// Slots per wheel level (`2^SLOT_BITS`).
-const SLOTS: usize = 1 << SLOT_BITS;
+pub const SLOTS: usize = 1 << SLOT_BITS;
 /// Number of wheel levels; together they cover `2^(LEVELS·SLOT_BITS)` µs
 /// (≈ 19.1 hours) beyond the wheel origin before the overflow list kicks in.
-const LEVELS: usize = 6;
+pub const LEVELS: usize = 6;
 /// Cap on the cursor capacity reserved by [`EventQueue::with_capacity`]:
 /// the cursor only ever holds the events of a handful of instants, so
 /// pre-sizing it to the whole expected in-flight population would waste
@@ -67,6 +67,40 @@ pub enum QueueKind {
     Wheel,
     /// `BinaryHeap` reference implementation; O(log n) push/pop.
     Heap,
+}
+
+/// Structural counters of the timer-wheel backend, maintained on every
+/// push/advance. All values are pure functions of the push/pop history
+/// (never of wall time or addresses), so for a fixed seed they are
+/// bit-identical run to run — the self-profiler exports them verbatim
+/// under the deterministic half of the `prof.*` namespace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WheelStats {
+    /// Cascade operations: buckets taken apart because `base` entered
+    /// their window (the per-level drains of the wheel's `advance`).
+    pub cascades: u64,
+    /// Entries migrated to a lower level (or the cursor) by cascades.
+    pub cascade_entries: u64,
+    /// Level-0 jumps: `base` advanced within its 64-µs window straight
+    /// onto an occupied slot.
+    pub level0_jumps: u64,
+    /// Higher-level jumps: `base` rebased onto the nearest occupied slot
+    /// of levels 1+.
+    pub level_jumps: u64,
+    /// Overflow rebases: everything pending sat beyond the wheel span
+    /// and the origin was reset onto the overflow minimum.
+    pub overflow_rebases: u64,
+    /// Entries that went to the unsorted overflow list on push or
+    /// re-place.
+    pub overflow_pushes: u64,
+    /// Ready-queue inserts that appended at the back (the hot
+    /// schedule-at-now case).
+    pub cursor_appends: u64,
+    /// Ready-queue inserts that needed a sorted (binary-search) insert.
+    pub cursor_sorted_inserts: u64,
+    /// Longest single slot bucket drained by a cascade or level-0 jump —
+    /// the wheel's analog of a slot-scan length.
+    pub max_bucket_len: u64,
 }
 
 /// A time-ordered queue of pending events.
@@ -304,6 +338,29 @@ impl<E> EventQueue<E> {
         self.pushed_total
     }
 
+    /// The wheel backend's structural counters, or `None` on the heap.
+    pub fn wheel_stats(&self) -> Option<WheelStats> {
+        match &self.imp {
+            QueueImpl::Wheel(w) => Some(w.stats),
+            QueueImpl::Heap(_) => None,
+        }
+    }
+
+    /// Current occupied-slot count per wheel level (popcount of the
+    /// occupancy bitmaps), or `None` on the heap backend.
+    pub fn wheel_occupancy(&self) -> Option<[u32; LEVELS]> {
+        match &self.imp {
+            QueueImpl::Wheel(w) => {
+                let mut occ = [0u32; LEVELS];
+                for (level, bits) in w.occ.iter().enumerate() {
+                    occ[level] = bits.count_ones();
+                }
+                Some(occ)
+            }
+            QueueImpl::Heap(_) => None,
+        }
+    }
+
     /// Drops all pending events.
     pub fn clear(&mut self) {
         match &mut self.imp {
@@ -367,6 +424,7 @@ struct Wheel<E> {
     slots: Vec<Vec<WheelEntry<E>>>,
     overflow: Vec<WheelEntry<E>>,
     len: usize,
+    stats: WheelStats,
 }
 
 impl<E> Wheel<E> {
@@ -380,6 +438,7 @@ impl<E> Wheel<E> {
             slots,
             overflow: Vec::new(),
             len: 0,
+            stats: WheelStats::default(),
         }
     }
 
@@ -410,8 +469,12 @@ impl<E> Wheel<E> {
     fn cursor_insert(&mut self, e: WheelEntry<E>) {
         let key = (e.time, e.seq);
         match self.cursor.back() {
-            Some(b) if (b.time, b.seq) <= key => self.cursor.push_back(e),
+            Some(b) if (b.time, b.seq) <= key => {
+                self.stats.cursor_appends += 1;
+                self.cursor.push_back(e);
+            }
             _ => {
+                self.stats.cursor_sorted_inserts += 1;
                 let at = self.cursor.partition_point(|x| (x.time, x.seq) < key);
                 self.cursor.insert(at, e);
             }
@@ -423,6 +486,7 @@ impl<E> Wheel<E> {
         debug_assert!(e.time > self.base);
         let level = ((63 - (e.time ^ self.base).leading_zeros()) / SLOT_BITS) as usize;
         if level >= LEVELS {
+            self.stats.overflow_pushes += 1;
             self.overflow.push(e);
         } else {
             let idx = ((e.time >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
@@ -499,6 +563,9 @@ impl<E> Wheel<E> {
                 if self.occ[level] & (1 << idx) != 0 {
                     self.occ[level] &= !(1 << idx);
                     let entries = std::mem::take(&mut self.slots[level * SLOTS + idx]);
+                    self.stats.cascades += 1;
+                    self.stats.cascade_entries += entries.len() as u64;
+                    self.stats.max_bucket_len = self.stats.max_bucket_len.max(entries.len() as u64);
                     for e in entries {
                         if e.time <= self.base {
                             self.cursor.push_back(e);
@@ -521,6 +588,8 @@ impl<E> Wheel<E> {
                 let idx = self.level_index(0);
                 self.occ[0] &= !(1 << idx);
                 let mut bucket = std::mem::take(&mut self.slots[idx]);
+                self.stats.level0_jumps += 1;
+                self.stats.max_bucket_len = self.stats.max_bucket_len.max(bucket.len() as u64);
                 // A level-0 bucket holds exactly one instant, in seq order.
                 self.cursor.extend(bucket.drain(..));
                 self.slots[idx] = bucket;
@@ -537,12 +606,14 @@ impl<E> Wheel<E> {
                 debug_assert!(ahead != 0, "occupied slot behind base at level {level}");
                 let shift = SLOT_BITS * level as u32;
                 self.base = ((self.base >> shift) + u64::from(ahead.trailing_zeros())) << shift;
+                self.stats.level_jumps += 1;
                 continue;
             }
             // Everything pending is in the overflow: rebase onto its
             // minimum and re-place. Entries still ≥ 2^36 µs out simply
             // return to the overflow.
             debug_assert!(!self.overflow.is_empty(), "len > 0 but nothing pending");
+            self.stats.overflow_rebases += 1;
             let min = self
                 .overflow
                 .iter()
@@ -781,5 +852,49 @@ mod tests {
         let got: Vec<(u64, u64)> =
             std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_micros(), e))).collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn wheel_stats_are_deterministic_and_structural() {
+        let run = || {
+            let mut q = EventQueue::with_kind(QueueKind::Wheel);
+            // Spread across levels plus the overflow, then drain fully.
+            for i in 0..500u64 {
+                let t = (i * 7919) % 20_000_000;
+                q.push(SimTime::from_micros(t), i);
+            }
+            q.push(SimTime::from_secs(100_000), 999); // beyond the wheel span
+            while q.pop().is_some() {}
+            q.wheel_stats().expect("wheel backend carries stats")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "identical push histories must yield identical stats");
+        assert!(a.cascades > 0, "multi-level schedule must cascade");
+        assert!(a.level0_jumps + a.level_jumps > 0);
+        assert_eq!(a.overflow_pushes, 1);
+        assert_eq!(a.overflow_rebases, 1);
+        assert!(a.max_bucket_len >= 1);
+    }
+
+    #[test]
+    fn heap_backend_has_no_wheel_stats() {
+        let mut q = EventQueue::with_kind(QueueKind::Heap);
+        q.push(SimTime::ZERO, ());
+        assert_eq!(q.wheel_stats(), None);
+        assert_eq!(q.wheel_occupancy(), None);
+    }
+
+    #[test]
+    fn wheel_occupancy_counts_occupied_slots() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert_eq!(q.wheel_occupancy(), Some([0; LEVELS]));
+        // Three distinct level-0 slots ahead of base.
+        q.push(SimTime::from_micros(1), 0);
+        q.push(SimTime::from_micros(2), 1);
+        q.push(SimTime::from_micros(3), 2);
+        let occ = q.wheel_occupancy().expect("wheel backend");
+        assert_eq!(occ[0], 3);
+        assert_eq!(occ[1..].iter().sum::<u32>(), 0);
     }
 }

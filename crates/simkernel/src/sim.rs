@@ -39,6 +39,7 @@
 //! assert_eq!(report.events_processed, 5);
 //! ```
 
+use crate::prof::{KernelProfile, KernelProfiler, Phase};
 use crate::queue::{EventQueue, InstantBatch};
 use crate::time::{SimDuration, SimTime};
 
@@ -53,6 +54,22 @@ pub trait Model {
     /// Processes one event occurring at `now`, scheduling any follow-up
     /// events through `sched`.
     fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
+
+    /// Stable names for the model's event kinds, indexed by
+    /// [`Model::event_kind`]. Only consulted when profiling is enabled
+    /// ([`Simulation::enable_profiling`]); the default lumps everything
+    /// into one bucket.
+    fn event_kind_names() -> &'static [&'static str] {
+        &["event"]
+    }
+
+    /// Classifies an event into an index of [`Model::event_kind_names`].
+    /// Must be a pure function of the event (no state, no randomness) so
+    /// that profiles stay deterministic. Out-of-range indices are clamped
+    /// to the last name.
+    fn event_kind(_event: &Self::Event) -> usize {
+        0
+    }
 }
 
 /// Handle through which a [`Model`] books future events while one is being
@@ -69,12 +86,29 @@ pub struct Scheduler<'a, E> {
     /// handled; counted so [`Scheduler::pending`] reports exactly what a
     /// one-pop-at-a-time loop would.
     batch_pending: usize,
+    /// Profiler hooks, present only when the owning simulation enabled
+    /// profiling. Timing a push never influences where it lands.
+    prof: Option<&'a mut KernelProfiler>,
 }
 
 impl<'a, E> Scheduler<'a, E> {
     /// The timestamp of the event currently being processed.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Pushes into the queue, attributing the push's wall time to the
+    /// `Schedule` phase when profiling is on. Both paths execute the
+    /// exact same queue operation.
+    fn push_profiled(&mut self, at: SimTime, event: E) {
+        match self.prof.as_deref_mut() {
+            Some(prof) => {
+                let t0 = prof.clock_ns();
+                self.queue.push(at, event);
+                prof.phase_add(Phase::Schedule, t0);
+            }
+            None => self.queue.push(at, event),
+        }
     }
 
     /// Schedules `event` at the absolute instant `at`.
@@ -89,18 +123,18 @@ impl<'a, E> Scheduler<'a, E> {
             self.now,
             at
         );
-        self.queue.push(at, event);
+        self.push_profiled(at, event);
     }
 
     /// Schedules `event` to occur `delay` after the current instant.
     pub fn after(&mut self, delay: SimDuration, event: E) {
-        self.queue.push(self.now + delay, event);
+        self.push_profiled(self.now + delay, event);
     }
 
     /// Schedules `event` at the current instant (it runs after all events
     /// already queued for this instant, preserving FIFO order).
     pub fn immediately(&mut self, event: E) {
-        self.queue.push(self.now, event);
+        self.push_profiled(self.now, event);
     }
 
     /// Requests that the driver stop after the current event completes,
@@ -145,6 +179,9 @@ pub struct Simulation<M: Model> {
     queue: EventQueue<M::Event>,
     now: SimTime,
     events_processed: u64,
+    /// `Some` only after [`Simulation::enable_profiling`]; the unprofiled
+    /// path pays one branch per hook and nothing else.
+    prof: Option<KernelProfiler>,
 }
 
 impl<M: Model> Simulation<M> {
@@ -163,7 +200,31 @@ impl<M: Model> Simulation<M> {
             queue,
             now: SimTime::ZERO,
             events_processed: 0,
+            prof: None,
         }
+    }
+
+    /// Turns on kernel self-profiling for all subsequent runs. Profiling
+    /// observes — it never changes event order, timestamps, or model
+    /// state, so a profiled run is byte-identical to an unprofiled one
+    /// (see [`crate::prof`] for the contract).
+    pub fn enable_profiling(&mut self) {
+        if self.prof.is_none() {
+            self.prof = Some(KernelProfiler::new(M::event_kind_names()));
+        }
+    }
+
+    /// Whether [`Simulation::enable_profiling`] has been called.
+    pub fn profiling_enabled(&self) -> bool {
+        self.prof.is_some()
+    }
+
+    /// Snapshot of the kernel profile (with the queue's wheel statistics
+    /// attached), or `None` when profiling was never enabled.
+    pub fn profile_snapshot(&self) -> Option<KernelProfile> {
+        self.prof
+            .as_ref()
+            .map(|p| p.snapshot(self.queue.wheel_stats()))
     }
 
     /// The current simulation clock.
@@ -215,18 +276,32 @@ impl<M: Model> Simulation<M> {
     /// Processes a single event, if one is pending. Returns `true` if an
     /// event was handled.
     pub fn step(&mut self) -> bool {
+        let d0 = self.prof.as_ref().map(KernelProfiler::clock_ns);
         match self.queue.pop() {
             Some((time, event)) => {
+                if let (Some(prof), Some(d0)) = (self.prof.as_mut(), d0) {
+                    prof.phase_add(Phase::Drain, d0);
+                }
                 debug_assert!(time >= self.now, "event queue went backwards");
                 self.now = time;
+                let kind = if self.prof.is_some() {
+                    M::event_kind(&event)
+                } else {
+                    0
+                };
+                let h0 = self.prof.as_ref().map(KernelProfiler::clock_ns);
                 let mut halt = false;
                 let mut sched = Scheduler {
                     now: time,
                     queue: &mut self.queue,
                     halt: &mut halt,
                     batch_pending: 0,
+                    prof: self.prof.as_mut(),
                 };
                 self.model.handle(time, event, &mut sched);
+                if let (Some(prof), Some(h0)) = (self.prof.as_mut(), h0) {
+                    prof.record_event(kind, h0);
+                }
                 self.events_processed += 1;
                 true
             }
@@ -252,6 +327,7 @@ impl<M: Model> Simulation<M> {
         let start_count = self.events_processed;
         let mut batch = InstantBatch::new();
         loop {
+            let d0 = self.prof.as_ref().map(KernelProfiler::clock_ns);
             match self.queue.peek_time() {
                 None => {
                     return RunReport {
@@ -274,16 +350,29 @@ impl<M: Model> Simulation<M> {
                         .drain_instant(&mut batch)
                         // simlint::allow(panic-hygiene): peek_time() just returned Some and nothing else pops the queue
                         .expect("peeked event vanished");
+                    if let (Some(prof), Some(d0)) = (self.prof.as_mut(), d0) {
+                        prof.phase_add(Phase::Drain, d0);
+                    }
                     self.now = time;
                     while let Some(event) = batch.next_event() {
+                        let kind = if self.prof.is_some() {
+                            M::event_kind(&event)
+                        } else {
+                            0
+                        };
+                        let h0 = self.prof.as_ref().map(KernelProfiler::clock_ns);
                         let mut halt = false;
                         let mut sched = Scheduler {
                             now: time,
                             queue: &mut self.queue,
                             halt: &mut halt,
                             batch_pending: batch.remaining(),
+                            prof: self.prof.as_mut(),
                         };
                         self.model.handle(time, event, &mut sched);
+                        if let (Some(prof), Some(h0)) = (self.prof.as_mut(), h0) {
+                            prof.record_event(kind, h0);
+                        }
                         self.events_processed += 1;
                         if halt {
                             self.queue.restore(&mut batch);
@@ -484,5 +573,72 @@ mod tests {
         sim.run_to_completion();
         let model = sim.into_model();
         assert_eq!(model.seen.len(), 1);
+    }
+
+    /// Recorder with a real event-kind vocabulary: evens vs odds.
+    struct Kinded {
+        seen: Vec<u32>,
+    }
+
+    impl Model for Kinded {
+        type Event = u32;
+        fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Scheduler<'_, u32>) {
+            self.seen.push(ev);
+            if ev < 6 {
+                sched.after(SimDuration::from_millis(1), ev + 1);
+            }
+        }
+        fn event_kind_names() -> &'static [&'static str] {
+            &["even", "odd"]
+        }
+        fn event_kind(event: &u32) -> usize {
+            (*event % 2) as usize
+        }
+    }
+
+    #[test]
+    fn profiling_counts_kinds_without_changing_the_run() {
+        let run = |profiled: bool| {
+            let mut sim = Simulation::new(Kinded { seen: Vec::new() });
+            if profiled {
+                sim.enable_profiling();
+            }
+            sim.schedule(SimTime::ZERO, 0);
+            let report = sim.run_to_completion();
+            let profile = sim.profile_snapshot();
+            (sim.into_model().seen, report, profile)
+        };
+        let (plain_seen, plain_report, plain_profile) = run(false);
+        let (prof_seen, prof_report, profile) = run(true);
+        assert!(plain_profile.is_none());
+        assert_eq!(plain_seen, prof_seen, "profiling changed the event order");
+        assert_eq!(plain_report, prof_report, "profiling changed the report");
+
+        let Some(profile) = profile else {
+            panic!("profiling was enabled")
+        };
+        // Events 0..=6: four evens, three odds — pure function of the run.
+        assert_eq!(profile.kind_names, &["even", "odd"]);
+        assert_eq!(profile.kind_counts, vec![4, 3]);
+        assert_eq!(profile.events_total(), 7);
+        assert_eq!(profile.phase_count(Phase::Handle), 7);
+        // Each handled instant is one drain; six handler pushes.
+        assert_eq!(profile.phase_count(Phase::Drain), 7);
+        assert_eq!(profile.phase_count(Phase::Schedule), 6);
+        assert!(profile.wheel.is_some(), "default queue is the wheel");
+    }
+
+    #[test]
+    fn step_profiles_too() {
+        let mut sim = Simulation::new(Kinded { seen: Vec::new() });
+        sim.enable_profiling();
+        assert!(sim.profiling_enabled());
+        sim.schedule(SimTime::ZERO, 1);
+        assert!(sim.step());
+        let Some(profile) = sim.profile_snapshot() else {
+            panic!("profiling was enabled")
+        };
+        assert_eq!(profile.kind_counts, vec![0, 1]);
+        assert_eq!(profile.phase_count(Phase::Drain), 1);
     }
 }
