@@ -70,6 +70,6 @@ pub use figures::{all_artifacts, build, required_runs, Figure};
 pub use history::{BenchMeta, HistoryPoint, HistoryRecord};
 pub use robustness::build_robustness;
 pub use runs::{RunCache, RunKey};
-pub use scaling::{run_scale_sweep, ScaleSweepConfig, ScaleSweepReport};
+pub use scaling::{run_scale_sweep, HoldDist, ScaleSweepConfig, ScaleSweepReport};
 pub use tournament::{build_tournament, run_tournament, TournamentConfig, TournamentReport};
 pub use trace::build_trace;

@@ -21,14 +21,14 @@
 
 use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
 use mlb_ntier::config::SystemConfig;
+use mlb_ntier::slab::ArenaStats;
 use mlb_ntier::system::NTierSystem;
-use mlb_simkernel::queue::{EventQueue, QueueKind};
+use mlb_simkernel::queue::{EventQueue, QueueKind, WheelStats};
 use mlb_simkernel::sim::Simulation;
 use mlb_simkernel::time::{SimDuration, SimTime};
 use mlb_workload::clients::ClientPopulation;
 
 use crate::history::{BenchMeta, HistoryPoint, HistoryRecord};
-use crate::par_runs;
 
 /// What to sweep and how long to run each point.
 #[derive(Debug, Clone)]
@@ -52,7 +52,7 @@ impl ScaleSweepConfig {
             scales: vec![1, 4, 16, 64],
             secs: 2,
             seeds: vec![7, 8, 42],
-            slices: 8,
+            slices: 16,
         }
     }
 
@@ -90,6 +90,63 @@ pub struct ScalePoint {
     /// Requests completed, summed over seeds (sanity: the two backends
     /// must agree on this at the same scale).
     pub requests_completed: u64,
+    /// Wheel cascades run, summed over seeds (0 on the heap backend).
+    pub cascades: u64,
+    /// Entries moved by cascades, summed over seeds (0 on the heap).
+    pub cascade_entries: u64,
+    /// Fresh wheel-node arena growths, summed over seeds (0 on the heap).
+    pub node_allocs: u64,
+    /// Wheel nodes recycled off the free list, summed (0 on the heap).
+    pub node_reuses: u64,
+    /// Peak live wheel nodes, max over seeds (0 on the heap).
+    pub node_peak_live: u64,
+    /// Fresh request-arena slot growths, summed over seeds.
+    pub arena_allocs: u64,
+    /// Request-arena slots recycled off the free list, summed over seeds.
+    pub arena_reuses: u64,
+    /// Peak live request-arena entries, max over seeds.
+    pub arena_peak_live: u64,
+    /// Fresh request-arena slot growths after each run's midpoint,
+    /// summed over seeds. At overloaded scales this legitimately ramps
+    /// with in-flight liveness, but it is backend-independent: the gate
+    /// asserts wheel and heap agree exactly, and that the 1× point (the
+    /// only scale that reaches steady state inside the window) stays
+    /// under 1% of inserts.
+    pub second_half_arena_allocs: u64,
+    /// Fresh wheel-node growths after each run's midpoint, summed over
+    /// seeds (0 on the heap). Think-timer liveness peaks when the client
+    /// population first goes to sleep, so this is ~0 at *every* scale —
+    /// the packed arena's allocation-free steady state, gated as such.
+    pub second_half_node_allocs: u64,
+}
+
+/// How the *hold* churn draws re-insertion offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HoldDist {
+    /// ~Uniform on [0, 14 s) — cache-friendly, spreads entries evenly
+    /// over the wheel levels and never builds the far-future backlog
+    /// that storms cascades. The flattering series.
+    Uniform,
+    /// Paper-shaped near/far mix: 15-in-16 sub-millisecond service-like
+    /// hops, 1-in-16 think-time-like 7–9 s sleeps — the mix the n-tier
+    /// model actually generates (~16 kernel events per request, one of
+    /// them a think timer). This is the series that predicted nothing
+    /// when it was missing: uniform hold read 14 M ops/s while the
+    /// end-to-end 64× sweep collapsed to 19 k events/s.
+    Bimodal,
+}
+
+impl HoldDist {
+    /// Every distribution, in report order.
+    pub const ALL: [HoldDist; 2] = [HoldDist::Uniform, HoldDist::Bimodal];
+
+    /// Series name used in reports and ledger keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            HoldDist::Uniform => "uniform",
+            HoldDist::Bimodal => "bimodal",
+        }
+    }
 }
 
 /// One *hold* microbenchmark point: queue ops/sec at a pending-set size.
@@ -101,6 +158,8 @@ pub struct HoldPoint {
     pub pending: usize,
     /// Event-queue backend measured.
     pub queue: QueueKind,
+    /// Re-insertion offset distribution this series drew from.
+    pub dist: HoldDist,
     /// Pop-one/push-one operations per wall-clock second.
     pub ops_per_sec: f64,
 }
@@ -146,35 +205,90 @@ struct RunStats {
     wall_secs: f64,
     peak_queue: usize,
     completed: u64,
+    /// Wheel counters at run end (`None` on the heap backend).
+    wheel: Option<WheelStats>,
+    /// Request-arena counters at run end.
+    arena: ArenaStats,
+    /// Fresh request-arena slots after the midpoint slice.
+    second_half_arena_allocs: u64,
+    /// Fresh wheel nodes after the midpoint slice (0 on the heap) — the
+    /// per-run allocation-free steady-state gauge.
+    second_half_node_allocs: u64,
 }
 
-fn run_point(scale: usize, kind: QueueKind, seed: u64, secs: u64, slices: u64) -> RunStats {
-    let cfg = point_config(scale, kind, seed, secs);
-    let mut sim: Simulation<NTierSystem> =
-        NTierSystem::build_simulation(cfg).expect("scaled preset is valid");
+/// One simulation being stepped slice-by-slice next to its rival.
+struct Lane {
+    kind: QueueKind,
+    sim: Simulation<NTierSystem>,
+    wall_secs: f64,
+    peak_queue: usize,
+    mid_arena_allocs: u64,
+    mid_node_allocs: u64,
+}
+
+/// Runs one seed under *both* backends with their slices interleaved:
+/// wheel slice `i` executes immediately before heap slice `i`, and each
+/// backend's wall clock accrues only while its own slice runs.
+///
+/// The interleaving is the measurement's noise defense. Shared hosts
+/// show multi-second slow windows (scheduling, thermal); running all of
+/// one backend before any of the other lets a single bad window land
+/// entirely on one side and fake an inversion at one scale while the
+/// neighbouring scales read 2×+ the other way. Adjacent slices pin both
+/// backends to near-identical host conditions, so the wheel/heap ratio
+/// stays trustworthy even when absolute throughput is noisy.
+fn run_pair(scale: usize, seed: u64, secs: u64, slices: u64) -> Vec<(QueueKind, RunStats)> {
+    let mut lanes: Vec<Lane> = [QueueKind::Wheel, QueueKind::Heap]
+        .into_iter()
+        .map(|kind| Lane {
+            kind,
+            sim: NTierSystem::build_simulation(point_config(scale, kind, seed, secs))
+                .expect("scaled preset is valid"),
+            wall_secs: 0.0,
+            peak_queue: 0,
+            mid_arena_allocs: 0,
+            mid_node_allocs: 0,
+        })
+        .collect();
     let total_us = secs * 1_000_000;
-    let start = std::time::Instant::now();
-    let mut peak_queue = 0usize;
+    let mid_slice = slices.div_ceil(2);
     for i in 1..=slices {
-        sim.run_until(SimTime::from_micros(total_us * i / slices));
-        peak_queue = peak_queue.max(sim.pending());
+        for lane in &mut lanes {
+            let start = std::time::Instant::now();
+            lane.sim.run_until(SimTime::from_micros(total_us * i / slices));
+            lane.wall_secs += start.elapsed().as_secs_f64();
+            lane.peak_queue = lane.peak_queue.max(lane.sim.pending());
+            if i == mid_slice {
+                lane.mid_arena_allocs = lane.sim.model().arena_stats().allocs;
+                lane.mid_node_allocs = lane.sim.wheel_stats().map_or(0, |w| w.node_allocs);
+            }
+        }
     }
-    let wall_secs = start.elapsed().as_secs_f64();
-    let events = sim.events_processed();
-    let completed = sim.model().telemetry().response.total();
-    RunStats {
-        events,
-        wall_secs,
-        peak_queue,
-        completed,
-    }
+    lanes
+        .into_iter()
+        .map(|lane| {
+            let wheel = lane.sim.wheel_stats();
+            let arena = lane.sim.model().arena_stats();
+            let stats = RunStats {
+                events: lane.sim.events_processed(),
+                wall_secs: lane.wall_secs,
+                peak_queue: lane.peak_queue,
+                completed: lane.sim.model().telemetry().response.total(),
+                second_half_arena_allocs: arena.allocs - lane.mid_arena_allocs,
+                second_half_node_allocs: wheel.map_or(0, |w| w.node_allocs)
+                    - lane.mid_node_allocs,
+                wheel,
+                arena,
+            };
+            (lane.kind, stats)
+        })
+        .collect()
 }
 
 /// The classic *hold* kernel microbenchmark: keep `pending` events in
 /// the queue and churn pop-one/push-one `ops` times, re-inserting each
-/// popped event a think-time-like interval (mean 7 s, the paper's
-/// RUBBoS think time) into the future. Returns operations per wall-clock
-/// second.
+/// popped event an offset drawn from `dist` into the future. Returns
+/// operations per wall-clock second.
 ///
 /// This isolates the event-queue data structure from the n-tier model:
 /// the pending-set size is exactly what a closed-loop population of
@@ -182,15 +296,25 @@ fn run_point(scale: usize, kind: QueueKind, seed: u64, secs: u64, slices: u64) -
 /// service, or telemetry work happens between queue touches. The
 /// wheel-over-heap ratio of this number is the kernel speedup proper;
 /// the full-system sweep shows how much of it survives model cost.
-pub fn hold_ops_per_sec(kind: QueueKind, pending: usize, ops: u64, seed: u64) -> f64 {
-    // Deterministic xorshift64*; spread is ~uniform on [0, 14 s), which
-    // exercises several wheel levels like real think timers do.
+pub fn hold_ops_per_sec(kind: QueueKind, dist: HoldDist, pending: usize, ops: u64, seed: u64) -> f64 {
+    // Deterministic xorshift64*, shaped per `dist`.
     let mut state = seed | 1;
     let mut next_us = move || {
         state ^= state << 13;
         state ^= state >> 7;
         state ^= state << 17;
-        state % 14_000_000
+        match dist {
+            HoldDist::Uniform => state % 14_000_000,
+            // 1-in-16 far (7–9 s think-timer-like), else sub-ms service
+            // hop — the n-tier model's per-request event mix.
+            HoldDist::Bimodal => {
+                if state % 16 == 0 {
+                    7_000_000 + (state >> 8) % 2_000_000
+                } else {
+                    (state >> 8) % 1_000
+                }
+            }
+        }
     };
     let mut q: EventQueue<u32> = EventQueue::with_capacity_and_kind(pending, kind);
     for i in 0..pending {
@@ -206,22 +330,40 @@ pub fn hold_ops_per_sec(kind: QueueKind, pending: usize, ops: u64, seed: u64) ->
 
 /// Runs the sweep: every scale × both backends × every seed.
 ///
-/// Seeds (and the two backends) of one scale run in parallel; scales run
-/// one after another so the biggest population's memory footprint is
-/// never multiplied by the number of scales.
+/// Seeds run one after another, each stepping its wheel and heap
+/// simulations interleaved slice-by-slice (see [`run_pair`]). Nothing is
+/// fanned across threads on purpose: the wall clocks being measured ARE
+/// the product, and parallel runs on a contended host inflate every
+/// lane's wall by the co-runner count, wrecking `wall_secs_per_sim_sec`
+/// without finishing the sweep any sooner on a small machine. Scales run
+/// sequentially so the biggest population's memory footprint is never
+/// multiplied by the number of scales.
 pub fn run_scale_sweep(cfg: &ScaleSweepConfig) -> ScaleSweepReport {
     let mut points = Vec::new();
     for &scale in &cfg.scales {
-        for kind in [QueueKind::Wheel, QueueKind::Heap] {
-            let items: Vec<u64> = cfg.seeds.clone();
-            let secs = cfg.secs;
-            let slices = cfg.slices;
-            let stats = par_runs(items, |seed| run_point(scale, kind, seed, secs, slices));
+        let mut per_kind: Vec<(QueueKind, Vec<RunStats>)> = vec![
+            (QueueKind::Wheel, Vec::new()),
+            (QueueKind::Heap, Vec::new()),
+        ];
+        for &seed in &cfg.seeds {
+            for (kind, stats) in run_pair(scale, seed, cfg.secs, cfg.slices) {
+                per_kind
+                    .iter_mut()
+                    .find(|(k, _)| *k == kind)
+                    .expect("lane kind is in the report set")
+                    .1
+                    .push(stats);
+            }
+        }
+        for (kind, stats) in per_kind {
             let events: u64 = stats.iter().map(|s| s.events).sum();
             let wall: f64 = stats.iter().map(|s| s.wall_secs).sum();
             let completed: u64 = stats.iter().map(|s| s.completed).sum();
             let peak_queue = stats.iter().map(|s| s.peak_queue).max().unwrap_or(0);
-            let sim_secs = (secs * cfg.seeds.len() as u64) as f64;
+            let sim_secs = (cfg.secs * cfg.seeds.len() as u64) as f64;
+            let wheel_sum = |f: fn(&WheelStats) -> u64| -> u64 {
+                stats.iter().filter_map(|s| s.wheel.as_ref()).map(f).sum()
+            };
             let point = ScalePoint {
                 scale,
                 clients: 70_000 * scale,
@@ -232,14 +374,37 @@ pub fn run_scale_sweep(cfg: &ScaleSweepConfig) -> ScaleSweepReport {
                 wall_secs_per_sim_sec: wall / sim_secs.max(1e-9),
                 peak_queue_len: peak_queue,
                 requests_completed: completed,
+                cascades: wheel_sum(|w| w.cascades),
+                cascade_entries: wheel_sum(|w| w.cascade_entries),
+                node_allocs: wheel_sum(|w| w.node_allocs),
+                node_reuses: wheel_sum(|w| w.node_reuses),
+                node_peak_live: stats
+                    .iter()
+                    .filter_map(|s| s.wheel.as_ref())
+                    .map(|w| w.node_peak_live)
+                    .max()
+                    .unwrap_or(0),
+                arena_allocs: stats.iter().map(|s| s.arena.allocs).sum(),
+                arena_reuses: stats.iter().map(|s| s.arena.reuses).sum(),
+                arena_peak_live: stats.iter().map(|s| s.arena.peak_live).max().unwrap_or(0),
+                second_half_arena_allocs: stats
+                    .iter()
+                    .map(|s| s.second_half_arena_allocs)
+                    .sum(),
+                second_half_node_allocs: stats
+                    .iter()
+                    .map(|s| s.second_half_node_allocs)
+                    .sum(),
             };
             eprintln!(
-                "  [scale {:>3}x {:<5}] {:>10.0} events/s, {:>6.3} wall-s/sim-s, peak queue {:>8}",
+                "  [scale {:>3}x {:<5}] {:>10.0} events/s, {:>6.3} wall-s/sim-s, peak queue {:>8}, 2nd-half allocs arena {} / nodes {}",
                 scale,
                 kind_name(kind),
                 point.events_per_sec,
                 point.wall_secs_per_sim_sec,
                 point.peak_queue_len,
+                point.second_half_arena_allocs,
+                point.second_half_node_allocs,
             );
             points.push(point);
         }
@@ -250,21 +415,25 @@ pub fn run_scale_sweep(cfg: &ScaleSweepConfig) -> ScaleSweepReport {
     let mut hold = Vec::new();
     for &scale in &cfg.scales {
         let pending = 70_000 * scale;
-        for kind in [QueueKind::Wheel, QueueKind::Heap] {
-            let ops_per_sec = hold_ops_per_sec(kind, pending, HOLD_OPS, 0x9E37_79B9);
-            eprintln!(
-                "  [hold  {:>3}x {:<5}] {:>10.0} queue ops/s at {:>8} pending",
-                scale,
-                kind_name(kind),
-                ops_per_sec,
-                pending,
-            );
-            hold.push(HoldPoint {
-                scale,
-                pending,
-                queue: kind,
-                ops_per_sec,
-            });
+        for dist in HoldDist::ALL {
+            for kind in [QueueKind::Wheel, QueueKind::Heap] {
+                let ops_per_sec = hold_ops_per_sec(kind, dist, pending, HOLD_OPS, 0x9E37_79B9);
+                eprintln!(
+                    "  [hold  {:>3}x {:<5} {:<7}] {:>10.0} queue ops/s at {:>8} pending",
+                    scale,
+                    kind_name(kind),
+                    dist.name(),
+                    ops_per_sec,
+                    pending,
+                );
+                hold.push(HoldPoint {
+                    scale,
+                    pending,
+                    queue: kind,
+                    dist,
+                    ops_per_sec,
+                });
+            }
         }
     }
     ScaleSweepReport {
@@ -291,16 +460,15 @@ impl ScaleSweepReport {
     }
 
     /// Wheel-over-heap queue-ops/sec speedup of the kernel-only *hold*
-    /// churn at a scale, if both backends were measured there.
-    pub fn hold_speedup_at(&self, scale: usize) -> Option<f64> {
-        let wheel = self
-            .hold
-            .iter()
-            .find(|p| p.scale == scale && p.queue == QueueKind::Wheel)?;
-        let heap = self
-            .hold
-            .iter()
-            .find(|p| p.scale == scale && p.queue == QueueKind::Heap)?;
+    /// churn at a (scale, distribution), if both backends were measured.
+    pub fn hold_speedup_at(&self, scale: usize, dist: HoldDist) -> Option<f64> {
+        let find = |kind| {
+            self.hold
+                .iter()
+                .find(|p| p.scale == scale && p.queue == kind && p.dist == dist)
+        };
+        let wheel = find(QueueKind::Wheel)?;
+        let heap = find(QueueKind::Heap)?;
         Some(wheel.ops_per_sec / heap.ops_per_sec.max(1e-9))
     }
 
@@ -327,7 +495,10 @@ impl ScaleSweepReport {
                 "    {{\"scale\": {}, \"clients\": {}, \"backend\": \"{}\", \
                  \"seeds\": [{}], \"events_processed\": {}, \"events_per_sec\": {:.1}, \
                  \"wall_secs_per_sim_sec\": {:.6}, \"peak_queue_len\": {}, \
-                 \"requests_completed\": {}}}{}\n",
+                 \"requests_completed\": {}, \"cascades\": {}, \"cascade_entries\": {}, \
+                 \"node_allocs\": {}, \"node_reuses\": {}, \"node_peak_live\": {}, \
+                 \"arena_allocs\": {}, \"arena_reuses\": {}, \"arena_peak_live\": {}, \
+                 \"second_half_arena_allocs\": {}, \"second_half_node_allocs\": {}}}{}\n",
                 p.scale,
                 p.clients,
                 kind_name(p.queue),
@@ -341,6 +512,16 @@ impl ScaleSweepReport {
                 p.wall_secs_per_sim_sec,
                 p.peak_queue_len,
                 p.requests_completed,
+                p.cascades,
+                p.cascade_entries,
+                p.node_allocs,
+                p.node_reuses,
+                p.node_peak_live,
+                p.arena_allocs,
+                p.arena_reuses,
+                p.arena_peak_live,
+                p.second_half_arena_allocs,
+                p.second_half_node_allocs,
                 if i + 1 == self.points.len() { "" } else { "," },
             ));
         }
@@ -348,10 +529,11 @@ impl ScaleSweepReport {
         for (i, p) in self.hold.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"scale\": {}, \"pending\": {}, \"backend\": \"{}\", \
-                 \"ops_per_sec\": {:.1}}}{}\n",
+                 \"dist\": \"{}\", \"ops_per_sec\": {:.1}}}{}\n",
                 p.scale,
                 p.pending,
                 kind_name(p.queue),
+                p.dist.name(),
                 p.ops_per_sec,
                 if i + 1 == self.hold.len() { "" } else { "," },
             ));
@@ -367,15 +549,21 @@ impl ScaleSweepReport {
                 first = false;
             }
         }
-        out.push_str("},\n  \"hold_speedup_wheel_over_heap\": {");
-        first = true;
-        for &scale in &self.config.scales {
-            if let Some(s) = self.hold_speedup_at(scale) {
-                if !first {
-                    out.push_str(", ");
+        for dist in HoldDist::ALL {
+            let key = match dist {
+                HoldDist::Uniform => "hold_speedup_wheel_over_heap",
+                HoldDist::Bimodal => "hold_bimodal_speedup_wheel_over_heap",
+            };
+            out.push_str(&format!("}},\n  \"{key}\": {{"));
+            first = true;
+            for &scale in &self.config.scales {
+                if let Some(s) = self.hold_speedup_at(scale, dist) {
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("\"{scale}\": {s:.2}"));
+                    first = false;
                 }
-                out.push_str(&format!("\"{scale}\": {s:.2}"));
-                first = false;
             }
         }
         out.push_str("}\n}\n");
@@ -396,25 +584,48 @@ impl ScaleSweepReport {
     /// `(scale, backend)` full-system measurement (key `"{scale}x/{backend}"`)
     /// plus one per kernel-only hold churn (key `"hold/{scale}x/{backend}"`).
     /// The `events_per_sec` metrics here are what the `repro -- trend`
-    /// gate watches.
-    pub fn history_record(&self, meta: &BenchMeta) -> HistoryRecord {
-        let mut record = HistoryRecord::new(meta, "kernel_scaling", self.config.seeds.clone());
+    /// gate watches. `bench` names the ledger series — the smoke and
+    /// full sweeps record under different names ("kernel_scaling_smoke"
+    /// vs "kernel_scaling") so a CI-sized 1-sim-s run is never the
+    /// trend-gate baseline for a full 2-sim-s run or vice versa.
+    pub fn history_record(&self, meta: &BenchMeta, bench: &str) -> HistoryRecord {
+        let mut record = HistoryRecord::new(meta, bench, self.config.seeds.clone());
         for p in &self.points {
+            let mut metrics = vec![
+                ("events_per_sec", p.events_per_sec),
+                ("wall_secs_per_sim_sec", p.wall_secs_per_sim_sec),
+                ("peak_queue_len", p.peak_queue_len as f64),
+                ("requests_completed", p.requests_completed as f64),
+                ("arena_allocs", p.arena_allocs as f64),
+                ("arena_reuses", p.arena_reuses as f64),
+                ("arena_peak_live", p.arena_peak_live as f64),
+                ("second_half_arena_allocs", p.second_half_arena_allocs as f64),
+            ];
+            if p.queue == QueueKind::Wheel {
+                metrics.extend([
+                    ("cascades", p.cascades as f64),
+                    ("cascade_entries", p.cascade_entries as f64),
+                    ("node_allocs", p.node_allocs as f64),
+                    ("node_reuses", p.node_reuses as f64),
+                    ("node_peak_live", p.node_peak_live as f64),
+                    ("second_half_node_allocs", p.second_half_node_allocs as f64),
+                ]);
+            }
             record.points.push(HistoryPoint::new(
                 format!("{}x/{}", p.scale, kind_name(p.queue)),
-                vec![
-                    ("events_per_sec", p.events_per_sec),
-                    ("wall_secs_per_sim_sec", p.wall_secs_per_sim_sec),
-                    ("peak_queue_len", p.peak_queue_len as f64),
-                    ("requests_completed", p.requests_completed as f64),
-                ],
+                metrics,
             ));
         }
         for h in &self.hold {
-            record.points.push(HistoryPoint::new(
-                format!("hold/{}x/{}", h.scale, kind_name(h.queue)),
-                vec![("ops_per_sec", h.ops_per_sec)],
-            ));
+            let key = match h.dist {
+                HoldDist::Uniform => format!("hold/{}x/{}", h.scale, kind_name(h.queue)),
+                HoldDist::Bimodal => {
+                    format!("hold_bimodal/{}x/{}", h.scale, kind_name(h.queue))
+                }
+            };
+            record
+                .points
+                .push(HistoryPoint::new(key, vec![("ops_per_sec", h.ops_per_sec)]));
         }
         record
     }
@@ -430,11 +641,21 @@ mod tests {
         // backends run bit-identical simulations; check the invariant at a
         // tiny scale so the full bench can trust events/sec differences
         // are pure kernel cost.
-        let wheel = run_point(1, QueueKind::Wheel, 7, 1, 2);
-        let heap = run_point(1, QueueKind::Heap, 7, 1, 2);
+        let pair = run_pair(1, 7, 1, 2);
+        let (wk, wheel) = &pair[0];
+        let (hk, heap) = &pair[1];
+        assert_eq!(*wk, QueueKind::Wheel);
+        assert_eq!(*hk, QueueKind::Heap);
         assert_eq!(wheel.events, heap.events);
         assert_eq!(wheel.completed, heap.completed);
         assert_eq!(wheel.peak_queue, heap.peak_queue);
+        // Request-arena growth is model-driven, so the second-half gauge
+        // must agree across backends too (the every-scale bench gate).
+        assert_eq!(
+            wheel.second_half_arena_allocs,
+            heap.second_half_arena_allocs
+        );
+        assert_eq!(heap.second_half_node_allocs, 0);
     }
 
     fn tiny_report() -> ScaleSweepReport {
@@ -455,13 +676,33 @@ mod tests {
                 wall_secs_per_sim_sec: 2.0,
                 peak_queue_len: 3,
                 requests_completed: 4,
+                cascades: 2,
+                cascade_entries: 6,
+                node_allocs: 8,
+                node_reuses: 9,
+                node_peak_live: 3,
+                arena_allocs: 5,
+                arena_reuses: 11,
+                arena_peak_live: 4,
+                second_half_arena_allocs: 1,
+                second_half_node_allocs: 0,
             }],
-            hold: vec![HoldPoint {
-                scale: 1,
-                pending: 70_000,
-                queue: QueueKind::Wheel,
-                ops_per_sec: 100.0,
-            }],
+            hold: vec![
+                HoldPoint {
+                    scale: 1,
+                    pending: 70_000,
+                    queue: QueueKind::Wheel,
+                    dist: HoldDist::Uniform,
+                    ops_per_sec: 100.0,
+                },
+                HoldPoint {
+                    scale: 1,
+                    pending: 70_000,
+                    queue: QueueKind::Wheel,
+                    dist: HoldDist::Bimodal,
+                    ops_per_sec: 60.0,
+                },
+            ],
         }
     }
 
@@ -484,14 +725,24 @@ mod tests {
 
     #[test]
     fn history_record_carries_every_point() {
-        let record = tiny_report().history_record(&BenchMeta::fixed("cafe", "testhost"));
+        let record =
+            tiny_report().history_record(&BenchMeta::fixed("cafe", "testhost"), "kernel_scaling");
         assert_eq!(record.bench, "kernel_scaling");
         assert_eq!(record.seeds, vec![7, 8, 42]);
         let p = record.point("1x/wheel").expect("system point present");
         assert_eq!(p.metric("events_per_sec"), Some(5.0));
         assert_eq!(p.metric("peak_queue_len"), Some(3.0));
+        assert_eq!(p.metric("cascade_entries"), Some(6.0));
+        assert_eq!(p.metric("node_allocs"), Some(8.0));
+        assert_eq!(p.metric("arena_reuses"), Some(11.0));
+        assert_eq!(p.metric("second_half_arena_allocs"), Some(1.0));
+        assert_eq!(p.metric("second_half_node_allocs"), Some(0.0));
         let h = record.point("hold/1x/wheel").expect("hold point present");
         assert_eq!(h.metric("ops_per_sec"), Some(100.0));
+        let hb = record
+            .point("hold_bimodal/1x/wheel")
+            .expect("bimodal hold point present");
+        assert_eq!(hb.metric("ops_per_sec"), Some(60.0));
         // And the record survives its own serialization.
         let line = record.to_json_line();
         assert_eq!(
@@ -501,10 +752,12 @@ mod tests {
     }
 
     #[test]
-    fn hold_churn_runs_on_both_backends() {
+    fn hold_churn_runs_on_both_backends_and_distributions() {
         for kind in [QueueKind::Wheel, QueueKind::Heap] {
-            let ops = hold_ops_per_sec(kind, 1_000, 10_000, 42);
-            assert!(ops > 0.0);
+            for dist in HoldDist::ALL {
+                let ops = hold_ops_per_sec(kind, dist, 1_000, 10_000, 42);
+                assert!(ops > 0.0);
+            }
         }
     }
 

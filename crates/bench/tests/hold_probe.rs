@@ -3,7 +3,7 @@
 //! to see per-(population, backend) churn rates before launching the
 //! full sweep.
 
-use mlb_bench::scaling::hold_ops_per_sec;
+use mlb_bench::scaling::{hold_ops_per_sec, HoldDist};
 use mlb_simkernel::queue::QueueKind;
 
 #[test]
@@ -11,14 +11,17 @@ use mlb_simkernel::queue::QueueKind;
 fn hold_timing_probe() {
     for scale in [1usize, 4, 16, 64] {
         for kind in [QueueKind::Wheel, QueueKind::Heap] {
-            let pending = 70_000 * scale;
-            let start = std::time::Instant::now();
-            let ops = hold_ops_per_sec(kind, pending, 200_000, 0x9E37_79B9);
-            eprintln!(
-                "scale {scale:>2}x pending {pending:>8} {kind:?}: {:.2}M ops/s ({:.2}s)",
-                ops / 1e6,
-                start.elapsed().as_secs_f64()
-            );
+            for dist in HoldDist::ALL {
+                let pending = 70_000 * scale;
+                let start = std::time::Instant::now();
+                let ops = hold_ops_per_sec(kind, dist, pending, 200_000, 0x9E37_79B9);
+                eprintln!(
+                    "scale {scale:>2}x pending {pending:>8} {kind:?} {:<7}: {:.2}M ops/s ({:.2}s)",
+                    dist.name(),
+                    ops / 1e6,
+                    start.elapsed().as_secs_f64()
+                );
+            }
         }
     }
 }

@@ -1,0 +1,91 @@
+//! Manual diagnostic probe for the 64× wheel-vs-heap inversion — run with
+//! `cargo test -p mlb-bench --release --test probe64 -- --ignored --nocapture`
+//! to see per-slice wall time and wheel-stat deltas at the pathological
+//! scale before and after kernel work.
+
+use mlb_core::{BalancerConfig, MechanismKind, PolicyKind};
+use mlb_ntier::config::SystemConfig;
+use mlb_ntier::system::NTierSystem;
+use mlb_simkernel::queue::QueueKind;
+use mlb_simkernel::sim::Simulation;
+use mlb_simkernel::time::{SimDuration, SimTime};
+use mlb_workload::clients::ClientPopulation;
+
+fn scaled_cfg(scale: usize, kind: QueueKind, seed: u64, secs: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_4x4(BalancerConfig::with(
+        PolicyKind::TotalRequest,
+        MechanismKind::Original,
+    ));
+    cfg.apaches *= scale;
+    cfg.tomcats *= scale;
+    cfg.population = ClientPopulation::new(
+        cfg.population.clients() * scale,
+        cfg.population.think_time_mean(),
+        cfg.apaches,
+    );
+    cfg.duration = SimDuration::from_secs(secs);
+    cfg.seed = seed;
+    cfg.queue = kind;
+    cfg
+}
+
+#[test]
+#[ignore = "timing probe, run manually with --ignored --nocapture"]
+fn slice_timing_probe_64x() {
+    let scale: usize = std::env::var("PROBE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let kind = match std::env::var("PROBE_KIND").as_deref() {
+        Ok("heap") => QueueKind::Heap,
+        _ => QueueKind::Wheel,
+    };
+    let slices: u64 = std::env::var("PROBE_SLICES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let slice_ms: u64 = std::env::var("PROBE_SLICE_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let cfg = scaled_cfg(scale, kind, 7, 2);
+    let build_start = std::time::Instant::now();
+    let mut sim: Simulation<NTierSystem> = NTierSystem::build_simulation(cfg).unwrap();
+    sim.enable_profiling();
+    eprintln!(
+        "built {scale}x {kind:?} in {:.2}s, {} pending",
+        build_start.elapsed().as_secs_f64(),
+        sim.pending()
+    );
+    let mut last_events = 0u64;
+    let mut last_stats = sim.profile_snapshot().and_then(|p| p.wheel);
+    for i in 1..=slices {
+        let start = std::time::Instant::now();
+        sim.run_until(SimTime::from_micros(slice_ms * 1000 * i));
+        let wall = start.elapsed().as_secs_f64();
+        let events = sim.events_processed();
+        let stats = sim.profile_snapshot().and_then(|p| p.wheel);
+        let ev = events - last_events;
+        match (stats, last_stats) {
+            (Some(s), Some(p)) => eprintln!(
+                "slice {i:>3}: {wall:>7.3}s {ev:>8} ev ({:>9.0} ev/s) casc +{} casc_ent +{} l0j +{} lj +{} maxb {} cur_app +{} cur_srt +{} pend {}",
+                ev as f64 / wall.max(1e-9),
+                s.cascades - p.cascades,
+                s.cascade_entries - p.cascade_entries,
+                s.level0_jumps - p.level0_jumps,
+                s.level_jumps - p.level_jumps,
+                s.max_bucket_len,
+                s.cursor_appends - p.cursor_appends,
+                s.cursor_sorted_inserts - p.cursor_sorted_inserts,
+                sim.pending(),
+            ),
+            _ => eprintln!(
+                "slice {i:>3}: {wall:>7.3}s {ev:>8} ev ({:>9.0} ev/s) pend {}",
+                ev as f64 / wall.max(1e-9),
+                sim.pending(),
+            ),
+        }
+        last_events = events;
+        last_stats = stats;
+    }
+}

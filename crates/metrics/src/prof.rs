@@ -54,6 +54,9 @@ pub fn kernel_pairs(profile: &KernelProfile) -> Vec<(String, u64)> {
             ("cursor_appends", w.cursor_appends),
             ("cursor_sorted_inserts", w.cursor_sorted_inserts),
             ("max_bucket_len", w.max_bucket_len),
+            ("node_allocs", w.node_allocs),
+            ("node_reuses", w.node_reuses),
+            ("node_peak_live", w.node_peak_live),
         ] {
             pairs.push((format!("prof.wheel.{name}"), value));
         }
@@ -129,6 +132,9 @@ mod tests {
                 cursor_appends: 9,
                 cursor_sorted_inserts: 1,
                 max_bucket_len: 4,
+                node_allocs: 10,
+                node_reuses: 6,
+                node_peak_live: 4,
             }),
         }
     }
@@ -141,8 +147,8 @@ mod tests {
         assert_eq!(names[1], "prof.phase.drain.wall_ns");
         assert!(names.contains(&"prof.kind.tick.count"));
         assert!(names.contains(&"prof.wheel.cascades"));
-        // 3 phases × 2 + 2 kinds × 2 + 9 wheel counters.
-        assert_eq!(pairs.len(), 6 + 4 + 9);
+        // 3 phases × 2 + 2 kinds × 2 + 12 wheel counters.
+        assert_eq!(pairs.len(), 6 + 4 + 12);
     }
 
     #[test]

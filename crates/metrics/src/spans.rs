@@ -209,6 +209,20 @@ impl RequestTrace {
         }
     }
 
+    /// An empty trace for request `id` reusing a retired trace's event
+    /// buffer (cleared, allocation kept) — the span half of the
+    /// allocation-free steady state.
+    pub fn recycled(id: u64, mut events: Vec<SpanEvent>) -> Self {
+        events.clear();
+        RequestTrace { id, events }
+    }
+
+    /// Consumes the trace, returning its event buffer for reuse via
+    /// [`RequestTrace::recycled`].
+    pub fn into_events(self) -> Vec<SpanEvent> {
+        self.events
+    }
+
     /// Appends one event. Events must be pushed in simulation order.
     pub fn push(&mut self, at: SimTime, kind: SpanKind) {
         debug_assert!(
@@ -599,8 +613,15 @@ impl TraceLog {
     }
 
     /// Folds in one finished trace. `vlrt_threshold` decides whether the
-    /// request enters the attribution path.
-    pub fn record(&mut self, trace: RequestTrace, vlrt_threshold: SimDuration) {
+    /// request enters the attribution path. Returns the trace this record
+    /// retired — the ring's evicted oldest, or the input itself when the
+    /// ring retains nothing — so callers can recycle its event buffer
+    /// instead of letting the allocation die.
+    pub fn record(
+        &mut self,
+        trace: RequestTrace,
+        vlrt_threshold: SimDuration,
+    ) -> Option<RequestTrace> {
         match trace.response_time() {
             Some(rt) => {
                 self.completed += 1;
@@ -610,12 +631,16 @@ impl TraceLog {
             }
             None => self.failed += 1,
         }
-        if self.capacity > 0 {
-            if self.recent.len() == self.capacity {
-                self.recent.pop_front();
-            }
-            self.recent.push_back(trace);
+        if self.capacity == 0 {
+            return Some(trace);
         }
+        let evicted = if self.recent.len() == self.capacity {
+            self.recent.pop_front()
+        } else {
+            None
+        };
+        self.recent.push_back(trace);
+        evicted
     }
 
     fn attribute_vlrt(&mut self, trace: &RequestTrace) {

@@ -247,7 +247,7 @@ mod tests {
         let r = run_experiment(cfg).unwrap();
         let profile = r.profile.expect("cfg.prof was set");
         assert_eq!(profile.kernel.events_total(), r.events_processed);
-        assert!(profile.arena.fresh > 0, "requests must hit the arena");
+        assert!(profile.arena.allocs > 0, "requests must hit the arena");
         assert!(profile.kernel.wheel.is_some(), "default queue is the wheel");
     }
 

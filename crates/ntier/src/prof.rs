@@ -28,8 +28,8 @@ impl ProfileReport {
     pub fn pairs(&self) -> Vec<(String, u64)> {
         let mut pairs = kernel_pairs(&self.kernel);
         for (name, value) in [
-            ("reused", self.arena.reused),
-            ("fresh", self.arena.fresh),
+            ("reuses", self.arena.reuses),
+            ("allocs", self.arena.allocs),
             ("peak_live", self.arena.peak_live),
             ("peak_window", self.arena.peak_window),
         ] {
@@ -71,8 +71,8 @@ mod tests {
                 wheel: None,
             },
             arena: ArenaStats {
-                reused: 3,
-                fresh: 4,
+                reuses: 3,
+                allocs: 4,
                 peak_live: 5,
                 peak_window: 6,
             },
@@ -88,8 +88,8 @@ mod tests {
         assert_eq!(
             tail,
             vec![
-                ("prof.arena.reused", 3),
-                ("prof.arena.fresh", 4),
+                ("prof.arena.reuses", 3),
+                ("prof.arena.allocs", 4),
                 ("prof.arena.peak_live", 5),
                 ("prof.arena.peak_window", 6),
             ]
@@ -97,6 +97,6 @@ mod tests {
         assert!(report.render().contains("prof.arena.peak_live"));
         assert!(report
             .to_jsonl()
-            .contains("\"metric\":\"prof.arena.fresh\""));
+            .contains("\"metric\":\"prof.arena.allocs\""));
     }
 }

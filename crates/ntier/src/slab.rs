@@ -47,9 +47,11 @@ struct RequestSlot<T> {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ArenaStats {
     /// Inserts served by recycling a freed slot.
-    pub reused: u64,
-    /// Inserts that had to grow the slot vector.
-    pub fresh: u64,
+    pub reuses: u64,
+    /// Inserts that had to grow the slot vector. Flat after warmup when
+    /// the free list recycles everything — the allocation-free
+    /// steady-state invariant the bench and CI gate on.
+    pub allocs: u64,
     /// Maximum simultaneously live entries.
     pub peak_live: u64,
     /// Maximum width of the sliding id window (live span incl. gaps).
@@ -156,7 +158,7 @@ impl<T> RequestArena<T> {
                 let entry = &mut self.slots[s as usize];
                 entry.key = key;
                 entry.state = Some(value);
-                self.stats.reused += 1;
+                self.stats.reuses += 1;
                 s
             }
             None => {
@@ -168,7 +170,7 @@ impl<T> RequestArena<T> {
                     key,
                     state: Some(value),
                 });
-                self.stats.fresh += 1;
+                self.stats.allocs += 1;
                 s
             }
         };
@@ -397,8 +399,8 @@ mod tests {
         a.insert(2, 'c'); // free-list hit
         a.insert(3, 'd');
         let s = a.stats();
-        assert_eq!(s.fresh, 3);
-        assert_eq!(s.reused, 1);
+        assert_eq!(s.allocs, 3);
+        assert_eq!(s.reuses, 1);
         assert_eq!(s.peak_live, 3);
         assert!(s.peak_window >= 3);
     }

@@ -16,7 +16,7 @@
 //! either way (tracing is purely observational — it never schedules or
 //! perturbs anything).
 
-use mlb_metrics::spans::{RequestTrace, SpanKind, StallKind, TraceLog};
+use mlb_metrics::spans::{RequestTrace, SpanEvent, SpanKind, StallKind, TraceLog};
 use mlb_metrics::summary::VLRT_THRESHOLD;
 use mlb_simkernel::time::{SimDuration, SimTime};
 
@@ -95,6 +95,11 @@ pub struct Tracer {
     /// sliding window tracks the live span even under heavy sampling.
     live: RequestArena<RequestTrace>,
     log: TraceLog,
+    /// Event buffers recycled from retired traces (ring evictions), so
+    /// steady-state tracing stops allocating span storage once the log
+    /// ring is warm. Bounded by the in-flight population: each finalize
+    /// banks at most one buffer and each new trace withdraws one.
+    spare_events: Vec<Vec<SpanEvent>>,
 }
 
 impl Tracer {
@@ -105,7 +110,14 @@ impl Tracer {
             sample_every: cfg.sample_every.max(1),
             live: RequestArena::new(),
             log: TraceLog::new(cfg.recent_capacity, cfg.vlrt_capacity),
+            spare_events: Vec::new(),
         }
+    }
+
+    /// Event buffers currently banked for reuse (observability for the
+    /// steady-state allocation tests).
+    pub fn spare_event_buffers(&self) -> usize {
+        self.spare_events.len()
     }
 
     /// Whether request `id` is selected by the 1-in-N sampler.
@@ -142,11 +154,20 @@ impl Tracer {
             return;
         }
         let key = self.key(id);
-        if let Some(trace) = self
-            .live
-            .get_or_insert_with(key, || RequestTrace::new(id.0))
-        {
+        let spare = &mut self.spare_events;
+        if let Some(trace) = self.live.get_or_insert_with(key, || match spare.pop() {
+            Some(events) => RequestTrace::recycled(id.0, events),
+            None => RequestTrace::new(id.0),
+        }) {
             trace.push(at, kind);
+        }
+    }
+
+    /// Finalizes `trace` into the log, banking whatever buffer the log
+    /// retires for the next in-flight trace.
+    fn finalize(&mut self, trace: RequestTrace) {
+        if let Some(retired) = self.log.record(trace, VLRT_THRESHOLD) {
+            self.spare_events.push(retired.into_events());
         }
     }
 
@@ -303,7 +324,7 @@ impl Tracer {
         }
         if let Some(mut trace) = self.live.remove(self.key(id)) {
             trace.push(at, SpanKind::Completed { rt });
-            self.log.record(trace, VLRT_THRESHOLD);
+            self.finalize(trace);
         }
     }
 
@@ -315,7 +336,7 @@ impl Tracer {
         }
         if let Some(mut trace) = self.live.remove(self.key(id)) {
             trace.push(at, SpanKind::Failed { elapsed });
-            self.log.record(trace, VLRT_THRESHOLD);
+            self.finalize(trace);
         }
     }
 
@@ -410,6 +431,42 @@ mod tests {
         let mut tr = Tracer::new(&TraceConfig::sampled(1_000));
         tr.stall(ServerRef::MySql, StallKind::Flush, t(0), t(100));
         assert_eq!(tr.log().unwrap().stalls.len(), 1);
+    }
+
+    #[test]
+    fn retired_traces_donate_their_event_buffers() {
+        let mut cfg = TraceConfig::enabled_default();
+        cfg.recent_capacity = 2;
+        let mut tr = Tracer::new(&cfg);
+        // Sequential requests: once the 2-deep ring is warm, every
+        // finalize retires a trace whose buffer the next request reuses.
+        for raw in 0..10u64 {
+            let id = RequestId(raw);
+            tr.issued(id, t(raw), 0, 0);
+            tr.completed(id, t(raw + 1), SimDuration::from_millis(1));
+        }
+        let log = tr.log().unwrap();
+        assert_eq!(log.completed, 10);
+        assert_eq!(log.recent().count(), 2);
+        // 8 evictions banked, 7 withdrawn by requests 3..10 (the first
+        // withdrawal can only happen once an eviction has banked one).
+        assert_eq!(tr.spare_event_buffers(), 1);
+    }
+
+    #[test]
+    fn capacity_zero_log_recycles_every_buffer() {
+        let mut cfg = TraceConfig::enabled_default();
+        cfg.recent_capacity = 0;
+        let mut tr = Tracer::new(&cfg);
+        for raw in 0..5u64 {
+            let id = RequestId(raw);
+            tr.issued(id, t(raw), 0, 0);
+            tr.completed(id, t(raw + 1), SimDuration::from_millis(1));
+        }
+        let log = tr.log().unwrap();
+        assert_eq!(log.completed, 5);
+        assert_eq!(log.recent().count(), 0);
+        assert_eq!(tr.spare_event_buffers(), 1);
     }
 
     #[test]

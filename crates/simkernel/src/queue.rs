@@ -101,6 +101,15 @@ pub struct WheelStats {
     /// Longest single slot bucket drained by a cascade or level-0 jump —
     /// the wheel's analog of a slot-scan length.
     pub max_bucket_len: u64,
+    /// Fresh node-arena slots grown (hot+cold arrays extended). Flat
+    /// after warmup when the free list recycles everything — the
+    /// allocation-free-steady-state invariant the bench gates on.
+    pub node_allocs: u64,
+    /// Node-arena slots recycled off the free list instead of grown.
+    pub node_reuses: u64,
+    /// Peak number of live arena nodes (the high-water mark the hot/cold
+    /// arrays actually grew to).
+    pub node_peak_live: u64,
 }
 
 /// A time-ordered queue of pending events.
@@ -211,8 +220,8 @@ impl<E> EventQueue<E> {
     }
 
     /// Creates an empty queue with room for `capacity` events before
-    /// reallocating (for the wheel backend the cursor reservation is
-    /// capped; slots grow on demand).
+    /// reallocating (for the wheel backend this pre-sizes the packed
+    /// node arena; the cursor reservation is capped).
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue::with_capacity_and_kind(capacity, QueueKind::Wheel)
     }
@@ -376,7 +385,61 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
-/// The hierarchical timer wheel backend.
+/// Sentinel index terminating chunk lists and the cold free list.
+const NIL: u32 = u32::MAX;
+
+/// Entries per hot chunk: with the 8-byte header this makes a chunk
+/// exactly 2 KiB, so one cascade's working set — the ≤ [`SLOTS`]
+/// destination tail chunks being appended to — fits comfortably in L2.
+const CHUNK_CAP: usize = 85;
+
+/// The hot words of one pending event: the `(time, seq)` sort key a
+/// cascade compares, plus the index of the payload in the cold arena.
+/// 24 bytes, vs. dragging the full event through cache; the payload is
+/// only touched when the entry actually reaches the ready queue.
+#[derive(Debug, Clone, Copy)]
+struct ChunkEntry {
+    // simlint::unit(us)
+    time: u64,
+    seq: u64,
+    cold: u32,
+}
+
+impl ChunkEntry {
+    const ZERO: ChunkEntry = ChunkEntry {
+        time: 0,
+        seq: 0,
+        cold: NIL,
+    };
+}
+
+/// One 2 KiB block of a bucket's hot entries. Buckets are singly-linked
+/// chunk lists with a tail pointer: appends fill the tail chunk
+/// sequentially, cascades scan chunks front to back — so the hot path
+/// streams over packed arrays instead of chasing one pointer per event,
+/// and recycling whole chunks (not nodes) keeps bucket memory contiguous
+/// no matter how scrambled the churn order gets.
+#[derive(Debug, Clone)]
+struct Chunk {
+    /// Next chunk of the same bucket, or the free-list link.
+    next: u32,
+    /// Occupied prefix of `entries`.
+    len: u32,
+    entries: [ChunkEntry; CHUNK_CAP],
+}
+
+impl Chunk {
+    fn new() -> Self {
+        Chunk {
+            next: NIL,
+            len: 0,
+            entries: [ChunkEntry::ZERO; CHUNK_CAP],
+        }
+    }
+}
+
+/// The hierarchical timer wheel backend, with packed struct-of-arrays
+/// node storage.
 ///
 /// Layout and invariants (`base` is the wheel origin, in µs):
 ///
@@ -389,24 +452,42 @@ impl<E> Default for EventQueue<E> {
 ///   push: every push later than `base` files into a slot; an eager
 ///   origin pinned to the first push would instead stream every earlier
 ///   event through the sorted ready queue — O(n) each.
+/// * **chunks / cold** — the packed struct-of-arrays event store.
+///   `chunks` is the hot half: 2 KiB blocks of `(time, seq, cold-index)`
+///   entries, the only bytes cascades and jumps ever scan. `cold[i]` is
+///   the payload arena: an event's payload is written there once on push
+///   and read once when the entry reaches the ready queue; in between it
+///   never moves, no matter how many levels the hot entry cascades
+///   through. Freed cold slots are recycled through a LIFO free stack,
+///   freed chunks through a free list, so after the in-flight population
+///   peaks neither array grows again — the allocation-free steady state.
 /// * **cursor** — the ready queue: events at the earliest pending
 ///   instant, sorted by `(time, seq)`, refilled on demand by
 ///   [`advance`](Wheel::advance). After a refill every cursor entry is at
 ///   one instant (== `base`); pushes *at or before* `base` (the
 ///   `Scheduler::immediately` path, and batch-restore) insert into it
-///   directly, keeping it sorted.
-/// * **slots** — `LEVELS × SLOTS` buckets. An event at time `t > base`
-///   lives at level `ℓ = floor(log₂(t XOR base) / SLOT_BITS)`, slot index
+///   directly, keeping it sorted. Cursor entries carry their payload
+///   (their arena slots are already freed).
+/// * **heads / tails** — `LEVELS × SLOTS` buckets, each a singly-linked
+///   chunk list with a tail pointer for O(1) seq-order append. An event
+///   at time `t > base` lives at level
+///   `ℓ = floor(log₂(t XOR base) / SLOT_BITS)`, slot index
 ///   `(t >> ℓ·SLOT_BITS) & (SLOTS-1)`. XOR placement means an event's
 ///   level-ℓ index always differs from (and, because `t > base`, exceeds)
 ///   `base`'s own index at that level, and all events of one instant
 ///   always share a bucket. Buckets accumulate strictly in `seq` order —
 ///   events cascade down the moment `base` enters their window, before
 ///   any later push can target the same bucket — so no bucket ever needs
-///   sorting.
+///   sorting. Two earlier designs melted down at multi-million queue
+///   depths: per-bucket `Vec`s of full events re-moved 40-byte payloads
+///   through doubling multi-MB reallocations on every cascade, and
+///   per-node intrusive lists decayed into one cache+TLB miss per entry
+///   once free-list churn scrambled node order. Chunks keep cascade
+///   reads sequential and confine writes to ≤ [`SLOTS`] resident tail
+///   chunks, at a fixed 24 bytes per entry moved.
 /// * **occ** — one occupancy bitmap per level; finding the next pending
 ///   slot is a shift + `trailing_zeros`, no slot scan.
-/// * **overflow** — unsorted spill for events ≥ 2^(LEVELS·SLOT_BITS) µs
+/// * **overflow** — spill chunk list for events ≥ 2^(LEVELS·SLOT_BITS) µs
 ///   past `base`; rescanned (O(n), amortized across the whole span) only
 ///   when everything nearer has drained.
 ///
@@ -421,22 +502,34 @@ struct Wheel<E> {
     base: u64,
     cursor: VecDeque<WheelEntry<E>>,
     occ: [u64; LEVELS],
-    slots: Vec<Vec<WheelEntry<E>>>,
-    overflow: Vec<WheelEntry<E>>,
+    heads: Vec<u32>,
+    tails: Vec<u32>,
+    overflow_head: u32,
+    overflow_tail: u32,
+    chunks: Vec<Chunk>,
+    chunk_free: u32,
+    cold: Vec<Option<E>>,
+    cold_free: Vec<u32>,
+    live_nodes: u64,
     len: usize,
     stats: WheelStats,
 }
 
 impl<E> Wheel<E> {
     fn new(capacity: usize) -> Self {
-        let mut slots = Vec::new();
-        slots.resize_with(LEVELS * SLOTS, Vec::new);
         Wheel {
             base: 0,
             cursor: VecDeque::with_capacity(capacity.min(CURSOR_PRESIZE_CAP)),
             occ: [0; LEVELS],
-            slots,
-            overflow: Vec::new(),
+            heads: vec![NIL; LEVELS * SLOTS],
+            tails: vec![NIL; LEVELS * SLOTS],
+            overflow_head: NIL,
+            overflow_tail: NIL,
+            chunks: Vec::with_capacity(capacity.div_ceil(CHUNK_CAP)),
+            chunk_free: NIL,
+            cold: Vec::with_capacity(capacity),
+            cold_free: Vec::new(),
+            live_nodes: 0,
             len: 0,
             stats: WheelStats::default(),
         }
@@ -447,12 +540,88 @@ impl<E> Wheel<E> {
         ((self.base >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize
     }
 
+    /// Parks `event` in the cold arena — recycling a freed slot when one
+    /// is available, growing the array only when none is.
+    fn alloc_cold(&mut self, event: E) -> u32 {
+        let id = if let Some(id) = self.cold_free.pop() {
+            self.stats.node_reuses += 1;
+            self.cold[id as usize] = Some(event);
+            id
+        } else {
+            let id = self.cold.len() as u32;
+            self.stats.node_allocs += 1;
+            self.cold.push(Some(event));
+            id
+        };
+        self.live_nodes += 1;
+        self.stats.node_peak_live = self.stats.node_peak_live.max(self.live_nodes);
+        id
+    }
+
+    /// Retires cold slot `id` onto the free stack and returns its payload.
+    fn take_cold(&mut self, id: u32) -> E {
+        self.cold_free.push(id);
+        self.live_nodes -= 1;
+        self.cold[id as usize]
+            .take()
+            // INVARIANT: every live slot is allocated with a payload and
+            // taken exactly once; a second take is arena corruption and
+            // must abort.
+            .expect("wheel cold slot taken twice")
+    }
+
+    /// A fresh (empty, detached) chunk — recycled or grown.
+    fn alloc_chunk(&mut self) -> u32 {
+        if self.chunk_free != NIL {
+            let c = self.chunk_free;
+            self.chunk_free = self.chunks[c as usize].next;
+            self.chunks[c as usize].next = NIL;
+            self.chunks[c as usize].len = 0;
+            c
+        } else {
+            let c = self.chunks.len() as u32;
+            self.chunks.push(Chunk::new());
+            c
+        }
+    }
+
+    /// Returns chunk `c` to the free list. Callers walking a chunk list
+    /// must read `.next` *before* this — it becomes the free-list link.
+    fn free_chunk(&mut self, c: u32) {
+        self.chunks[c as usize].next = self.chunk_free;
+        self.chunk_free = c;
+    }
+
+    /// Appends one hot entry to the bucket list rooted at
+    /// `heads[bucket]`/`tails[bucket]` (tail append preserves seq order).
+    fn bucket_push(&mut self, bucket: usize, e: ChunkEntry) {
+        let mut tail = self.tails[bucket];
+        if tail == NIL || self.chunks[tail as usize].len as usize == CHUNK_CAP {
+            let c = self.alloc_chunk();
+            if tail == NIL {
+                self.heads[bucket] = c;
+            } else {
+                self.chunks[tail as usize].next = c;
+            }
+            self.tails[bucket] = c;
+            tail = c;
+        }
+        let ch = &mut self.chunks[tail as usize];
+        ch.entries[ch.len as usize] = e;
+        ch.len += 1;
+    }
+
     fn push(&mut self, e: WheelEntry<E>) {
         self.len += 1;
         if e.time <= self.base {
             self.cursor_insert(e);
         } else {
-            self.place(e);
+            let entry = ChunkEntry {
+                time: e.time,
+                seq: e.seq,
+                cold: self.alloc_cold(e.event),
+            };
+            self.place_entry(entry);
         }
     }
 
@@ -481,17 +650,31 @@ impl<E> Wheel<E> {
         }
     }
 
-    /// Files an event with `time > base` into its slot (or the overflow).
-    fn place(&mut self, e: WheelEntry<E>) {
+    /// Files a hot entry (whose time is > `base`) into its slot bucket
+    /// (or the overflow list). Moves 24 bytes — the payload stays put.
+    fn place_entry(&mut self, e: ChunkEntry) {
         debug_assert!(e.time > self.base);
         let level = ((63 - (e.time ^ self.base).leading_zeros()) / SLOT_BITS) as usize;
         if level >= LEVELS {
             self.stats.overflow_pushes += 1;
-            self.overflow.push(e);
+            let mut tail = self.overflow_tail;
+            if tail == NIL || self.chunks[tail as usize].len as usize == CHUNK_CAP {
+                let c = self.alloc_chunk();
+                if tail == NIL {
+                    self.overflow_head = c;
+                } else {
+                    self.chunks[tail as usize].next = c;
+                }
+                self.overflow_tail = c;
+                tail = c;
+            }
+            let ch = &mut self.chunks[tail as usize];
+            ch.entries[ch.len as usize] = e;
+            ch.len += 1;
         } else {
             let idx = ((e.time >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
             self.occ[level] |= 1 << idx;
-            self.slots[level * SLOTS + idx].push(e);
+            self.bucket_push(level * SLOTS + idx, e);
         }
     }
 
@@ -543,15 +726,58 @@ impl<E> Wheel<E> {
         self.base = 0;
         self.cursor.clear();
         self.occ = [0; LEVELS];
-        for s in &mut self.slots {
-            s.clear();
-        }
-        self.overflow.clear();
+        self.heads.fill(NIL);
+        self.tails.fill(NIL);
+        self.overflow_head = NIL;
+        self.overflow_tail = NIL;
+        self.chunks.clear();
+        self.chunk_free = NIL;
+        self.cold.clear();
+        self.cold_free.clear();
+        self.live_nodes = 0;
         self.len = 0;
+    }
+
+    /// Drains the chunk list starting at `cur`: entries at or before
+    /// `base` move to the cursor (payload and all), later ones re-file
+    /// into lower buckets. Consumed chunks return to the free list.
+    /// Returns the number of entries moved.
+    fn drain_chunk_list(&mut self, mut cur: u32) -> u64 {
+        let mut moved = 0u64;
+        while cur != NIL {
+            // Read the link first: free_chunk repurposes `next`, and
+            // place_entry may recycle chunks freed earlier in this walk.
+            let next = self.chunks[cur as usize].next;
+            let n = self.chunks[cur as usize].len as usize;
+            for i in 0..n {
+                let e = self.chunks[cur as usize].entries[i];
+                if e.time <= self.base {
+                    let event = self.take_cold(e.cold);
+                    self.cursor.push_back(WheelEntry {
+                        time: e.time,
+                        seq: e.seq,
+                        event,
+                    });
+                } else {
+                    self.place_entry(e);
+                }
+            }
+            moved += n as u64;
+            self.free_chunk(cur);
+            cur = next;
+        }
+        moved
     }
 
     /// Moves `base` forward to the next pending instant and loads its
     /// events into the (empty) cursor. Called only with `len > 0`.
+    ///
+    /// Cost is proportional to the entries actually moved: a cascade
+    /// streams a bucket's chunks front to back (sequential 24-byte
+    /// reads), appends survivors to the ≤ [`SLOTS`] destination tail
+    /// chunks (near-sequential writes), and the jump logic skips empty
+    /// spans through the occupancy bitmaps without touching any entry
+    /// at all. Payloads never move.
     fn advance(&mut self) {
         debug_assert!(self.cursor.is_empty() && self.len > 0);
         loop {
@@ -562,17 +788,14 @@ impl<E> Wheel<E> {
                 let idx = self.level_index(level);
                 if self.occ[level] & (1 << idx) != 0 {
                     self.occ[level] &= !(1 << idx);
-                    let entries = std::mem::take(&mut self.slots[level * SLOTS + idx]);
+                    let bucket = level * SLOTS + idx;
+                    let head = self.heads[bucket];
+                    self.heads[bucket] = NIL;
+                    self.tails[bucket] = NIL;
                     self.stats.cascades += 1;
-                    self.stats.cascade_entries += entries.len() as u64;
-                    self.stats.max_bucket_len = self.stats.max_bucket_len.max(entries.len() as u64);
-                    for e in entries {
-                        if e.time <= self.base {
-                            self.cursor.push_back(e);
-                        } else {
-                            self.place(e);
-                        }
-                    }
+                    let moved = self.drain_chunk_list(head);
+                    self.stats.cascade_entries += moved;
+                    self.stats.max_bucket_len = self.stats.max_bucket_len.max(moved);
                 }
             }
             if !self.cursor.is_empty() {
@@ -587,12 +810,14 @@ impl<E> Wheel<E> {
                 self.base += u64::from(ahead.trailing_zeros());
                 let idx = self.level_index(0);
                 self.occ[0] &= !(1 << idx);
-                let mut bucket = std::mem::take(&mut self.slots[idx]);
                 self.stats.level0_jumps += 1;
-                self.stats.max_bucket_len = self.stats.max_bucket_len.max(bucket.len() as u64);
-                // A level-0 bucket holds exactly one instant, in seq order.
-                self.cursor.extend(bucket.drain(..));
-                self.slots[idx] = bucket;
+                let head = self.heads[idx];
+                self.heads[idx] = NIL;
+                self.tails[idx] = NIL;
+                // A level-0 bucket holds exactly one instant, in seq
+                // order: every entry goes straight to the cursor.
+                let moved = self.drain_chunk_list(head);
+                self.stats.max_bucket_len = self.stats.max_bucket_len.max(moved);
                 return;
             }
             // Jump to the nearest occupied slot of the lowest occupied
@@ -611,24 +836,23 @@ impl<E> Wheel<E> {
             }
             // Everything pending is in the overflow: rebase onto its
             // minimum and re-place. Entries still ≥ 2^36 µs out simply
-            // return to the overflow.
-            debug_assert!(!self.overflow.is_empty(), "len > 0 but nothing pending");
+            // return to the (freshly emptied) overflow list, in order.
+            debug_assert!(self.overflow_head != NIL, "len > 0 but nothing pending");
             self.stats.overflow_rebases += 1;
-            let min = self
-                .overflow
-                .iter()
-                .map(|e| e.time)
-                .min()
-                .unwrap_or(self.base);
-            self.base = min;
-            let entries = std::mem::take(&mut self.overflow);
-            for e in entries {
-                if e.time <= self.base {
-                    self.cursor.push_back(e);
-                } else {
-                    self.place(e);
+            let mut min = u64::MAX;
+            let mut cur = self.overflow_head;
+            while cur != NIL {
+                let ch = &self.chunks[cur as usize];
+                for e in &ch.entries[..ch.len as usize] {
+                    min = min.min(e.time);
                 }
+                cur = ch.next;
             }
+            self.base = min;
+            let head = self.overflow_head;
+            self.overflow_head = NIL;
+            self.overflow_tail = NIL;
+            self.drain_chunk_list(head);
         }
     }
 }
@@ -875,6 +1099,40 @@ mod tests {
         assert_eq!(a.overflow_pushes, 1);
         assert_eq!(a.overflow_rebases, 1);
         assert!(a.max_bucket_len >= 1);
+        assert!(a.node_allocs > 0, "slot-resident pushes use the arena");
+        assert_eq!(
+            a.node_peak_live, a.node_allocs,
+            "a push-everything-then-drain schedule never recycles a node"
+        );
+    }
+
+    /// The allocation-free steady state at queue level: once the live
+    /// population peaks, every later push recycles a freed arena slot and
+    /// `node_allocs` stops moving.
+    #[test]
+    fn wheel_arena_recycles_nodes_in_steady_state() {
+        let mut q = EventQueue::with_kind(QueueKind::Wheel);
+        let mut now = 0u64;
+        // Warmup: 64 pending timers spread far enough apart to live in
+        // slots (not the cursor).
+        for i in 0..64u64 {
+            q.push(SimTime::from_micros(1_000 + i * 1_000), i);
+        }
+        let warm = q.wheel_stats().unwrap();
+        assert_eq!(warm.node_allocs, 64);
+        // Steady state: pop one, reschedule one, many times over.
+        for i in 0..1_000u64 {
+            let (t, _) = q.pop().unwrap();
+            now = t.as_micros();
+            q.push(SimTime::from_micros(now + 64_000), i);
+        }
+        let s = q.wheel_stats().unwrap();
+        assert_eq!(
+            s.node_allocs, warm.node_allocs,
+            "steady-state churn must be served entirely off the free list"
+        );
+        assert!(s.node_reuses >= 1_000);
+        assert_eq!(s.node_peak_live, 64);
     }
 
     #[test]

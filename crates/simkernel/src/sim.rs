@@ -227,6 +227,13 @@ impl<M: Model> Simulation<M> {
             .map(|p| p.snapshot(self.queue.wheel_stats()))
     }
 
+    /// The queue's wheel statistics (`None` on the heap backend).
+    /// Available without profiling — wheel counters cost nothing to
+    /// maintain, so benches can read them on unprofiled runs.
+    pub fn wheel_stats(&self) -> Option<crate::queue::WheelStats> {
+        self.queue.wheel_stats()
+    }
+
     /// The current simulation clock.
     pub fn now(&self) -> SimTime {
         self.now

@@ -157,6 +157,58 @@ proptest! {
         }
     }
 
+    /// Paper-shaped bimodal churn — dense sub-millisecond hops mixed
+    /// with 1-in-16 think-time-like multi-second sleeps — drives the
+    /// exact cascade storms that once inverted the 64× sweep. The packed
+    /// wheel must still agree with the heap event-for-event, and its
+    /// node arena must recycle: fresh growth equals peak liveness, never
+    /// the churn volume.
+    #[test]
+    fn bimodal_storm_churn_matches_heap_and_recycles_nodes(
+        seed in any::<u64>(),
+        pending in 1usize..64,
+        rounds in 1usize..500
+    ) {
+        let mut wheel = EventQueue::with_kind(QueueKind::Wheel);
+        let mut heap = EventQueue::with_kind(QueueKind::Heap);
+        let mut state = seed | 1;
+        let mut next_us = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state % 16 == 0 {
+                7_000_000 + (state >> 8) % 2_000_000
+            } else {
+                (state >> 8) % 1_000
+            }
+        };
+        for seq in 0..pending {
+            let t = SimTime::from_micros(next_us());
+            wheel.push(t, seq);
+            heap.push(t, seq);
+        }
+        for _ in 0..rounds {
+            let w = wheel.pop();
+            prop_assert_eq!(w, heap.pop(), "bimodal pop diverged");
+            let Some((t, ev)) = w else { break };
+            let t = t + SimDuration::from_micros(next_us());
+            wheel.push(t, ev);
+            heap.push(t, ev);
+        }
+        loop {
+            let w = wheel.pop();
+            prop_assert_eq!(w, heap.pop(), "bimodal drain diverged");
+            if w.is_none() {
+                break;
+            }
+        }
+        let stats = wheel.wheel_stats().expect("wheel backend has stats");
+        prop_assert_eq!(
+            stats.node_allocs, stats.node_peak_live,
+            "node arena grew past peak liveness — free list not recycling"
+        );
+    }
+
     /// SimTime/SimDuration arithmetic round-trips.
     #[test]
     fn time_arithmetic_roundtrips(base in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
