@@ -193,6 +193,7 @@ impl Segment {
 
 /// One request's ordered event timeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// simlint::state(observer)
 pub struct RequestTrace {
     /// The logical request id.
     pub id: u64,

@@ -1,0 +1,32 @@
+// Fixture: clean under `frozen-config`. All mutation happens during the
+// build phase (builder methods in `impl SystemConfig` are exempt by
+// design); after `validate()` the config is only read.
+
+pub struct SystemConfig {
+    pub population: u64,
+}
+
+impl SystemConfig {
+    pub fn smoke() -> SystemConfig {
+        SystemConfig { population: 50 }
+    }
+
+    pub fn with_population(mut self, population: u64) -> SystemConfig {
+        self.population = population;
+        self
+    }
+
+    pub fn validate(&self) -> bool {
+        self.population > 0
+    }
+}
+
+pub fn run() -> u64 {
+    let cfg = SystemConfig::smoke().with_population(100);
+    let ok = cfg.validate();
+    if ok {
+        cfg.population
+    } else {
+        0
+    }
+}

@@ -1,0 +1,29 @@
+// Fixture: triggers `frozen-config`. The config is mutated after
+// `validate()` returned, so the run starts from a state no validator
+// ever saw.
+
+pub struct SystemConfig {
+    pub population: u64,
+}
+
+impl SystemConfig {
+    pub fn smoke() -> SystemConfig {
+        SystemConfig { population: 50 }
+    }
+
+    pub fn validate(&self) -> bool {
+        self.population > 0
+    }
+}
+
+pub fn run() -> u64 {
+    let mut cfg = SystemConfig::smoke();
+    cfg.population = 100;
+    let ok = cfg.validate();
+    cfg.population = 200;
+    if ok {
+        cfg.population
+    } else {
+        0
+    }
+}

@@ -1,0 +1,30 @@
+// Fixture: clean under `observer-purity`. The gated call bumps tracer
+// state — `Tracer` is a built-in observer type, so its fields are
+// observation-only and the write cannot perturb the run.
+
+pub struct Config {
+    pub trace: bool,
+}
+
+pub struct Tracer {
+    pub events: u64,
+}
+
+impl Tracer {
+    pub fn bump(&mut self) {
+        self.events += 1;
+    }
+}
+
+pub struct Sys {
+    pub cfg: Config,
+    pub tracer: Tracer,
+}
+
+impl Sys {
+    pub fn on_event(&mut self) {
+        if self.cfg.trace {
+            self.tracer.bump();
+        }
+    }
+}

@@ -1,0 +1,30 @@
+// Fixture: triggers `observer-purity`. The event hook only advances the
+// step counter when tracing is on — so enabling the tracer changes the
+// simulation it is supposed to observe. The write happens inside a
+// helper; the finding lands at the gated call.
+
+pub struct Config {
+    pub trace: bool,
+}
+
+pub struct Tracer {
+    pub events: u64,
+}
+
+pub struct Sys {
+    pub cfg: Config,
+    pub tracer: Tracer,
+    pub steps: u64,
+}
+
+impl Sys {
+    fn advance(&mut self) {
+        self.steps += 1;
+    }
+
+    pub fn on_event(&mut self) {
+        if self.cfg.trace {
+            self.advance();
+        }
+    }
+}

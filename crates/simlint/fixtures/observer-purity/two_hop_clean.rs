@@ -1,0 +1,33 @@
+// Fixture: the same two-hop shape as two_hop_trigger.rs, but the probe
+// is declared observation-only via `simlint::state(observer)` — its
+// writes are the observer layer doing its job, not a perturbation.
+
+pub struct Config {
+    pub metrics: bool,
+}
+
+// simlint::state(observer)
+pub struct Probe {
+    pub samples: u64,
+}
+
+pub struct Sys {
+    pub cfg: Config,
+    pub probe: Probe,
+}
+
+fn hop2(p: &mut Probe) {
+    p.samples += 1;
+}
+
+fn hop1(p: &mut Probe) {
+    hop2(p);
+}
+
+impl Sys {
+    pub fn on_window(&mut self) {
+        if self.cfg.metrics {
+            hop1(&mut self.probe);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+// Fixture: a sim-state write laundered through two helper hops must be
+// caught with exactly ONE `observer-purity` finding, at the outermost
+// observation-gated call — not once per hop.
+
+pub struct Config {
+    pub metrics: bool,
+}
+
+pub struct Probe {
+    pub queue_len: u64,
+}
+
+pub struct Sys {
+    pub cfg: Config,
+    pub probe: Probe,
+}
+
+fn hop2(p: &mut Probe) {
+    p.queue_len += 1;
+}
+
+fn hop1(p: &mut Probe) {
+    hop2(p);
+}
+
+impl Sys {
+    pub fn on_window(&mut self) {
+        if self.cfg.metrics {
+            hop1(&mut self.probe);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: clean under the write-capture upgrade. The closure only
+// READS its captures; per-item results flow back through the return
+// value and are combined by the caller.
+
+pub fn par_runs(n: u64, f: impl Fn(u64) -> u64) -> u64 {
+    let mut acc = 0;
+    let mut i = 0;
+    while i < n {
+        acc += f(i);
+        i += 1;
+    }
+    acc
+}
+
+pub fn total_of(n: u64, offset: u64) -> u64 {
+    par_runs(n, |k| k + offset)
+}

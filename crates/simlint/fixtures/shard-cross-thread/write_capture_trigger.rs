@@ -1,0 +1,20 @@
+// Fixture: triggers the write-capture upgrade of `shard-cross-thread`.
+// No taint is involved — the closure handed to the thread-crossing
+// fan-out mutates a captured accumulator, so the merged total depends
+// on cross-shard interleaving.
+
+pub fn par_runs(n: u64, f: impl Fn(u64)) {
+    let mut i = 0;
+    while i < n {
+        f(i);
+        i += 1;
+    }
+}
+
+pub fn total_of(n: u64) -> u64 {
+    let mut total = 0;
+    par_runs(n, |k| {
+        total += k;
+    });
+    total
+}

@@ -1,0 +1,10 @@
+// Fixture: clean under the static-write upgrade. Reading a static is
+// fine — only writes turn a process global into a cross-shard channel.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static EVENT_COUNT: AtomicU64 = AtomicU64::new(0);
+
+pub fn current() -> u64 {
+    EVENT_COUNT.load(Ordering::SeqCst)
+}

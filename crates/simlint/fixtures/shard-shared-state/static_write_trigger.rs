@@ -1,0 +1,13 @@
+// Fixture: triggers the field-sensitive write upgrade of
+// `shard-shared-state`. The static itself is soundly synchronized
+// (SeqCst atomic — the token heuristics accept it), but sim code
+// WRITING a process global is still cross-shard communication, and the
+// write-effect engine reports the write site.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static EVENT_COUNT: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    EVENT_COUNT.fetch_add(1, Ordering::SeqCst);
+}

@@ -1,0 +1,11 @@
+// Fixture: clean under `time-unit` return propagation. The helper
+// returns a µs-labelled local, which agrees with the µs sink.
+
+fn poll_window() -> u64 {
+    let w_us: u64 = 50_000;
+    w_us
+}
+
+pub fn arm(sched: &mut Scheduler) {
+    sched.push(SimTime::from_micros(poll_window()));
+}

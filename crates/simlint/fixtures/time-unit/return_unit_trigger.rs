@@ -1,0 +1,13 @@
+// Fixture: triggers `time-unit` through a function RETURN value. The
+// helper's name carries no unit, but its body returns a `_ms` local —
+// the summary propagates Ms through the call, and the µs sink catches
+// the 1000x error interprocedurally.
+
+fn poll_window() -> u64 {
+    let w_ms: u64 = 50;
+    w_ms
+}
+
+pub fn arm(sched: &mut Scheduler) {
+    sched.push(SimTime::from_micros(poll_window()));
+}

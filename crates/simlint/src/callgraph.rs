@@ -33,7 +33,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use crate::ast::{walk_block_exprs, ExprKind, File, Func, Item, ItemKind};
 use crate::dataflow::{summarize_fn, TaintKind};
-use crate::symbols::{Symbols, UnitAnnotations};
+use crate::symbols::{Symbols, Unit, UnitAnnotations};
 
 /// How values flow through one named function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +54,11 @@ pub struct FnSummary {
     pub returns_taint: Option<TaintKind>,
     /// The return value is (or contains) a hash-ordered collection.
     pub returns_hashy: bool,
+    /// The declared time unit of the returned value, when every return
+    /// path in the body agrees (a `_ms` local flowing out of a
+    /// suffix-less helper). A unit in the function's own name wins at
+    /// call sites; this fills the gap when there is none.
+    pub returns_unit: Option<Unit>,
 }
 
 impl FnSummary {
@@ -65,6 +70,7 @@ impl FnSummary {
             param_to_sink: 0,
             returns_taint: None,
             returns_hashy: false,
+            returns_unit: None,
         }
     }
 
@@ -79,6 +85,10 @@ impl FnSummary {
             param_to_sink: self.param_to_sink | other.param_to_sink,
             returns_taint: self.returns_taint.or(other.returns_taint),
             returns_hashy: self.returns_hashy || other.returns_hashy,
+            // First-wins keeps the merge monotone; a genuine per-body
+            // disagreement was already resolved to `None` in
+            // `summarize_fn`.
+            returns_unit: self.returns_unit.or(other.returns_unit),
         }
     }
 }
@@ -110,6 +120,14 @@ impl Summaries {
     /// `true` if nothing was summarized.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of names excluded for conflicting arities. Exclusion is
+    /// *correct* (callers degrade to intra-procedural analysis) but
+    /// used to be silent; surfacing the count in the report keeps a
+    /// creeping loss of interprocedural coverage visible.
+    pub fn dropped(&self) -> usize {
+        self.map.values().filter(|s| s.is_none()).count()
     }
 }
 
@@ -241,7 +259,9 @@ fn collect_fns<'a>(items: &'a [Item], out: &mut Vec<&'a Func>) {
 /// Iterative Tarjan: returns SCCs in reverse topological order of the
 /// condensation (every SCC appears after all SCCs it calls into have
 /// been emitted), which is exactly the summarization order we need.
-fn tarjan_sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+/// Shared with the write-effect engine (`effects.rs`), which runs the
+/// same bottom-up fixpoint over its own per-function summaries.
+pub(crate) fn tarjan_sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
     let n = adj.len();
     let mut index: Vec<Option<u32>> = vec![None; n];
     let mut low: Vec<u32> = vec![0; n];
@@ -361,12 +381,37 @@ mod tests {
     }
 
     #[test]
-    fn conflicting_arities_are_excluded() {
+    fn conflicting_arities_are_excluded_and_counted() {
         let s = summarize(
             "pub fn f(a: u64) -> u64 { a }\n\
-             pub mod inner { pub fn f(a: u64, b: u64) -> u64 { a + b } }",
+             pub mod inner { pub fn f(a: u64, b: u64) -> u64 { a + b } }\n\
+             pub fn g(a: u64) -> u64 { a }",
         );
         assert!(s.get("f").is_none());
+        assert!(s.get("g").is_some());
+        assert_eq!(s.dropped(), 1, "the planted conflict must be counted");
+    }
+
+    #[test]
+    fn return_unit_propagates_from_an_annotated_local() {
+        let s = summarize(
+            "pub fn current_window() -> u64 { let w_ms: u64 = 50; w_ms }\n\
+             pub fn suffixed_ms() -> u64 { 50 }\n\
+             pub fn unitless(v: u64) -> u64 { v }",
+        );
+        assert_eq!(s.get("current_window").unwrap().returns_unit, Some(Unit::Ms));
+        assert_eq!(s.get("unitless").unwrap().returns_unit, None);
+    }
+
+    #[test]
+    fn conflicting_return_units_in_one_body_poison_to_none() {
+        let s = summarize(
+            "pub fn pick(flag: bool, a_ms: u64, b_us: u64) -> u64 {\n\
+                 if flag { return a_ms; }\n\
+                 b_us\n\
+             }",
+        );
+        assert_eq!(s.get("pick").unwrap().returns_unit, None);
     }
 
     #[test]

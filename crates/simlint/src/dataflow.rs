@@ -313,6 +313,7 @@ pub fn summarize_fn(
         param_to_sink: c.param_to_sink,
         returns_taint: c.returns_taint,
         returns_hashy: c.returns_hashy,
+        returns_unit: c.returns_unit,
     }
 }
 
@@ -323,6 +324,10 @@ struct SummaryCollect {
     param_to_sink: u32,
     returns_taint: Option<TaintKind>,
     returns_hashy: bool,
+    /// Declared unit of returned values; poisoned (stays `None` via
+    /// `returns_unit_conflict`) when two return paths disagree.
+    returns_unit: Option<Unit>,
+    returns_unit_conflict: bool,
 }
 
 struct Analysis<'a> {
@@ -397,6 +402,19 @@ impl Analysis<'_> {
                 c.returns_taint = f.taint.map(|t| t.kind);
             }
             c.returns_hashy |= f.hashy;
+            // A unit-carrying return path sets the unit once; a second
+            // path with a *different* unit poisons the inference (the
+            // helper has no single unit to report).
+            if let Some(u) = f.unit {
+                match c.returns_unit {
+                    None if !c.returns_unit_conflict => c.returns_unit = Some(u),
+                    Some(prev) if prev != u => {
+                        c.returns_unit = None;
+                        c.returns_unit_conflict = true;
+                    }
+                    _ => {}
+                }
+            }
         }
     }
 
@@ -882,7 +900,11 @@ impl Analysis<'_> {
                 origin_line: e.span.line,
             }),
             hashy: s.returns_hashy || self.symbols.hash_fns.contains(name),
-            unit: unit_from_name(name),
+            // A unit suffix on the callee's own name wins; otherwise the
+            // summarized unit of its return paths flows out, so a `_ms`
+            // value laundered through a suffix-less helper still reaches
+            // a µs sink carrying `Ms`.
+            unit: unit_from_name(name).or(s.returns_unit),
             ..Facts::default()
         };
         let mut slots: Vec<(usize, &Expr, Facts)> = Vec::new();

@@ -24,12 +24,13 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use mlb_simlint::rules::RULES;
+use mlb_simlint::rules::{rule_named, RULES};
 
 fn usage() -> &'static str {
     "usage: mlb-simlint --workspace [--root <dir>] [--json] [--fix]\n\
      \x20                [--sarif <file>] [--baseline <file>] [--update-baseline <file>]\n\
      \x20      mlb-simlint --list-rules\n\
+     \x20      mlb-simlint --explain <rule>\n\
      \n\
      Scans the cargo workspace for violations of the simulation\n\
      determinism invariants. See README.md \"Determinism guarantees\"."
@@ -62,6 +63,7 @@ fn main() -> ExitCode {
     let mut workspace = false;
     let mut json = false;
     let mut list_rules = false;
+    let mut explain: Option<String> = None;
     let mut apply_fix = false;
     let mut root: Option<PathBuf> = None;
     let mut sarif_out: Option<PathBuf> = None;
@@ -73,6 +75,13 @@ fn main() -> ExitCode {
             "--workspace" => workspace = true,
             "--json" => json = true,
             "--list-rules" => list_rules = true,
+            "--explain" => match args.next() {
+                Some(r) => explain = Some(r),
+                None => {
+                    eprintln!("--explain needs a rule name (see --list-rules)\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
             "--fix" => apply_fix = true,
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
@@ -111,6 +120,19 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+    if let Some(name) = explain {
+        let Some(r) = rule_named(&name) else {
+            eprintln!("unknown rule `{name}`; mlb-simlint --list-rules shows what exists");
+            return ExitCode::from(2);
+        };
+        println!("{}\n  {}\n", r.name, r.summary);
+        println!("why:\n  {}\n", r.rationale);
+        println!("example:");
+        for line in r.example.lines() {
+            println!("  {line}");
+        }
+        return ExitCode::SUCCESS;
     }
     if list_rules {
         for r in RULES {

@@ -112,6 +112,11 @@ pub struct Report {
     pub suppressed: Vec<(Finding, String)>,
     /// Files scanned, workspace-relative.
     pub files_scanned: Vec<String>,
+    /// Function names the interprocedural summaries excluded because
+    /// same-named definitions disagree on arity. Those call sites fall
+    /// back to "no facts" — surfaced so silently-shrinking coverage is
+    /// visible in every report, not just in a debugger.
+    pub dropped_symbols: usize,
 }
 
 impl Report {
@@ -140,6 +145,13 @@ impl Report {
             self.findings.len(),
             self.suppressed.len()
         ));
+        if self.dropped_symbols > 0 {
+            out.push_str(&format!(
+                "simlint: {} symbol(s) excluded from interprocedural summaries \
+                 (same-named definitions with conflicting arities)\n",
+                self.dropped_symbols
+            ));
+        }
         out
     }
 
@@ -150,6 +162,10 @@ impl Report {
         out.push_str(&format!(
             "  \"files_scanned\": {},\n",
             self.files_scanned.len()
+        ));
+        out.push_str(&format!(
+            "  \"dropped_symbols\": {},\n",
+            self.dropped_symbols
         ));
         out.push_str("  \"findings\": [\n");
         for (i, f) in self.findings.iter().enumerate() {

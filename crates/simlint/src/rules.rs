@@ -22,6 +22,11 @@ pub struct RuleMeta {
     pub name: &'static str,
     /// One-line summary for `--list-rules` and docs.
     pub summary: &'static str,
+    /// Why the invariant matters, for `--explain` and SARIF
+    /// `fullDescription`.
+    pub rationale: &'static str,
+    /// A short violating/fixed snippet for `--explain`.
+    pub example: &'static str,
 }
 
 /// Crates whose library sources are simulation state machines: inside
@@ -63,66 +68,154 @@ pub const SPAN_REF_PATHS: [&str; 1] = ["crates/ntier/src/trace.rs"];
 
 /// Every registered rule. The fixture meta-test enforces one triggering
 /// and one clean fixture per entry.
-pub const RULES: [RuleMeta; 15] = [
+pub const RULES: [RuleMeta; 17] = [
     RuleMeta {
         name: "no-wall-clock",
         summary: "Instant::now/SystemTime banned in sim-crate library code; sim time must come from the event queue",
+        rationale: "Simulated time must be a pure function of (config, seed). A host clock \
+                    read anywhere in sim-crate library code couples event ordering to \
+                    scheduler jitter and machine load, so two identical runs can diverge — \
+                    invalidating digest comparison and millibottleneck attribution alike.",
+        example: "let t0 = Instant::now();      // finding\nlet t0 = self.clock;          // ok: SimTime advanced by the event queue",
     },
     RuleMeta {
         name: "no-system-io",
         summary: "std::fs/std::env access in sim-crate library code ties runs to the host; take inputs from config, write artifacts from bench/CLI",
+        rationale: "Reading files or environment variables makes a run depend on host state \
+                    that (config, seed) does not capture. Inputs belong in SystemConfig; \
+                    artifacts belong to the bench/CLI layer, which is exempt by scope.",
+        example: "let seed = std::env::var(\"SEED\");   // finding\nlet seed = cfg.seed;                 // ok",
     },
     RuleMeta {
         name: "no-hash-order",
         summary: "iterating a HashMap/HashSet in sim-crate library code is nondeterministic; key by BTreeMap or access by key",
+        rationale: "HashMap/HashSet iteration order is randomized per process, so any loop, \
+                    drain, or fold over one reorders events between runs. Keyed lookups are \
+                    fine; ordered traversal needs a BTreeMap.",
+        example: "for (id, s) in &self.live { .. }    // finding when live: HashMap\n// ok when live: BTreeMap",
     },
     RuleMeta {
         name: "no-ambient-rng",
         summary: "thread_rng/rand::random/OsRng/from_entropy banned; all randomness flows from the seeded simkernel::rng streams",
+        rationale: "Ambient generators draw from the OS entropy pool, so no seed reproduces \
+                    the run. Every random draw must derive from the seeded simkernel::rng \
+                    stream tree, which splits deterministically per component.",
+        example: "let x = thread_rng().gen::<u64>();    // finding\nlet x = streams.service.next_u64();   // ok",
     },
     RuleMeta {
         name: "panic-hygiene",
         summary: "unwrap()/expect() in the event-loop hot paths requires a justified suppression",
+        rationale: "An unwrap in the event-loop hot path tears down the whole simulation on \
+                    the first violated assumption. Each one must either handle the None/Err \
+                    arm or carry the invariant in writing via a simlint::allow comment.",
+        example: "// simlint::allow(panic-hygiene): a live RequestId always maps to a request\n.expect(\"unknown live request\")",
     },
     RuleMeta {
         name: "crate-header",
         summary: "every crate root must carry #![forbid(unsafe_code)]",
+        rationale: "forbid(unsafe_code) turns the no-unsafe guarantee into a compile error \
+                    instead of a review convention; unsafe code could bypass every invariant \
+                    the other rules check.",
+        example: "#![forbid(unsafe_code)]   // first line of src/lib.rs / src/main.rs",
     },
     RuleMeta {
         name: "span-attribution",
         summary: "every SpanKind variant must be constructed by the tracer, or it falls out of VLRT accounting",
+        rationale: "VLRT attribution classifies requests by the spans the tracer emitted. A \
+                    SpanKind variant the tracer never constructs silently drops its phase \
+                    from every latency profile.",
+        example: "pub enum SpanKind { Issued, Ghost }   // finding if trace.rs never builds SpanKind::Ghost",
     },
     RuleMeta {
         name: "no-float-accum",
         summary: "f64 running sums in telemetry/metrics accumulation paths drift with rounding; accumulate integer micros and convert on read",
+        rationale: "Float running sums drift with summation order and platform rounding, so \
+                    golden digests diverge across hosts. Accumulate integer micros/counts \
+                    and convert to f64 only on read.",
+        example: "self.sum += rt as f64;    // finding\nself.sum_us += rt_us;     // ok: integer accumulator",
     },
     RuleMeta {
         name: "bad-suppression",
         summary: "simlint::allow comments must name a known rule, carry a justification, and actually suppress something",
+        rationale: "A suppression is a signed waiver: it must name a real rule, say why, and \
+                    actually silence a finding. Unjustified or stale allows rot into blanket \
+                    immunity; --fix removes the stale ones mechanically.",
+        example: "// simlint::allow(no-hash-order): keyed probe only — order never observed",
     },
     RuleMeta {
         name: "nondet-taint",
         summary: "values from hash iteration, wall clocks, or ambient RNG may not flow into schedule/push/SimTime construction",
+        rationale: "Nondeterminism only matters once it reaches the event queue. This rule \
+                    tracks values born from hash iteration, wall clocks, or ambient RNG \
+                    through locals and helper calls (interprocedural summaries), and fires \
+                    when one reaches schedule/push/SimTime construction — once, at the sink.",
+        example: "let k = *map.keys().next().unwrap();   // tainted\nqueue.schedule_at(t, k);               // finding at the sink",
     },
     RuleMeta {
         name: "time-unit",
         summary: "integers reaching SimTime/window/timeout parameters must agree with the _us/_ms suffix and simlint::unit annotations",
+        rationale: "Mixed µs/ms/s arithmetic is the classic silent 1000x error. Units are \
+                    declared by name suffix (_us/_ms/_secs) or simlint::unit annotations, \
+                    propagated through locals, parameters, and function return values, and \
+                    checked where they reach SimTime and window/timeout sinks.",
+        example: "fn poll_window() -> u64 { let w_ms = 50; w_ms }\nSimTime::from_micros(poll_window())   // finding: ms feeds a µs sink",
     },
     RuleMeta {
         name: "match-exhaustive",
         summary: "matches over SpanKind/FlagKind/QueueKind in sim-crate library code may not hide variants behind a catch-all arm",
+        rationale: "A `_` arm over a simulation enum absorbs every future variant, so adding \
+                    one compiles clean while attribution, detection, or scheduling quietly \
+                    miscounts it. Naming every variant forces an explicit decision.",
+        example: "match kind { SpanKind::Issued => .., _ => {} }   // finding on the `_` arm",
     },
     RuleMeta {
         name: "shard-cross-thread",
         summary: "tainted or hash-ordered values may not be captured by thread-crossing closures (thread::scope/spawn/par_runs) or sent through channels",
+        rationale: "Once the kernel shards across cores, values crossing a thread boundary \
+                    must be deterministic and unshared: a tainted capture, a channel send of \
+                    one, or a closure that writes a captured binding makes one shard's \
+                    timing visible to another.",
+        example: "par_runs(n, |i| { total += run(i); })   // finding: closure writes captured `total`",
     },
     RuleMeta {
         name: "shard-shared-state",
-        summary: "static mut, interior-mutable statics (RefCell/Cell/Mutex/RwLock/UnsafeCell), and Relaxed atomic orderings are cross-thread nondeterminism hazards in sim-crate library code",
+        summary: "static mut, interior-mutable statics (RefCell/Cell/Mutex/RwLock/UnsafeCell), Relaxed atomics, and static writes are cross-thread nondeterminism hazards in sim-crate library code",
+        rationale: "static mut, interior-mutable statics, Relaxed atomics, and writes to \
+                    process globals are invisible cross-shard channels: one shard's timing \
+                    leaks into another's state in ways no single-threaded test can catch. \
+                    Shard state must be owned by exactly one shard and joined by index.",
+        example: "static HITS: AtomicU64 = ..;\nHITS.fetch_add(1, Ordering::SeqCst);   // finding: sim code writes a process global",
     },
     RuleMeta {
         name: "shard-order-agg",
         summary: "channel-received fan-out results must be combined by index, not appended in completion order",
+        rationale: "Collecting fan-out results in completion order bakes thread scheduling \
+                    into the output. Joining by shard index makes the merged result \
+                    independent of which shard finished first.",
+        example: "while let Ok(r) = rx.recv() { out.push(r) }   // finding\nout[r.shard] = r;                              // ok: joined by index",
+    },
+    RuleMeta {
+        name: "observer-purity",
+        summary: "observation-gated code (cfg.trace/cfg.metrics/cfg.prof guards, observer impls) must have zero sim-state write effects, transitively",
+        rationale: "The paper's methodology hinges on instrumentation that cannot perturb the \
+                    timing it measures: millibottlenecks are sub-second stalls, so even a \
+                    counter bump on the sim side of an `if cfg.trace` changes what is being \
+                    observed. The write-effect engine summarizes what every function may \
+                    mutate (fields, statics, &mut params, transitively through helpers and \
+                    closures) and proves observation-gated code pure of sim-state writes — \
+                    statically, for every seed at once, where the golden digests check three. \
+                    Reported once, at the outermost gated call.",
+        example: "if self.cfg.trace {\n    self.advance_clock();   // finding here: helper writes self.clock_us\n}",
+    },
+    RuleMeta {
+        name: "frozen-config",
+        summary: "no SystemConfig field mutation after validate() returns (or through a stored config, which is post-validate by construction)",
+        rationale: "SystemConfig is mutable while it is being built and frozen the moment \
+                    validate() returns: later field writes skip re-validation, so a run can \
+                    start from a config no validator ever saw — and a mid-run write changes \
+                    behavior in a way (config, seed) no longer describes. Builder methods in \
+                    impl SystemConfig are exempt.",
+        example: "cfg.validate()?;\ncfg.population = 200;   // finding: post-validate mutation",
     },
 ];
 
@@ -875,16 +968,21 @@ pub fn flow_families_for(crate_name: &str, role: FileRole) -> Option<dataflow::F
 }
 
 /// Runs the AST/dataflow rule families (`nondet-taint`, `time-unit`,
-/// `shard-cross-thread`, `shard-order-agg`, `match-exhaustive`) on one
-/// parsed file. Scope comes from [`flow_families_for`]; `#[cfg(test)]`
-/// modules are skipped. `summaries` carries the workspace-wide function
-/// summaries so taint is tracked across call boundaries.
+/// `shard-cross-thread`, `shard-order-agg`, `match-exhaustive`) plus the
+/// write-effect rules (`observer-purity`, `frozen-config`, the
+/// field-sensitive shard upgrades) on one parsed file. Scope comes from
+/// [`flow_families_for`]; `#[cfg(test)]` modules are skipped.
+/// `summaries` carries the workspace-wide taint summaries and
+/// `effects_table` the write-effect summaries, so both analyses track
+/// facts across call boundaries.
 pub fn check_ast(
     input: &FileInput<'_>,
     file: &ast::File,
     symbols: &Symbols,
     anns: &UnitAnnotations,
     summaries: &crate::callgraph::Summaries,
+    state_model: &crate::effects::StateModel,
+    effects_table: &crate::effects::EffectsTable,
 ) -> Vec<Finding> {
     let mut findings = Vec::new();
     let Some(families) = flow_families_for(input.crate_name, input.role) else {
@@ -903,6 +1001,28 @@ pub fn check_ast(
         sim_enums,
         &mut findings,
     );
+    // The effect rules: purity/frozen-config bind sim-crate library
+    // code; the write-capture upgrade follows the shard family (the
+    // bench harness fans out too).
+    let mut eff = Vec::new();
+    crate::effects::check_file(
+        file,
+        state_model,
+        effects_table,
+        input.in_sim_crate(),
+        families.shard,
+        &mut eff,
+    );
+    for f in eff {
+        findings.push(Finding {
+            rule: f.rule,
+            path: input.rel_path.to_owned(),
+            line: f.line,
+            col: f.col,
+            message: f.message,
+            fingerprint: 0,
+        });
+    }
     findings
 }
 

@@ -88,9 +88,11 @@ pub fn render_sarif(report: &Report) -> String {
     out.push_str("          \"rules\": [\n");
     for (i, r) in RULES.iter().enumerate() {
         out.push_str(&format!(
-            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{}\n",
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}, \
+             \"fullDescription\": {{\"text\": {}}}}}{}\n",
             json_str(r.name),
             json_str(r.summary),
+            json_str(r.rationale),
             if i + 1 < RULES.len() { "," } else { "" }
         ));
     }

@@ -132,6 +132,78 @@ fn fix_is_idempotent_across_the_whole_tree() {
 }
 
 #[test]
+fn stale_write_effect_suppressions_are_fixed() {
+    // The write-effect rules ride the same stale-suppression cycle as
+    // the older families: an allow for `observer-purity` or
+    // `frozen-config` that no longer silences anything is itself a
+    // finding, one fix pass removes it, and a second pass is a no-op.
+    let root = scaffold("effects");
+    fs::write(
+        root.join("crates/sim/src/obs.rs"),
+        "//! Scaffold module.\n\n\
+         // simlint::allow(observer-purity): tracing no longer advances the clock\n\
+         pub fn snapshot(steps: u64) -> u64 {\n    steps\n}\n\n\
+         // simlint::allow(frozen-config): the builder was inlined away\n\
+         pub fn default_population() -> u64 {\n    50\n}\n",
+    )
+    .unwrap();
+
+    let report = lint_workspace(&root).unwrap();
+    let json = report.render_json();
+    assert!(
+        json.contains("observer-purity") && json.contains("frozen-config"),
+        "stale write-effect allows must be findings: {json}"
+    );
+
+    // One pass clears the two planted allows plus the scaffold's own
+    // stale one; the re-lint is clean and a second pass changes nothing.
+    let (_, fixes) = lint_workspace_full(&root).unwrap();
+    let summary = apply_fixes(&fixes).unwrap();
+    assert_eq!(summary.suppressions_removed, 3);
+    let after_first = tree_snapshot(&root);
+
+    assert!(lint_workspace(&root).unwrap().is_clean());
+    let (_, fixes) = lint_workspace_full(&root).unwrap();
+    assert_eq!(apply_fixes(&fixes).unwrap().files_changed, 0);
+    assert_eq!(after_first, tree_snapshot(&root));
+
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn live_write_effect_suppressions_survive_the_fix() {
+    // An allow that actually silences an `observer-purity` finding (a
+    // gated call whose callee writes sim state) is live and must not be
+    // pruned by `--fix`.
+    let root = scaffold("effects-live");
+    fs::write(
+        root.join("crates/sim/src/lib.rs"),
+        "#![forbid(unsafe_code)]\n//! Scaffold crate.\n\n\
+         pub struct Cfg {\n    pub trace: bool,\n}\n\n\
+         pub struct Sys {\n    pub cfg: Cfg,\n    pub steps: u64,\n}\n\n\
+         impl Sys {\n\
+         \x20   fn advance(&mut self) {\n        self.steps += 1;\n    }\n\n\
+         \x20   pub fn tick(&mut self) {\n\
+         \x20       if self.cfg.trace {\n\
+         \x20           // simlint::allow(observer-purity): fixture exercises a live allow\n\
+         \x20           self.advance();\n\
+         \x20       }\n\
+         \x20   }\n\
+         }\n",
+    )
+    .unwrap();
+
+    assert!(lint_workspace(&root).unwrap().is_clean());
+    let (_, fixes) = lint_workspace_full(&root).unwrap();
+    let summary = apply_fixes(&fixes).unwrap();
+    assert_eq!(summary.files_changed, 0, "live allow must not be touched");
+    let src = fs::read_to_string(root.join("crates/sim/src/lib.rs")).unwrap();
+    assert!(src.contains("simlint::allow(observer-purity)"));
+
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
 fn live_suppressions_survive_the_fix() {
     let root = scaffold("live");
     // Make the suppression earn its keep: the function now calls a

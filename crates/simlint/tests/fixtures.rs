@@ -36,6 +36,15 @@ fn context(rule: &str) -> (&'static str, FileRole, &'static str, bool) {
             "crates/simkernel/src/fixture.rs",
             false,
         ),
+        // The write-effect rules bind sim-crate library code; the
+        // fixtures declare their own observer/config types so the
+        // single-file state model classifies them.
+        "observer-purity" | "frozen-config" => (
+            "mlb-ntier",
+            FileRole::Lib,
+            "crates/ntier/src/fixture.rs",
+            false,
+        ),
         // panic-hygiene only binds the event-loop hot paths, so the
         // fixture borrows one of their paths.
         "panic-hygiene" => (
@@ -132,14 +141,27 @@ fn clean_fixtures_are_clean() {
 /// *exact* number of findings of the owning rule each must produce.
 /// Exactness matters for the interprocedural ones: a finding per hop
 /// (instead of one at the sink) would drown real reports in echoes.
-const EXTRA_FIXTURES: [(&str, &str, usize); 2] = [
+const EXTRA_FIXTURES: [(&str, &str, usize); 10] = [
     ("nondet-taint", "two_hop_trigger", 1),
     ("nondet-taint", "two_hop_clean", 0),
+    // A sim-state write laundered through two helper hops reports once,
+    // at the outermost observation-gated call.
+    ("observer-purity", "two_hop_trigger", 1),
+    ("observer-purity", "two_hop_clean", 0),
+    // Declared units propagate through function RETURN values.
+    ("time-unit", "return_unit_trigger", 1),
+    ("time-unit", "return_unit_clean", 0),
+    // Write-effect upgrades: a closure writing a capture across a
+    // thread boundary, and sim code writing a process global.
+    ("shard-cross-thread", "write_capture_trigger", 1),
+    ("shard-cross-thread", "write_capture_clean", 0),
+    ("shard-shared-state", "static_write_trigger", 1),
+    ("shard-shared-state", "static_write_clean", 0),
 ];
 
 /// Trigger fixtures that must produce *exactly one* finding overall —
 /// the violation under test and no collateral noise.
-const EXACTLY_ONE: [&str; 2] = ["shard-cross-thread", "shard-order-agg"];
+const EXACTLY_ONE: [&str; 3] = ["shard-cross-thread", "shard-order-agg", "observer-purity"];
 
 #[test]
 fn extra_fixtures_produce_exact_finding_counts() {
